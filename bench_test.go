@@ -1,0 +1,531 @@
+// Benchmarks regenerating every table and figure of the paper (one bench
+// per artifact), plus ablation benches for the design choices DESIGN.md
+// calls out and micro-benchmarks of the hot kernels. Latency/shape
+// metrics are attached to each bench via b.ReportMetric so `go test
+// -bench` output records the reproduced numbers alongside timing.
+package edgebench_test
+
+import (
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/autoscale"
+	"repro/internal/cluster"
+	"repro/internal/dist"
+	"repro/internal/experiments"
+	"repro/internal/netem"
+	"repro/internal/queue"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/theory"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// benchDuration keeps per-iteration simulation cost moderate while
+// preserving the figures' shapes.
+const benchDuration = 200.0
+
+// BenchmarkFig2TaxiCellLoad regenerates Figure 2: per-cell vehicle load
+// box plots from the synthetic mobility trace.
+func BenchmarkFig2TaxiCellLoad(b *testing.B) {
+	spec := trace.DefaultTaxiSpec()
+	spec.Hours = 6
+	var skew float64
+	for i := 0; i < b.N; i++ {
+		loads := trace.TaxiCellLoads(spec)
+		boxes := trace.CellBoxPlots(loads)
+		skew = boxes[0].Median / (boxes[len(boxes)/2].Median + 1)
+	}
+	b.ReportMetric(skew, "hotspot/median-cell")
+}
+
+// BenchmarkFig3MeanLatencyTypicalCloud regenerates Figure 3: mean
+// latency vs request rate for the 25 ms cloud.
+func BenchmarkFig3MeanLatencyTypicalCloud(b *testing.B) {
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig3("typical-25ms", benchDuration, 42)
+		if r, _, ok := res.OneServer.Crossover(experiments.Mean); ok {
+			rate = r
+		}
+	}
+	b.ReportMetric(rate, "crossover-req/s")
+}
+
+// BenchmarkFig4MeanLatencyDistantCloud regenerates Figure 4: mean
+// latency vs rate for the 54 ms cloud.
+func BenchmarkFig4MeanLatencyDistantCloud(b *testing.B) {
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig3("distant-54ms", benchDuration, 42)
+		if r, _, ok := res.OneServer.Crossover(experiments.Mean); ok {
+			rate = r
+		} else {
+			rate = 13 // no inversion below saturation
+		}
+	}
+	b.ReportMetric(rate, "crossover-req/s")
+}
+
+// BenchmarkFig5TailLatencyDistantCloud regenerates Figure 5: p95 latency
+// vs rate for the 54 ms cloud.
+func BenchmarkFig5TailLatencyDistantCloud(b *testing.B) {
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig3("distant-54ms", benchDuration, 42)
+		if r, _, ok := res.OneServer.Crossover(experiments.P95); ok {
+			rate = r
+		} else {
+			rate = 13
+		}
+	}
+	b.ReportMetric(rate, "p95-crossover-req/s")
+}
+
+// BenchmarkFig6LatencyDistributions regenerates Figure 6: the response
+// distributions at 10 req/server/s.
+func BenchmarkFig6LatencyDistributions(b *testing.B) {
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		out := experiments.RunFig6(benchDuration, 5)
+		spread = out[0].Box.IQR() / (out[3].Box.IQR() + 1e-9)
+	}
+	b.ReportMetric(spread, "edge1-IQR/cloud10-IQR")
+}
+
+// BenchmarkFig7CutoffUtilization regenerates Figure 7: cutoff
+// utilizations across the four cloud RTTs.
+func BenchmarkFig7CutoffUtilization(b *testing.B) {
+	var nearest, farthest float64
+	for i := 0; i < b.N; i++ {
+		points := experiments.RunFig7(120, 11)
+		nearest = points[0].MeanCutoff
+		farthest = points[len(points)-1].MeanCutoff
+	}
+	b.ReportMetric(nearest*100, "cutoff%%-13ms")
+	b.ReportMetric(farthest*100, "cutoff%%-80ms")
+}
+
+// BenchmarkFig8AzureTraceWorkload regenerates Figure 8: the 5-site
+// Azure-like workload series.
+func BenchmarkFig8AzureTraceWorkload(b *testing.B) {
+	spec := trace.DefaultAzureSpec()
+	var skew float64
+	for i := 0; i < b.N; i++ {
+		series := trace.GenerateAzure(spec)
+		skew, _ = trace.SkewStats(series)
+	}
+	b.ReportMetric(skew, "mean-busiest/mean")
+}
+
+// BenchmarkFig9AzureReplayTimeline regenerates Figure 9: minute-binned
+// mean latency for edge vs cloud under the Azure workload.
+func BenchmarkFig9AzureReplayTimeline(b *testing.B) {
+	spec := trace.DefaultAzureSpec()
+	spec.Minutes = 8
+	var edgeOverCloud float64
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunAzureReplay(spec, 1.0, 7)
+		edgeOverCloud = res.EdgeResult.MeanLatency() / res.CloudResult.MeanLatency()
+	}
+	b.ReportMetric(edgeOverCloud, "edge-mean/cloud-mean")
+}
+
+// BenchmarkFig10PerSiteBoxplot regenerates Figure 10: per-site latency
+// distributions under the Azure workload.
+func BenchmarkFig10PerSiteBoxplot(b *testing.B) {
+	spec := trace.DefaultAzureSpec()
+	spec.Minutes = 8
+	var worstOverBest float64
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunAzureReplay(spec, 1.0, 7)
+		best, worst := res.EdgeBoxes[0].Median, res.EdgeBoxes[0].Median
+		for _, bx := range res.EdgeBoxes {
+			if bx.Median < best {
+				best = bx.Median
+			}
+			if bx.Median > worst {
+				worst = bx.Median
+			}
+		}
+		worstOverBest = worst / best
+	}
+	b.ReportMetric(worstOverBest, "worst-site/best-site-median")
+}
+
+// BenchmarkValidationAnalyticVsSimulated regenerates the §4.2 validation
+// table comparing measured crossovers against Corollary 3.1.1.
+func BenchmarkValidationAnalyticVsSimulated(b *testing.B) {
+	var measured, paper float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.RunValidation(benchDuration, 42)
+		measured = rows[0].MeasuredUtil
+		paper = rows[0].PaperCutoff
+	}
+	b.ReportMetric(measured*100, "measured-cutoff%%")
+	b.ReportMetric(paper*100, "paper-cutoff%%")
+}
+
+// BenchmarkCapacityProvisioning regenerates the §5.2 capacity table.
+func BenchmarkCapacityProvisioning(b *testing.B) {
+	var overhead float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.RunCapacityTable([]float64{10, 100, 1000}, []int{5, 10, 50})
+		overhead = rows[len(rows)-1].Overhead
+	}
+	b.ReportMetric(overhead, "edge/cloud-capacity")
+}
+
+// BenchmarkTheoryAccuracy quantifies the Allen–Cunneen approximation
+// error against exact M/M/k across the paper's operating range (Lemmas
+// 3.1/3.2 numeric check).
+func BenchmarkTheoryAccuracy(b *testing.B) {
+	var maxErr float64
+	for i := 0; i < b.N; i++ {
+		maxErr = 0
+		for _, k := range []int{1, 2, 5, 10} {
+			for _, rho := range []float64{0.75, 0.85, 0.95} {
+				e := theory.GGkAccuracyNote(k, rho, 13)
+				if e < 0 {
+					e = -e
+				}
+				if e > maxErr {
+					maxErr = e
+				}
+			}
+		}
+	}
+	b.ReportMetric(maxErr*100, "max-rel-err-%%")
+}
+
+// --- Ablation benches (DESIGN.md §4) ---
+
+func ablationTrace(seed int64) *cluster.WorkloadTrace {
+	return cluster.Generate(cluster.GenSpec{
+		Sites: 5, Duration: benchDuration, PerSiteRate: 11, Seed: seed,
+	})
+}
+
+// BenchmarkAblationDispatch compares cloud dispatch policies at high
+// load: central queue vs least-conn vs round robin vs random.
+func BenchmarkAblationDispatch(b *testing.B) {
+	policies := []cluster.DispatchPolicy{
+		cluster.CentralQueue, cluster.LeastConn, cluster.PowerOfTwo,
+		cluster.RoundRobin, cluster.RandomSplit,
+	}
+	for _, pol := range policies {
+		pol := pol
+		b.Run(string(pol), func(b *testing.B) {
+			var mean float64
+			for i := 0; i < b.N; i++ {
+				tr := ablationTrace(17)
+				res := cluster.RunCloud(tr, cluster.CloudConfig{
+					Servers: 5, Path: netem.Constant("zero", 0),
+					Policy: pol, Warmup: 20, Seed: 18,
+				})
+				mean = res.MeanLatency()
+			}
+			b.ReportMetric(mean*1000, "mean-ms")
+		})
+	}
+}
+
+// BenchmarkAblationGeoLB measures §5.1 geographic load balancing under
+// skew: plain edge vs jockeying edge vs cloud.
+func BenchmarkAblationGeoLB(b *testing.B) {
+	mk := func(jockey int) float64 {
+		procs := make([]workload.ArrivalProcess, 5)
+		rates := []float64{14, 8, 6, 3, 3}
+		for i, r := range rates {
+			procs[i] = workload.NewPoisson(r)
+		}
+		tr := cluster.Generate(cluster.GenSpec{
+			Sites: 5, Duration: benchDuration, Seed: 19, Arrivals: procs,
+		})
+		sc, _ := netem.ScenarioByName("typical-25ms")
+		res := cluster.RunEdge(tr, cluster.EdgeConfig{
+			Sites: 5, ServersPerSite: 1, Path: sc.Edge, Warmup: 20, Seed: 20,
+			JockeyThreshold: jockey, DetourRTT: 0.005,
+		})
+		return res.MeanLatency()
+	}
+	b.Run("no-jockeying", func(b *testing.B) {
+		var m float64
+		for i := 0; i < b.N; i++ {
+			m = mk(0)
+		}
+		b.ReportMetric(m*1000, "mean-ms")
+	})
+	b.Run("jockey-3", func(b *testing.B) {
+		var m float64
+		for i := 0; i < b.N; i++ {
+			m = mk(3)
+		}
+		b.ReportMetric(m*1000, "mean-ms")
+	})
+}
+
+// BenchmarkAblationServiceCoV sweeps service-time variability: Corollary
+// 3.2.1 predicts burstier service lowers the inversion threshold.
+func BenchmarkAblationServiceCoV(b *testing.B) {
+	for _, scv := range []float64{0.0, 0.5, 1.0, 2.0} {
+		scv := scv
+		b.Run(scvName(scv), func(b *testing.B) {
+			var cross float64
+			for i := 0; i < b.N; i++ {
+				cfg := experiments.DefaultSweepConfig()
+				cfg.Duration = benchDuration
+				cfg.Model = app.NewInferenceModelWith(1.0/13, scv)
+				res := experiments.RunSweep(cfg)
+				if r, _, ok := res.Crossover(experiments.Mean); ok {
+					cross = r
+				} else {
+					cross = 13
+				}
+			}
+			b.ReportMetric(cross, "crossover-req/s")
+		})
+	}
+}
+
+func scvName(scv float64) string {
+	switch scv {
+	case 0:
+		return "scv-0.0"
+	case 0.5:
+		return "scv-0.5"
+	case 1:
+		return "scv-1.0"
+	default:
+		return "scv-2.0"
+	}
+}
+
+// BenchmarkAblationSkewProvisioning compares fair-share vs load-matched
+// per-site capacity under skew (Lemma 3.3's takeaway).
+func BenchmarkAblationSkewProvisioning(b *testing.B) {
+	run := func(perSite []int) float64 {
+		procs := make([]workload.ArrivalProcess, 5)
+		for i, r := range []float64{20, 10, 6, 6, 6} {
+			procs[i] = workload.NewPoisson(r)
+		}
+		tr := cluster.Generate(cluster.GenSpec{
+			Sites: 5, Duration: benchDuration, Seed: 23, Arrivals: procs,
+		})
+		res := cluster.RunEdge(tr, cluster.EdgeConfig{
+			Sites: 5, Path: netem.Constant("zero", 0), Warmup: 20, Seed: 24,
+			PerSiteServers: perSite,
+		})
+		return res.MeanLatency()
+	}
+	b.Run("fair-share-2-each", func(b *testing.B) {
+		var m float64
+		for i := 0; i < b.N; i++ {
+			m = run([]int{2, 2, 2, 2, 2})
+		}
+		b.ReportMetric(m*1000, "mean-ms")
+	})
+	b.Run("load-matched", func(b *testing.B) {
+		var m float64
+		for i := 0; i < b.N; i++ {
+			m = run([]int{3, 2, 2, 2, 1})
+		}
+		b.ReportMetric(m*1000, "mean-ms")
+	})
+}
+
+// --- Microbenchmarks of the hot kernels ---
+
+// BenchmarkSimEngineEventThroughput measures raw event processing.
+func BenchmarkSimEngineEventThroughput(b *testing.B) {
+	eng := sim.NewEngine(1)
+	var next func(e *sim.Engine)
+	count := 0
+	next = func(e *sim.Engine) {
+		count++
+		if count < b.N {
+			e.After(0.001, next)
+		}
+	}
+	b.ResetTimer()
+	eng.After(0.001, next)
+	eng.Run()
+}
+
+// BenchmarkStationMM1 measures the queueing station's per-request cost.
+func BenchmarkStationMM1(b *testing.B) {
+	eng := sim.NewEngine(1)
+	st := queue.NewStation(eng, "bench", 1, queue.FCFS)
+	svc := dist.NewExponentialMean(1.0 / 13)
+	arr := dist.NewExponentialMean(1.0 / 9)
+	rng := eng.NewStream()
+	t := 0.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t += arr.Sample(rng)
+		req := &queue.Request{ID: uint64(i), ServiceTime: svc.Sample(rng)}
+		eng.At(t, func(e *sim.Engine) { st.Arrive(req) })
+	}
+	eng.Run()
+	st.Finish()
+}
+
+// BenchmarkStatsSampleQuantile measures the exact-quantile kernel.
+func BenchmarkStatsSampleQuantile(b *testing.B) {
+	s := stats.NewSample(100000)
+	rng := sim.NewEngine(1).RNG()
+	for i := 0; i < 100000; i++ {
+		s.Add(rng.ExpFloat64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(rng.ExpFloat64())
+		_ = s.P95()
+	}
+}
+
+// BenchmarkStatsP2Quantile measures the streaming estimator.
+func BenchmarkStatsP2Quantile(b *testing.B) {
+	est := stats.NewP2Quantile(0.95)
+	rng := sim.NewEngine(1).RNG()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est.Add(rng.ExpFloat64())
+	}
+	_ = est.Value()
+}
+
+// BenchmarkWorkloadGenerate measures trace synthesis.
+func BenchmarkWorkloadGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tr := cluster.Generate(cluster.GenSpec{
+			Sites: 5, Duration: 100, PerSiteRate: 10, Seed: int64(i),
+		})
+		if tr.Len() == 0 {
+			b.Fatal("empty trace")
+		}
+	}
+}
+
+// BenchmarkTheoryCutoffBisect measures the numeric cutoff solver.
+func BenchmarkTheoryCutoffBisect(b *testing.B) {
+	d := theory.Deployment{K: 5, ServersPerSite: 1, Mu: 13, EdgeRTT: 0.001, CloudRTT: 0.025}
+	for i := 0; i < b.N; i++ {
+		_ = d.CutoffUtilizationExactMM()
+	}
+}
+
+// BenchmarkAblationOverflow measures the hierarchical edge→cloud
+// overflow mitigation against the plain edge under a saturated hot site.
+func BenchmarkAblationOverflow(b *testing.B) {
+	mkTrace := func() *cluster.WorkloadTrace {
+		procs := make([]workload.ArrivalProcess, 5)
+		for i, r := range []float64{18, 5, 5, 3, 3} {
+			procs[i] = workload.NewPoisson(r)
+		}
+		return cluster.Generate(cluster.GenSpec{
+			Sites: 5, Duration: benchDuration, Seed: 51, Arrivals: procs,
+		})
+	}
+	sc, _ := netem.ScenarioByName("typical-25ms")
+	b.Run("plain-edge", func(b *testing.B) {
+		var m float64
+		for i := 0; i < b.N; i++ {
+			res := cluster.RunEdge(mkTrace(), cluster.EdgeConfig{
+				Sites: 5, ServersPerSite: 1, Path: sc.Edge, Warmup: 20, Seed: 52,
+			})
+			m = res.MeanLatency()
+		}
+		b.ReportMetric(m*1000, "mean-ms")
+	})
+	b.Run("overflow-to-cloud", func(b *testing.B) {
+		var m float64
+		for i := 0; i < b.N; i++ {
+			res := cluster.RunEdgeWithOverflow(mkTrace(), cluster.OverflowConfig{
+				Sites: 5, ServersPerSite: 1,
+				EdgePath: sc.Edge, CloudPath: sc.Cloud,
+				CloudServers: 5, OverflowThreshold: 4,
+				Warmup: 20, Seed: 52,
+			})
+			m = res.MeanLatency()
+		}
+		b.ReportMetric(m*1000, "mean-ms")
+	})
+}
+
+// BenchmarkAblationAutoscale measures the reactive controller against a
+// static edge under the same skewed workload.
+func BenchmarkAblationAutoscale(b *testing.B) {
+	mkTrace := func() *cluster.WorkloadTrace {
+		procs := make([]workload.ArrivalProcess, 5)
+		for i, r := range []float64{16, 8, 6, 3, 3} {
+			procs[i] = workload.NewPoisson(r)
+		}
+		return cluster.Generate(cluster.GenSpec{
+			Sites: 5, Duration: benchDuration, Seed: 53, Arrivals: procs,
+		})
+	}
+	sc, _ := netem.ScenarioByName("typical-25ms")
+	b.Run("static", func(b *testing.B) {
+		var m float64
+		for i := 0; i < b.N; i++ {
+			res := cluster.RunEdge(mkTrace(), cluster.EdgeConfig{
+				Sites: 5, ServersPerSite: 1, Path: sc.Edge, Warmup: 20, Seed: 54,
+			})
+			m = res.MeanLatency()
+		}
+		b.ReportMetric(m*1000, "mean-ms")
+	})
+	b.Run("autoscaled", func(b *testing.B) {
+		var m float64
+		var peak int
+		for i := 0; i < b.N; i++ {
+			res := cluster.RunEdgeAutoscaled(mkTrace(), cluster.EdgeConfig{
+				Sites: 5, ServersPerSite: 1, Path: sc.Edge, Warmup: 20, Seed: 54,
+			}, autoscale.Config{
+				Interval: 2, Min: 1, Max: 4,
+				UpThreshold: 1.5, DownThreshold: 0.2, Cooldown: 6,
+			})
+			m = res.MeanLatency()
+			peak = res.PeakServers
+		}
+		b.ReportMetric(m*1000, "mean-ms")
+		b.ReportMetric(float64(peak), "peak-servers")
+	})
+}
+
+// BenchmarkTailCutoffAnalytic computes the analytic p95 cutoff
+// utilizations (the extension of the paper's mean-only analysis) across
+// the four cloud scenarios — the closed-form counterpart of Figure 7's
+// p95 bars.
+func BenchmarkTailCutoffAnalytic(b *testing.B) {
+	var nearest, farthest float64
+	for i := 0; i < b.N; i++ {
+		for _, sc := range netem.PaperScenarios() {
+			d := theory.Deployment{
+				K: 5, ServersPerSite: 1, Mu: 13,
+				EdgeRTT: sc.Edge.MeanRTT(), CloudRTT: sc.Cloud.MeanRTT(),
+			}
+			cut := d.TailCutoffUtilization(0.95)
+			if sc.Name == "nearby-13ms" {
+				nearest = cut
+			}
+			if sc.Name == "transcontinental-80ms" {
+				farthest = cut
+			}
+		}
+	}
+	b.ReportMetric(nearest*100, "p95-cutoff%%-13ms")
+	b.ReportMetric(farthest*100, "p95-cutoff%%-80ms")
+}
+
+// BenchmarkBoundedQueueLoss measures the M/M/c/K loss model against the
+// simulated bounded-queue drop rate.
+func BenchmarkBoundedQueueLoss(b *testing.B) {
+	var lossTheory float64
+	for i := 0; i < b.N; i++ {
+		lossTheory = theory.MMcKLossProbability(1, 11, 1.1)
+	}
+	b.ReportMetric(lossTheory*100, "loss%%-rho1.1-K11")
+}

@@ -1,0 +1,184 @@
+// Command edgesim runs one simulated edge-vs-cloud comparison from
+// command-line flags, printing mean/median/p95/p99 latencies, per-site
+// utilizations, and the inversion verdict. It is the general-purpose
+// front end to the simulator; cmd/figures wraps the same machinery in
+// the paper's specific configurations.
+//
+// Example (the paper's Figure 3 point at 9 req/s):
+//
+//	edgesim -sites 5 -servers 1 -rate 9 -scenario typical-25ms -duration 600
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/app"
+	"repro/internal/asciiplot"
+	"repro/internal/autoscale"
+	"repro/internal/cluster"
+	"repro/internal/dist"
+	"repro/internal/netem"
+	"repro/internal/workload"
+)
+
+func main() {
+	sites := flag.Int("sites", 5, "number of edge sites")
+	servers := flag.Int("servers", 1, "servers per edge site")
+	rate := flag.Float64("rate", 8, "request rate per server (req/s)")
+	scenario := flag.String("scenario", "typical-25ms", "netem scenario: nearby-13ms|typical-25ms|distant-54ms|transcontinental-80ms")
+	duration := flag.Float64("duration", 600, "simulated seconds")
+	warmup := flag.Float64("warmup", 60, "warmup seconds discarded from metrics")
+	seed := flag.Int64("seed", 1, "random seed")
+	arrivalSCV := flag.Float64("arrival-scv", cluster.DefaultArrivalSCV, "squared CoV of inter-arrival times")
+	serviceSCV := flag.Float64("service-scv", app.DefaultServiceSCV, "squared CoV of service times")
+	policy := flag.String("policy", "central-queue", "cloud dispatch: central-queue|round-robin|least-connections|power-of-two|random")
+	slowdown := flag.Float64("edge-slowdown", 1, "edge service-time slowdown factor (resource-constrained edge)")
+	jockey := flag.Int("jockey", 0, "geographic LB: redirect when home-site load >= this (0=off)")
+	detour := flag.Float64("detour-ms", 5, "extra RTT for jockeyed requests (ms)")
+	skew := flag.String("skew", "", "comma-separated per-site weights (e.g. 5,2,1,1,1)")
+	queueCap := flag.Int("queue-cap", 0, "bound each queue at this many waiting requests (0=unbounded)")
+	autoscaleMax := flag.Int("autoscale-max", 0, "also run an autoscaled edge growing each site up to this many servers (0=off)")
+	overflowAt := flag.Int("overflow-at", 0, "also run a hierarchical edge overflowing to the cloud at this site load (0=off)")
+	flag.Parse()
+
+	sc, ok := netem.ScenarioByName(*scenario)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "edgesim: unknown scenario %q\n", *scenario)
+		os.Exit(1)
+	}
+	model := app.NewInferenceModelWith(1/app.SaturationRate, *serviceSCV)
+
+	spec := cluster.GenSpec{
+		Sites:       *sites,
+		Duration:    *duration,
+		PerSiteRate: *rate * float64(*servers),
+		ArrivalSCV:  *arrivalSCV,
+		Model:       model,
+		Seed:        *seed,
+	}
+	if *skew != "" {
+		weights, err := parseWeights(*skew, *sites)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "edgesim:", err)
+			os.Exit(1)
+		}
+		totalRate := *rate * float64(*servers) * float64(*sites)
+		part := workload.NewStatic(weights)
+		procs := make([]workload.ArrivalProcess, *sites)
+		for i, w := range part.W {
+			procs[i] = workload.NewRenewal(dist.FitSCV(1/(totalRate*w), *arrivalSCV))
+		}
+		spec.Arrivals = procs
+	}
+	tr := cluster.Generate(spec)
+
+	edge := cluster.RunEdge(tr, cluster.EdgeConfig{
+		Sites:           *sites,
+		ServersPerSite:  *servers,
+		Path:            sc.Edge,
+		Warmup:          *warmup,
+		Seed:            *seed + 1,
+		SlowdownFactor:  *slowdown,
+		JockeyThreshold: *jockey,
+		DetourRTT:       *detour / 1000,
+		QueueCap:        *queueCap,
+	})
+	cloud := cluster.RunCloud(tr, cluster.CloudConfig{
+		Servers: *sites * *servers,
+		Path:    sc.Cloud,
+		Policy:  cluster.DispatchPolicy(*policy),
+		Warmup:  *warmup,
+		Seed:    *seed + 2,
+	})
+
+	fmt.Printf("scenario %s: edge RTT %.1fms, cloud RTT %.1fms, Δn %.1fms\n",
+		sc.Name, sc.Edge.MeanRTT()*1000, sc.Cloud.MeanRTT()*1000, sc.DeltaN()*1000)
+	fmt.Printf("workload: %d requests over %.0fs (%.1f req/s aggregate), mean service %.1fms\n\n",
+		tr.Len(), tr.Duration(), tr.TotalRate(), tr.MeanServiceTime()*1000)
+
+	rows := [][]interface{}{
+		latencyRow("edge", edge),
+		latencyRow("cloud", cloud),
+	}
+	if *autoscaleMax > 0 {
+		scaled := cluster.RunEdgeAutoscaled(tr, cluster.EdgeConfig{
+			Sites: *sites, ServersPerSite: *servers, Path: sc.Edge,
+			Warmup: *warmup, Seed: *seed + 1,
+		}, autoscale.Config{
+			Interval: 2, Min: *servers, Max: *autoscaleMax,
+			UpThreshold: 1.5, DownThreshold: 0.2, Cooldown: 6,
+		})
+		rows = append(rows, latencyRow("edge+autoscale", &scaled.Result))
+		defer fmt.Printf("autoscaler: %d scale-ups, %d scale-downs, peak %d servers/site\n",
+			scaled.ScaleUps, scaled.ScaleDowns, scaled.PeakServers)
+	}
+	if *overflowAt > 0 {
+		over := cluster.RunEdgeWithOverflow(tr, cluster.OverflowConfig{
+			Sites: *sites, ServersPerSite: *servers,
+			EdgePath: sc.Edge, CloudPath: sc.Cloud,
+			CloudServers: *sites * *servers, OverflowThreshold: *overflowAt,
+			Warmup: *warmup, Seed: *seed + 1,
+		})
+		rows = append(rows, latencyRow("edge+overflow", &over.Result))
+		defer fmt.Printf("overflow: %d requests (%.1f%%) served by the cloud backstop\n",
+			over.Overflowed, 100*float64(over.Overflowed)/float64(tr.Len()))
+	}
+	asciiplot.Table(os.Stdout, []string{"deployment", "util", "mean (ms)", "median", "p95", "p99", "max", "n"}, rows)
+	if edge.Dropped > 0 {
+		fmt.Printf("bounded queues dropped %d requests\n", edge.Dropped)
+	}
+
+	fmt.Println()
+	var siteRows [][]interface{}
+	for _, s := range edge.Sites {
+		siteRows = append(siteRows, []interface{}{
+			fmt.Sprintf("edge-%d", s.Site), s.MeanRate,
+			s.Utilization, s.EndToEnd.Mean() * 1000, s.EndToEnd.P95() * 1000, s.EndToEnd.N(),
+		})
+	}
+	asciiplot.Table(os.Stdout, []string{"site", "req/s", "util", "mean (ms)", "p95 (ms)", "n"}, siteRows)
+	if edge.Redirected > 0 {
+		fmt.Printf("geographic LB redirected %d requests\n", edge.Redirected)
+	}
+
+	fmt.Println()
+	switch {
+	case edge.MeanLatency() > cloud.MeanLatency() && edge.P95Latency() > cloud.P95Latency():
+		fmt.Println("verdict: PERFORMANCE INVERSION — the cloud wins on both mean and p95.")
+	case edge.MeanLatency() > cloud.MeanLatency():
+		fmt.Println("verdict: mean-latency inversion (cloud wins on mean; edge wins on p95).")
+	case edge.P95Latency() > cloud.P95Latency():
+		fmt.Println("verdict: tail inversion — edge wins on mean but the cloud wins on p95.")
+	default:
+		fmt.Println("verdict: the edge wins on both mean and p95.")
+	}
+}
+
+func latencyRow(name string, r *cluster.Result) []interface{} {
+	return []interface{}{
+		name, r.Utilization,
+		r.EndToEnd.Mean() * 1000, r.EndToEnd.Median() * 1000,
+		r.EndToEnd.P95() * 1000, r.EndToEnd.P99() * 1000,
+		r.EndToEnd.Quantile(1) * 1000, r.EndToEnd.N(),
+	}
+}
+
+func parseWeights(s string, k int) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != k {
+		return nil, fmt.Errorf("-skew needs %d weights, got %d", k, len(parts))
+	}
+	out := make([]float64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad weight %q: %w", p, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,174 @@
+// Command loadtest runs the live end-to-end experiment on localhost:
+// it starts real HTTP inference servers (edge sites and a cloud
+// cluster), fronts the cloud with an HAProxy-like reverse proxy, injects
+// the paper's region RTTs, drives both deployments with the open-loop
+// load generator, and prints the measured latency comparison.
+//
+// This is the wall-clock counterpart of cmd/edgesim: the same experiment
+// over real sockets and goroutine scheduling instead of the discrete-
+// event simulator. Durations are necessarily real time, so keep them
+// short (the default 30 s run already issues thousands of requests).
+//
+// Example:
+//
+//	loadtest -sites 3 -rate 8 -scenario typical-25ms -duration 30s
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/app"
+	"repro/internal/asciiplot"
+	"repro/internal/httpserv"
+	"repro/internal/loadgen"
+	"repro/internal/netem"
+	"repro/internal/workload"
+)
+
+func main() {
+	sites := flag.Int("sites", 3, "number of edge sites (cloud gets the same server count)")
+	rate := flag.Float64("rate", 8, "request rate per edge site (req/s)")
+	scenario := flag.String("scenario", "typical-25ms", "netem scenario name")
+	duration := flag.Duration("duration", 30*time.Second, "wall-clock test duration")
+	warmup := flag.Duration("warmup", 5*time.Second, "warmup discarded from metrics")
+	seed := flag.Int64("seed", 1, "random seed")
+	meanService := flag.Float64("service-ms", 1000/app.SaturationRate, "mean service time (ms)")
+	spin := flag.Bool("spin", false, "burn CPU for service time instead of sleeping")
+	flag.Parse()
+
+	sc, ok := netem.ScenarioByName(*scenario)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "loadtest: unknown scenario %q\n", *scenario)
+		os.Exit(1)
+	}
+	model := app.NewInferenceModelWith(*meanService/1000, app.DefaultServiceSCV)
+
+	// Start edge servers, one per site, each behind its own RTT-injecting
+	// proxy (its local 1 ms path).
+	var edgeURLs []string
+	var closers []func()
+	for i := 0; i < *sites; i++ {
+		srv := httpserv.NewInferenceServer(model, 1, *seed+int64(i))
+		if *spin {
+			srv.Executor = app.SpinExecutor{}
+		}
+		backendURL, closeB := serve(srv)
+		proxy, err := httpserv.NewProxy([]string{backendURL}, httpserv.PolicyRoundRobin, sc.Edge, *seed+100+int64(i))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadtest:", err)
+			os.Exit(1)
+		}
+		proxyURL, closeP := serve(proxy)
+		edgeURLs = append(edgeURLs, proxyURL)
+		closers = append(closers, closeB, closeP)
+	}
+
+	// Start the cloud: the same number of servers behind one
+	// least-connections proxy with the cloud RTT.
+	var cloudBackends []string
+	for i := 0; i < *sites; i++ {
+		srv := httpserv.NewInferenceServer(model, 1, *seed+200+int64(i))
+		if *spin {
+			srv.Executor = app.SpinExecutor{}
+		}
+		u, c := serve(srv)
+		cloudBackends = append(cloudBackends, u)
+		closers = append(closers, c)
+	}
+	cloudProxy, err := httpserv.NewProxy(cloudBackends, httpserv.PolicyLeastConn, sc.Cloud, *seed+300)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadtest:", err)
+		os.Exit(1)
+	}
+	cloudURL, closeC := serve(cloudProxy)
+	closers = append(closers, closeC)
+	defer func() {
+		for _, c := range closers {
+			c()
+		}
+	}()
+
+	fmt.Printf("scenario %s: %d edge sites at %.1f req/s each vs cloud (%d servers)\n",
+		sc.Name, *sites, *rate, *sites)
+	fmt.Printf("running %v per deployment (plus %v warmup)...\n\n", *duration, *warmup)
+
+	ctx := context.Background()
+
+	// Drive every edge site concurrently, then the cloud at the
+	// aggregate rate.
+	edgeReport := &loadgen.Report{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i, u := range edgeURLs {
+		wg.Add(1)
+		go func(i int, url string) {
+			defer wg.Done()
+			rep, err := loadgen.Run(ctx, loadgen.Config{
+				TargetURL: url,
+				Arrivals:  workload.NewPaced(*rate, 3),
+				Duration:  *duration,
+				Warmup:    *warmup,
+				Seed:      *seed + 400 + int64(i),
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "loadtest: edge:", err)
+				return
+			}
+			mu.Lock()
+			edgeReport.Latencies.Merge(&rep.Latencies)
+			edgeReport.Issued += rep.Issued
+			edgeReport.Succeeded += rep.Succeeded
+			edgeReport.Failed += rep.Failed
+			mu.Unlock()
+		}(i, u)
+	}
+	wg.Wait()
+
+	cloudReport, err := loadgen.Run(ctx, loadgen.Config{
+		TargetURL: cloudURL,
+		Arrivals:  workload.NewPaced(*rate*float64(*sites), 3),
+		Duration:  *duration,
+		Warmup:    *warmup,
+		Seed:      *seed + 500,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadtest: cloud:", err)
+		os.Exit(1)
+	}
+
+	rows := [][]interface{}{
+		{"edge", edgeReport.Succeeded, edgeReport.Failed,
+			edgeReport.MeanLatency() * 1000, edgeReport.Latencies.Median() * 1000,
+			edgeReport.P95Latency() * 1000},
+		{"cloud", cloudReport.Succeeded, cloudReport.Failed,
+			cloudReport.MeanLatency() * 1000, cloudReport.Latencies.Median() * 1000,
+			cloudReport.P95Latency() * 1000},
+	}
+	asciiplot.Table(os.Stdout, []string{"deployment", "ok", "failed", "mean (ms)", "median", "p95"}, rows)
+
+	if edgeReport.MeanLatency() > cloudReport.MeanLatency() {
+		fmt.Println("\nverdict: PERFORMANCE INVERSION — the cloud's mean latency beat the edge's.")
+	} else {
+		fmt.Println("\nverdict: the edge won on mean latency.")
+	}
+}
+
+// serve starts an HTTP server on an ephemeral localhost port and returns
+// its base URL and a shutdown function.
+func serve(h http.Handler) (string, func()) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadtest:", err)
+		os.Exit(1)
+	}
+	srv := &http.Server{Handler: h}
+	go srv.Serve(ln)
+	return "http://" + ln.Addr().String(), func() { srv.Close() }
+}

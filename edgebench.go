@@ -1,0 +1,296 @@
+// Package edgebench reproduces "The hidden cost of the edge: a
+// performance comparison of edge and cloud latencies" (Ali-Eldin, Wang,
+// Shenoy; SC 2021, arXiv:2104.14050) as a reusable Go library.
+//
+// It answers one question for application designers: given an edge
+// deployment (k geo-distributed sites, one queue each) and a cloud
+// deployment (the same servers behind one queue), at what utilization
+// does the edge's queueing delay overwhelm its network-latency advantage
+// — the paper's "performance inversion"?
+//
+// The library has three layers, all re-exported here:
+//
+//   - Analytic: closed-form queueing results and the paper's inversion
+//     bounds (Lemmas 3.1–3.3, Corollaries 3.1.1–3.1.3, 3.2.1, the §5
+//     provisioning rules). See Deployment and the theory functions.
+//
+//   - Simulation: a discrete-event simulator of edge and cloud
+//     deployments under synthetic or trace-driven workloads, which
+//     substitutes for the paper's EC2 testbed. See Generate, RunEdge,
+//     RunCloud.
+//
+//   - Live testbed: a real net/http inference-service emulator, reverse
+//     proxy and open-loop load generator for end-to-end wall-clock
+//     experiments on localhost. See the httpserv and loadgen packages
+//     via cmd/loadtest.
+//
+// A minimal inversion check:
+//
+//	dep := edgebench.Deployment{
+//		K: 5, ServersPerSite: 1,
+//		Mu: edgebench.NewInferenceModel().Mu(),
+//		EdgeRTT: 0.001, CloudRTT: 0.025,
+//	}
+//	cutoff := dep.CutoffUtilizationExactMM()
+//	// run above `cutoff` utilization and the cloud is the better home.
+package edgebench
+
+import (
+	"repro/internal/app"
+	"repro/internal/autoscale"
+	"repro/internal/cluster"
+	"repro/internal/dist"
+	"repro/internal/econ"
+	"repro/internal/experiments"
+	"repro/internal/forecast"
+	"repro/internal/netem"
+	"repro/internal/queue"
+	"repro/internal/stats"
+	"repro/internal/theory"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// ---- Analytic layer (internal/theory) ----
+
+// Deployment describes one edge-vs-cloud comparison instance; its
+// methods implement the paper's lemmas and corollaries.
+type Deployment = theory.Deployment
+
+// ProvisionPlan is a per-site capacity plan produced by PlanEdgeCapacity.
+type ProvisionPlan = theory.ProvisionPlan
+
+// Closed-form queueing results (see internal/theory for derivations).
+var (
+	MM1Wait            = theory.MM1Wait
+	MM1Sojourn         = theory.MM1Sojourn
+	MMcWait            = theory.MMcWait
+	MMcSojourn         = theory.MMcSojourn
+	ErlangB            = theory.ErlangB
+	ErlangC            = theory.ErlangC
+	WhittCondWait      = theory.WhittCondWait
+	AllenCunneenWait   = theory.AllenCunneenWait
+	KingmanWait        = theory.KingmanWait
+	SkewedEdgeCondWait = theory.SkewedEdgeCondWait
+	TwoSigmaCapacity   = theory.TwoSigmaCapacity
+	TwoSigmaServers    = theory.TwoSigmaServers
+	MinEdgeServers     = theory.MinEdgeServers
+	PlanEdgeCapacity   = theory.PlanEdgeCapacity
+)
+
+// ---- Application model (internal/app) ----
+
+// InferenceModel is the calibrated DNN-inference service-time model.
+type InferenceModel = app.InferenceModel
+
+// NewInferenceModel returns the paper's c5a.xlarge DNN service model
+// (saturation at 13 req/s).
+func NewInferenceModel() InferenceModel { return app.NewInferenceModel() }
+
+// NewInferenceModelWith returns a model with explicit mean service time
+// (seconds) and squared coefficient of variation.
+func NewInferenceModelWith(mean, scv float64) InferenceModel {
+	return app.NewInferenceModelWith(mean, scv)
+}
+
+// SaturationRate is the paper's measured 13 req/s saturation throughput.
+const SaturationRate = app.SaturationRate
+
+// ---- Network model (internal/netem) ----
+
+// Path models one network path's round-trip latency.
+type Path = netem.Path
+
+// Scenario pairs an edge path with a cloud path.
+type Scenario = netem.Scenario
+
+// Network path constructors and the paper's scenario presets.
+var (
+	ConstantPath   = netem.Constant
+	JitteredPath   = netem.Jittered
+	PaperScenarios = netem.PaperScenarios
+	ScenarioByName = netem.ScenarioByName
+)
+
+// ---- Simulation layer (internal/cluster, internal/queue) ----
+
+// GenSpec describes how to synthesize a workload trace.
+type GenSpec = cluster.GenSpec
+
+// WorkloadTrace is a time-ordered request sequence driving paired
+// edge/cloud runs.
+type WorkloadTrace = cluster.WorkloadTrace
+
+// EdgeConfig configures a simulated edge deployment.
+type EdgeConfig = cluster.EdgeConfig
+
+// CloudConfig configures a simulated cloud deployment.
+type CloudConfig = cluster.CloudConfig
+
+// Result is one deployment run's measurements.
+type Result = cluster.Result
+
+// SiteResult is one edge site's measurements.
+type SiteResult = cluster.SiteResult
+
+// DispatchPolicy selects the cloud load-balancing policy.
+type DispatchPolicy = cluster.DispatchPolicy
+
+// Cloud dispatch policies.
+const (
+	CentralQueue = cluster.CentralQueue
+	RoundRobin   = cluster.RoundRobin
+	LeastConn    = cluster.LeastConn
+	PowerOfTwo   = cluster.PowerOfTwo
+	RandomSplit  = cluster.RandomSplit
+)
+
+// Queue service disciplines.
+const (
+	FCFS = queue.FCFS
+	LIFO = queue.LIFO
+	SJF  = queue.SJF
+)
+
+// OverflowConfig configures a hierarchical edge deployment in which
+// overloaded sites forward requests to a cloud backstop.
+type OverflowConfig = cluster.OverflowConfig
+
+// OverflowResult is a hierarchical run's measurements.
+type OverflowResult = cluster.OverflowResult
+
+// AutoscaleConfig parameterizes the reactive per-site capacity
+// controller (the paper's future-work direction).
+type AutoscaleConfig = autoscale.Config
+
+// AutoscaleResult is an autoscaled edge run's measurements.
+type AutoscaleResult = cluster.AutoscaleResult
+
+// Simulation entry points.
+var (
+	Generate               = cluster.Generate
+	RunEdge                = cluster.RunEdge
+	RunCloud               = cluster.RunCloud
+	RunEdgeWithOverflow    = cluster.RunEdgeWithOverflow
+	RunEdgeAutoscaled      = cluster.RunEdgeAutoscaled
+	DefaultAutoscaleConfig = autoscale.DefaultConfig
+)
+
+// ---- Workload and trace generators ----
+
+// ArrivalProcess produces a monotone sequence of request arrival times.
+type ArrivalProcess = workload.ArrivalProcess
+
+// Partitioner assigns spatial load weights across edge sites.
+type Partitioner = workload.Partitioner
+
+// AzureSpec parameterizes the synthetic Azure-like serverless workload.
+type AzureSpec = trace.AzureSpec
+
+// SiteSeries is one site's request-count envelope.
+type SiteSeries = trace.SiteSeries
+
+// TaxiSpec parameterizes the synthetic vehicular-mobility workload.
+type TaxiSpec = trace.TaxiSpec
+
+// Trace and workload constructors.
+var (
+	DefaultAzureSpec   = trace.DefaultAzureSpec
+	GenerateAzure      = trace.GenerateAzure
+	ToArrivalProcesses = trace.ToArrivalProcesses
+	DefaultTaxiSpec    = trace.DefaultTaxiSpec
+	TaxiCellLoads      = trace.TaxiCellLoads
+	CellBoxPlots       = trace.CellBoxPlots
+	NewPoissonArrivals = workload.NewPoisson
+	NewPacedArrivals   = workload.NewPaced
+	UniformPartition   = func(k int) workload.Partitioner { return workload.Uniform{K: k} }
+	ZipfPartition      = workload.Zipf
+	FitDistToMeanSCV   = dist.FitSCV
+)
+
+// ---- Experiments (one per paper figure) ----
+
+// SweepConfig describes a request-rate sweep (Figures 3–5).
+type SweepConfig = experiments.SweepConfig
+
+// SweepResult is a completed sweep with crossover detection.
+type SweepResult = experiments.SweepResult
+
+// Metric selects mean or p95 for crossover detection.
+type Metric = experiments.Metric
+
+// Crossover metrics.
+const (
+	MeanMetric = experiments.Mean
+	P95Metric  = experiments.P95
+)
+
+// InversionInterval is a detected span of timeline inversion.
+type InversionInterval = experiments.InversionInterval
+
+// ReplicatedPoint is one sweep point aggregated across replications.
+type ReplicatedPoint = experiments.ReplicatedPoint
+
+// Experiment runners, one per paper figure/table, plus statistical and
+// timeline tooling.
+var (
+	DefaultSweepConfig = experiments.DefaultSweepConfig
+	RunSweep           = experiments.RunSweep
+	RunFig3            = experiments.RunFig3
+	RunFig6            = experiments.RunFig6
+	RunFig7            = experiments.RunFig7
+	RunAzureReplay     = experiments.RunAzureReplay
+	RunValidation      = experiments.RunValidation
+	RunCapacityTable   = experiments.RunCapacityTable
+	RunReplicatedSweep = experiments.RunReplicatedSweep
+	CrossoverCI        = experiments.CrossoverCI
+	DetectInversions   = experiments.DetectInversions
+	InversionFraction  = experiments.InversionFraction
+)
+
+// ---- Extensions: tail analysis, economics, forecasting ----
+
+// Tail-latency closed forms (extending the paper's mean-only analysis)
+// and bounded-queue loss models.
+var (
+	MMcWaitQuantile     = theory.MMcWaitQuantile
+	MMcWaitCCDF         = theory.MMcWaitCCDF
+	MMcKLossProbability = theory.MMcKLossProbability
+	EffectiveThroughput = theory.EffectiveThroughput
+)
+
+// Pricing holds per-server-hour prices for the §7 economics model.
+type Pricing = econ.Pricing
+
+// CostComparison prices a workload on the edge versus the cloud.
+type CostComparison = econ.Comparison
+
+// Economic analysis entry points.
+var (
+	DefaultPricing       = econ.DefaultPricing
+	CompareCost          = econ.Compare
+	BreakEvenEdgePremium = econ.BreakEvenEdgePremium
+	AutoscaledCost       = econ.AutoscaledCost
+)
+
+// Forecaster predicts the next value of a sampled workload series.
+type Forecaster = forecast.Forecaster
+
+// Workload forecasters for predictive capacity allocation.
+var (
+	NewEWMAForecaster = forecast.NewEWMA
+	NewHoltForecaster = forecast.NewHolt
+	NewSMAForecaster  = forecast.NewSMA
+	EvaluateForecast  = forecast.Evaluate
+)
+
+// ---- Statistics ----
+
+// Sample collects observations for exact quantiles.
+type Sample = stats.Sample
+
+// BoxPlot is a five-number summary.
+type BoxPlot = stats.BoxPlot
+
+// Stream accumulates running moments.
+type Stream = stats.Stream

@@ -1,0 +1,55 @@
+// Inversion calculator: sweep deployment shapes and network distances to
+// map where the edge is actually the right choice — the decision table an
+// application designer would build from the paper's Corollaries 3.1.1,
+// 3.1.2 and 3.1.3 before committing to an edge rollout.
+package main
+
+import (
+	"fmt"
+
+	edgebench "repro"
+)
+
+func main() {
+	model := edgebench.NewInferenceModel()
+	mu := model.Mu()
+
+	fmt.Println("Cutoff utilization ρ* by edge fan-out k and cloud RTT (edge at 1 ms).")
+	fmt.Println("Run above ρ* and the cloud delivers lower mean latency (exact M/M model).")
+	fmt.Println()
+
+	rtts := []float64{0.013, 0.025, 0.054, 0.080}
+	fmt.Printf("%-8s", "k \\ RTT")
+	for _, r := range rtts {
+		fmt.Printf("%10.0fms", r*1000)
+	}
+	fmt.Println()
+	for _, k := range []int{2, 5, 10, 20, 50} {
+		fmt.Printf("%-8d", k)
+		for _, rtt := range rtts {
+			dep := edgebench.Deployment{
+				K: k, ServersPerSite: 1, Mu: mu,
+				EdgeRTT: 0.001, CloudRTT: rtt,
+			}
+			fmt.Printf("%11.0f%%", dep.CutoffUtilizationExactMM()*100)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println()
+	fmt.Println("Corollary 3.1.3: minimum cloud RTT below which even a 0 ms edge loses")
+	fmt.Println("(k=5, balanced load):")
+	dep := edgebench.Deployment{K: 5, ServersPerSite: 1, Mu: mu, EdgeRTT: 0, CloudRTT: 1}
+	for _, rho := range []float64{0.3, 0.5, 0.7, 0.9} {
+		bound := dep.HardCloudRTTBound313(rho, rho)
+		fmt.Printf("  at ρ=%.1f: cloud closer than %6.1f ms always wins\n", rho, bound*1000)
+	}
+
+	fmt.Println()
+	fmt.Println("§5.2 capacity cost of the edge (two-sigma peak provisioning):")
+	for _, k := range []int{5, 20, 100} {
+		cloud, edge, overhead := edgebench.TwoSigmaCapacity(100, k)
+		fmt.Printf("  λ=100 req/s over k=%-3d sites: cloud %6.1f, edge %6.1f req/s (%.2fx)\n",
+			k, cloud, edge, overhead)
+	}
+}

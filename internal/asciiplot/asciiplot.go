@@ -1,0 +1,221 @@
+// Package asciiplot renders experiment results as terminal line charts,
+// box-plot strips and aligned tables, and emits CSV so figures can be
+// re-plotted with external tools. It is the output layer behind
+// cmd/figures.
+package asciiplot
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Series is one named line on a chart.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// LineChart renders multiple series on a shared canvas of the given
+// dimensions. Each series is drawn with its own glyph; a legend follows.
+func LineChart(w io.Writer, title string, series []Series, width, height int) {
+	if width <= 10 {
+		width = 70
+	}
+	if height <= 4 {
+		height = 20
+	}
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+	// Compute bounds across all finite points.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			if math.IsInf(s.Y[i], 0) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if minX > maxX {
+		fmt.Fprintf(w, "%s\n(no data)\n", title)
+		return
+	}
+	if minY == maxY {
+		maxY = minY + 1
+	}
+	if minX == maxX {
+		maxX = minX + 1
+	}
+
+	canvas := make([][]byte, height)
+	for i := range canvas {
+		canvas[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for i := range s.X {
+			if math.IsInf(s.Y[i], 0) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			cx := int(math.Round((s.X[i] - minX) / (maxX - minX) * float64(width-1)))
+			cy := int(math.Round((s.Y[i] - minY) / (maxY - minY) * float64(height-1)))
+			row := height - 1 - cy
+			canvas[row][cx] = g
+		}
+	}
+
+	fmt.Fprintf(w, "%s\n", title)
+	for i, row := range canvas {
+		label := "          "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%10.3g", maxY)
+		case height - 1:
+			label = fmt.Sprintf("%10.3g", minY)
+		case height / 2:
+			label = fmt.Sprintf("%10.3g", (minY+maxY)/2)
+		}
+		fmt.Fprintf(w, "%s |%s|\n", label, string(row))
+	}
+	fmt.Fprintf(w, "%10s  %-10.4g%*s%10.4g\n", "", minX, width-18, "", maxX)
+	for si, s := range series {
+		fmt.Fprintf(w, "  %c = %s\n", glyphs[si%len(glyphs)], s.Name)
+	}
+}
+
+// Table renders rows with an aligned header. Cells are stringified with
+// %v; float64 cells are formatted with 4 significant digits.
+func Table(w io.Writer, header []string, rows [][]interface{}) {
+	cells := make([][]string, 0, len(rows)+1)
+	cells = append(cells, header)
+	for _, r := range rows {
+		row := make([]string, len(r))
+		for i, c := range r {
+			switch v := c.(type) {
+			case float64:
+				row[i] = strconv.FormatFloat(v, 'g', 4, 64)
+			default:
+				row[i] = fmt.Sprintf("%v", c)
+			}
+		}
+		cells = append(cells, row)
+	}
+	widths := make([]int, len(header))
+	for _, row := range cells {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for ri, row := range cells {
+		for i, c := range row {
+			fmt.Fprintf(w, "%-*s", widths[i]+2, c)
+		}
+		fmt.Fprintln(w)
+		if ri == 0 {
+			for _, wd := range widths {
+				fmt.Fprint(w, strings.Repeat("-", wd), "  ")
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// WriteSeriesCSV emits series as CSV with columns x,<name1>,<name2>,...
+// Series must share the same X vector; mismatches return an error.
+func WriteSeriesCSV(w io.Writer, series []Series) error {
+	if len(series) == 0 {
+		return fmt.Errorf("asciiplot: no series")
+	}
+	n := len(series[0].X)
+	for _, s := range series {
+		if len(s.X) != n || len(s.Y) != n {
+			return fmt.Errorf("asciiplot: series %q length mismatch", s.Name)
+		}
+	}
+	cw := csv.NewWriter(w)
+	header := []string{"x"}
+	for _, s := range series {
+		header = append(header, s.Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(series)+1)
+	for i := 0; i < n; i++ {
+		row[0] = strconv.FormatFloat(series[0].X[i], 'g', -1, 64)
+		for j, s := range series {
+			row[j+1] = strconv.FormatFloat(s.Y[i], 'g', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// BoxStrip renders a set of box plots as horizontal min──[Q1│med│Q3]──max
+// strips on a shared scale.
+type Box struct {
+	Label                 string
+	Min, Q1, Med, Q3, Max float64
+}
+
+// BoxStrips draws the boxes aligned to a common axis of the given width.
+func BoxStrips(w io.Writer, title string, boxes []Box, width int) {
+	if width < 20 {
+		width = 60
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, b := range boxes {
+		lo = math.Min(lo, b.Min)
+		hi = math.Max(hi, b.Max)
+	}
+	if lo > hi {
+		fmt.Fprintf(w, "%s\n(no data)\n", title)
+		return
+	}
+	if lo == hi {
+		hi = lo + 1
+	}
+	scale := func(v float64) int {
+		p := int(math.Round((v - lo) / (hi - lo) * float64(width-1)))
+		if p < 0 {
+			p = 0
+		}
+		if p >= width {
+			p = width - 1
+		}
+		return p
+	}
+	labelW := 0
+	for _, b := range boxes {
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	fmt.Fprintf(w, "%s\n", title)
+	for _, b := range boxes {
+		line := []byte(strings.Repeat(" ", width))
+		for i := scale(b.Min); i <= scale(b.Max); i++ {
+			line[i] = '-'
+		}
+		for i := scale(b.Q1); i <= scale(b.Q3); i++ {
+			line[i] = '='
+		}
+		line[scale(b.Med)] = '|'
+		fmt.Fprintf(w, "%-*s %s\n", labelW, b.Label, string(line))
+	}
+	fmt.Fprintf(w, "%-*s %-10.4g%*s%10.4g\n", labelW, "", lo, width-20, "", hi)
+}

@@ -1,0 +1,130 @@
+package asciiplot
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLineChartRendersSeries(t *testing.T) {
+	var buf bytes.Buffer
+	LineChart(&buf, "title", []Series{
+		{Name: "a", X: []float64{1, 2, 3}, Y: []float64{10, 20, 30}},
+		{Name: "b", X: []float64{1, 2, 3}, Y: []float64{30, 20, 10}},
+	}, 40, 10)
+	out := buf.String()
+	if !strings.Contains(out, "title") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "* = a") || !strings.Contains(out, "o = b") {
+		t.Error("legend missing")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("points missing")
+	}
+}
+
+func TestLineChartEmptyAndDegenerate(t *testing.T) {
+	var buf bytes.Buffer
+	LineChart(&buf, "empty", nil, 40, 10)
+	if !strings.Contains(buf.String(), "no data") {
+		t.Error("empty chart should say so")
+	}
+	buf.Reset()
+	// Single constant point must not divide by zero.
+	LineChart(&buf, "flat", []Series{{Name: "c", X: []float64{5}, Y: []float64{7}}}, 40, 10)
+	if !strings.Contains(buf.String(), "*") {
+		t.Error("single point should render")
+	}
+}
+
+func TestLineChartSkipsInfNaN(t *testing.T) {
+	var buf bytes.Buffer
+	LineChart(&buf, "inf", []Series{{
+		Name: "a",
+		X:    []float64{1, 2, 3},
+		Y:    []float64{1, math.Inf(1), math.NaN()},
+	}}, 40, 8)
+	if !strings.Contains(buf.String(), "*") {
+		t.Error("finite points should still render")
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	Table(&buf, []string{"name", "value"}, [][]interface{}{
+		{"alpha", 1.23456789},
+		{"b", 42},
+	})
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header, rule, two rows
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "name") || !strings.Contains(lines[1], "---") {
+		t.Error("header/rule malformed")
+	}
+	if !strings.Contains(out, "1.235") {
+		t.Error("floats should use 4 significant digits")
+	}
+}
+
+func TestWriteSeriesCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteSeriesCSV(&buf, []Series{
+		{Name: "edge", X: []float64{1, 2}, Y: []float64{0.5, 0.7}},
+		{Name: "cloud", X: []float64{1, 2}, Y: []float64{0.6, 0.6}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "x,edge,cloud\n1,0.5,0.6\n2,0.7,0.6\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestWriteSeriesCSVErrors(t *testing.T) {
+	if err := WriteSeriesCSV(&bytes.Buffer{}, nil); err == nil {
+		t.Error("no series should error")
+	}
+	err := WriteSeriesCSV(&bytes.Buffer{}, []Series{
+		{Name: "a", X: []float64{1}, Y: []float64{1}},
+		{Name: "b", X: []float64{1, 2}, Y: []float64{1, 2}},
+	})
+	if err == nil {
+		t.Error("mismatched series should error")
+	}
+}
+
+func TestBoxStrips(t *testing.T) {
+	var buf bytes.Buffer
+	BoxStrips(&buf, "boxes", []Box{
+		{Label: "edge", Min: 0, Q1: 2, Med: 3, Q3: 4, Max: 10},
+		{Label: "cloud", Min: 1, Q1: 2, Med: 2.5, Q3: 3, Max: 5},
+	}, 40)
+	out := buf.String()
+	if !strings.Contains(out, "edge") || !strings.Contains(out, "cloud") {
+		t.Error("labels missing")
+	}
+	if !strings.Contains(out, "=") || !strings.Contains(out, "|") {
+		t.Error("box glyphs missing")
+	}
+}
+
+func TestBoxStripsEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	BoxStrips(&buf, "none", nil, 40)
+	if !strings.Contains(buf.String(), "no data") {
+		t.Error("empty strip should say so")
+	}
+}
+
+func TestBoxStripsDegenerateScale(t *testing.T) {
+	var buf bytes.Buffer
+	BoxStrips(&buf, "flat", []Box{{Label: "x", Min: 5, Q1: 5, Med: 5, Q3: 5, Max: 5}}, 40)
+	if !strings.Contains(buf.String(), "x") {
+		t.Error("degenerate box should still render")
+	}
+}

@@ -1,0 +1,177 @@
+// Package autoscale implements the reactive per-site capacity controller
+// the paper points to in its design implications and future work:
+// "if the spatial distribution of the workload changes over time, the
+// allocated processing capacity at each site should also be adjusted
+// dynamically to match these workload changes" (§3.2) and "we plan to
+// design dynamic edge resource allocation techniques that are robust to
+// performance inversion" (§7).
+//
+// The controller samples each station's load signal (in-flight requests
+// per server) on a fixed interval and scales the server count up or down
+// between configured bounds, with a cooldown to prevent thrashing. It is
+// deliberately simple — threshold-based reactive scaling, the same shape
+// as production horizontal autoscalers — so its effect on performance
+// inversion can be studied in isolation.
+package autoscale
+
+import (
+	"fmt"
+
+	"repro/internal/queue"
+	"repro/internal/sim"
+)
+
+// Config parameterizes a controller.
+type Config struct {
+	// Interval between control decisions, seconds.
+	Interval float64
+	// Min and Max bound the server count.
+	Min, Max int
+	// UpThreshold: scale up when load-per-server is at or above this.
+	UpThreshold float64
+	// DownThreshold: scale down when load-per-server is at or below this.
+	DownThreshold float64
+	// Cooldown is the minimum time between consecutive scale actions at
+	// one station, seconds.
+	Cooldown float64
+	// Step is the number of servers added/removed per action (default 1).
+	Step int
+}
+
+// DefaultConfig returns a conservative reactive policy: check every 5 s,
+// scale up above 1.5 in-flight per server, down below 0.3, one server at
+// a time with a 15 s cooldown.
+func DefaultConfig(min, max int) Config {
+	return Config{
+		Interval:      5,
+		Min:           min,
+		Max:           max,
+		UpThreshold:   1.5,
+		DownThreshold: 0.3,
+		Cooldown:      15,
+		Step:          1,
+	}
+}
+
+func (c Config) validate() {
+	if c.Interval <= 0 || c.Min <= 0 || c.Max < c.Min {
+		panic(fmt.Sprintf("autoscale: invalid config %+v", c))
+	}
+	if c.UpThreshold <= c.DownThreshold {
+		panic("autoscale: UpThreshold must exceed DownThreshold")
+	}
+}
+
+// Event records one scaling action for analysis.
+type Event struct {
+	Time    float64
+	Station string
+	From    int
+	To      int
+	Signal  float64 // load per server that triggered the action
+}
+
+// Controller drives one or more stations.
+type Controller struct {
+	cfg      Config
+	engine   *sim.Engine
+	stations []*queue.Station
+	lastAct  []float64
+	ticker   *sim.Ticker
+
+	Events []Event
+}
+
+// New attaches a controller to the stations and starts its ticker.
+func New(e *sim.Engine, stations []*queue.Station, cfg Config) *Controller {
+	cfg.validate()
+	if cfg.Step <= 0 {
+		cfg.Step = 1
+	}
+	if len(stations) == 0 {
+		panic("autoscale: no stations")
+	}
+	c := &Controller{
+		cfg:      cfg,
+		engine:   e,
+		stations: stations,
+		lastAct:  make([]float64, len(stations)),
+	}
+	for i := range c.lastAct {
+		c.lastAct[i] = -cfg.Cooldown // allow an immediate first action
+	}
+	c.ticker = e.Every(cfg.Interval, func(en *sim.Engine) { c.tick(en.Now()) })
+	return c
+}
+
+// Stop halts the controller.
+func (c *Controller) Stop() { c.ticker.Stop() }
+
+func (c *Controller) tick(now float64) {
+	for i, st := range c.stations {
+		if now-c.lastAct[i] < c.cfg.Cooldown {
+			continue
+		}
+		servers := st.Servers
+		signal := float64(st.Load()) / float64(servers)
+		target := servers
+		switch {
+		case signal >= c.cfg.UpThreshold && servers < c.cfg.Max:
+			target = servers + c.cfg.Step
+			if target > c.cfg.Max {
+				target = c.cfg.Max
+			}
+		case signal <= c.cfg.DownThreshold && servers > c.cfg.Min:
+			target = servers - c.cfg.Step
+			if target < c.cfg.Min {
+				target = c.cfg.Min
+			}
+		}
+		if target != servers {
+			st.SetServers(target)
+			c.lastAct[i] = now
+			c.Events = append(c.Events, Event{
+				Time: now, Station: st.Name, From: servers, To: target, Signal: signal,
+			})
+		}
+	}
+}
+
+// ScaleUps and ScaleDowns summarize the recorded actions.
+func (c *Controller) ScaleUps() int {
+	n := 0
+	for _, e := range c.Events {
+		if e.To > e.From {
+			n++
+		}
+	}
+	return n
+}
+
+// ScaleDowns counts shrink actions.
+func (c *Controller) ScaleDowns() int {
+	n := 0
+	for _, e := range c.Events {
+		if e.To < e.From {
+			n++
+		}
+	}
+	return n
+}
+
+// PeakServers returns the largest server count reached at any station,
+// the provisioning headroom the controller actually used.
+func (c *Controller) PeakServers() int {
+	peak := 0
+	for _, st := range c.stations {
+		if st.Servers > peak {
+			peak = st.Servers
+		}
+	}
+	for _, e := range c.Events {
+		if e.To > peak {
+			peak = e.To
+		}
+	}
+	return peak
+}

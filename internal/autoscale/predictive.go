@@ -1,0 +1,138 @@
+package autoscale
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/forecast"
+	"repro/internal/queue"
+	"repro/internal/sim"
+)
+
+// PredictiveConfig parameterizes the forecast-driven controller: instead
+// of reacting to instantaneous load, it measures each site's arrival
+// rate per interval, forecasts the next interval's rate, and provisions
+// servers for the predicted rate at a target utilization — the
+// "capacity ∝ predicted load" rule of the paper's §3.2 takeaway.
+type PredictiveConfig struct {
+	Interval   float64 // control period, seconds
+	Min, Max   int
+	Mu         float64 // per-server service rate, req/s
+	TargetUtil float64 // provision so predicted ρ stays at/below this
+	// NewForecaster constructs one forecaster per station (they carry
+	// per-site state). Nil defaults to EWMA(0.5).
+	NewForecaster func() forecast.Forecaster
+}
+
+func (c PredictiveConfig) validate() {
+	if c.Interval <= 0 || c.Min <= 0 || c.Max < c.Min || c.Mu <= 0 {
+		panic(fmt.Sprintf("autoscale: invalid predictive config %+v", c))
+	}
+	if c.TargetUtil <= 0 || c.TargetUtil >= 1 {
+		panic("autoscale: TargetUtil must be in (0,1)")
+	}
+}
+
+// PredictiveController provisions stations from forecast arrival rates.
+type PredictiveController struct {
+	cfg         PredictiveConfig
+	engine      *sim.Engine
+	stations    []*queue.Station
+	forecasters []forecast.Forecaster
+	lastCount   []uint64
+	ticker      *sim.Ticker
+
+	Events []Event
+}
+
+// NewPredictive attaches a predictive controller and starts its ticker.
+func NewPredictive(e *sim.Engine, stations []*queue.Station, cfg PredictiveConfig) *PredictiveController {
+	cfg.validate()
+	if len(stations) == 0 {
+		panic("autoscale: no stations")
+	}
+	mk := cfg.NewForecaster
+	if mk == nil {
+		mk = func() forecast.Forecaster { return forecast.NewEWMA(0.5) }
+	}
+	c := &PredictiveController{
+		cfg:         cfg,
+		engine:      e,
+		stations:    stations,
+		forecasters: make([]forecast.Forecaster, len(stations)),
+		lastCount:   make([]uint64, len(stations)),
+	}
+	for i := range c.forecasters {
+		c.forecasters[i] = mk()
+		c.lastCount[i] = stations[i].TotalArrivals()
+	}
+	c.ticker = e.Every(cfg.Interval, func(en *sim.Engine) { c.tick(en.Now()) })
+	return c
+}
+
+// Stop halts the controller.
+func (c *PredictiveController) Stop() { c.ticker.Stop() }
+
+func (c *PredictiveController) tick(now float64) {
+	for i, st := range c.stations {
+		count := st.TotalArrivals()
+		rate := float64(count-c.lastCount[i]) / c.cfg.Interval
+		c.lastCount[i] = count
+		c.forecasters[i].Observe(rate)
+		predicted := c.forecasters[i].Predict()
+
+		target := int(math.Ceil(predicted / (c.cfg.Mu * c.cfg.TargetUtil)))
+		if target < c.cfg.Min {
+			target = c.cfg.Min
+		}
+		if target > c.cfg.Max {
+			target = c.cfg.Max
+		}
+		if target != st.Servers {
+			from := st.Servers
+			st.SetServers(target)
+			c.Events = append(c.Events, Event{
+				Time: now, Station: st.Name, From: from, To: target, Signal: predicted,
+			})
+		}
+	}
+}
+
+// PeakServers returns the largest server count reached.
+func (c *PredictiveController) PeakServers() int {
+	peak := 0
+	for _, st := range c.stations {
+		if st.Servers > peak {
+			peak = st.Servers
+		}
+	}
+	for _, e := range c.Events {
+		if e.To > peak {
+			peak = e.To
+		}
+	}
+	return peak
+}
+
+// TotalServerSeconds integrates the provisioned capacity over the run
+// given the event log and a final time, for cost accounting. Assumes all
+// stations started at startServers.
+func (c *PredictiveController) TotalServerSeconds(startServers int, start, end float64) float64 {
+	// Track per-station piecewise-constant capacity.
+	level := make(map[string]int, len(c.stations))
+	lastT := make(map[string]float64, len(c.stations))
+	var total float64
+	for _, st := range c.stations {
+		level[st.Name] = startServers
+		lastT[st.Name] = start
+	}
+	for _, e := range c.Events {
+		total += float64(level[e.Station]) * (e.Time - lastT[e.Station])
+		level[e.Station] = e.To
+		lastT[e.Station] = e.Time
+	}
+	for _, st := range c.stations {
+		total += float64(level[st.Name]) * (end - lastT[st.Name])
+	}
+	return total
+}

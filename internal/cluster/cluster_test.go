@@ -1,0 +1,321 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/app"
+	"repro/internal/netem"
+	"repro/internal/theory"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func TestGenerateRates(t *testing.T) {
+	tr := Generate(GenSpec{Sites: 5, Duration: 500, PerSiteRate: 8, Seed: 1})
+	if tr.Sites != 5 {
+		t.Fatalf("Sites = %d", tr.Sites)
+	}
+	if got := tr.TotalRate(); math.Abs(got-40) > 2 {
+		t.Errorf("total rate = %v, want ~40", got)
+	}
+	for i, r := range tr.SiteRates() {
+		if math.Abs(r-8) > 1 {
+			t.Errorf("site %d rate = %v, want ~8", i, r)
+		}
+	}
+	if got := tr.MeanServiceTime(); math.Abs(got-1.0/13) > 0.005 {
+		t.Errorf("mean service = %v, want ~77ms", got)
+	}
+}
+
+// TestGenerateOrdered: records are time-ordered for any spec.
+func TestGenerateOrdered(t *testing.T) {
+	f := func(seed int64) bool {
+		tr := Generate(GenSpec{Sites: 3, Duration: 50, PerSiteRate: 5, Seed: seed})
+		for i := 1; i < len(tr.Records); i++ {
+			if tr.Records[i].Time < tr.Records[i-1].Time {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(GenSpec{Sites: 2, Duration: 100, PerSiteRate: 5, Seed: 9})
+	b := Generate(GenSpec{Sites: 2, Duration: 100, PerSiteRate: 5, Seed: 9})
+	if a.Len() != b.Len() {
+		t.Fatal("same seed, different lengths")
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatal("same seed should reproduce the trace exactly")
+		}
+	}
+}
+
+func TestGeneratePanics(t *testing.T) {
+	for _, spec := range []GenSpec{
+		{Sites: 0, Duration: 10, PerSiteRate: 1},
+		{Sites: 2, Duration: 0, PerSiteRate: 1},
+		{Sites: 2, Duration: 10},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Generate(%+v) should panic", spec)
+				}
+			}()
+			Generate(spec)
+		}()
+	}
+}
+
+func TestFromRecordsSorts(t *testing.T) {
+	tr := FromRecords([]RequestRecord{
+		{Time: 5, Site: 0, ServiceTime: 0.1},
+		{Time: 1, Site: 1, ServiceTime: 0.1},
+	}, 2)
+	if tr.Records[0].Time != 1 {
+		t.Error("FromRecords should sort by time")
+	}
+}
+
+// TestRunEdgeMatchesMM1Theory: an edge run at known utilization should
+// reproduce the analytic sojourn within tolerance.
+func TestRunEdgeMatchesMM1Theory(t *testing.T) {
+	model := app.NewInferenceModelWith(1.0/13, 1) // exponential service
+	tr := Generate(GenSpec{
+		Sites: 5, Duration: 3000, PerSiteRate: 8,
+		ArrivalSCV: 1, Model: model, Seed: 4,
+	})
+	res := RunEdge(tr, EdgeConfig{
+		Sites: 5, ServersPerSite: 1, Path: netem.Constant("zero", 0),
+		Warmup: 300, Seed: 5,
+	})
+	rho := 8.0 / 13
+	want := theory.MM1Sojourn(rho, 13)
+	got := res.EndToEnd.Mean()
+	if math.Abs(got-want) > 0.12*want {
+		t.Errorf("edge M/M/1 sojourn %v, want %v", got, want)
+	}
+	if math.Abs(res.Utilization-rho) > 0.05 {
+		t.Errorf("utilization %v, want %v", res.Utilization, rho)
+	}
+}
+
+// TestRunCloudMatchesMMcTheory: the central-queue cloud should match
+// M/M/k.
+func TestRunCloudMatchesMMcTheory(t *testing.T) {
+	model := app.NewInferenceModelWith(1.0/13, 1)
+	tr := Generate(GenSpec{
+		Sites: 5, Duration: 3000, PerSiteRate: 8,
+		ArrivalSCV: 1, Model: model, Seed: 6,
+	})
+	res := RunCloud(tr, CloudConfig{
+		Servers: 5, Path: netem.Constant("zero", 0), Warmup: 300, Seed: 7,
+	})
+	want := theory.MMcSojourn(5, 8.0/13, 13)
+	got := res.EndToEnd.Mean()
+	if math.Abs(got-want) > 0.12*want {
+		t.Errorf("cloud M/M/5 sojourn %v, want %v", got, want)
+	}
+}
+
+// TestPerformanceInversionIntegration: the headline result. At low rate
+// the edge wins; at high rate the cloud wins, with the typical 25 ms
+// cloud.
+func TestPerformanceInversionIntegration(t *testing.T) {
+	sc, _ := netem.ScenarioByName("typical-25ms")
+	run := func(rate float64) (edge, cloud float64) {
+		tr := Generate(GenSpec{Sites: 5, Duration: 1200, PerSiteRate: rate, Seed: 8})
+		e := RunEdge(tr, EdgeConfig{Sites: 5, ServersPerSite: 1, Path: sc.Edge, Warmup: 120, Seed: 9})
+		c := RunCloud(tr, CloudConfig{Servers: 5, Path: sc.Cloud, Warmup: 120, Seed: 10})
+		return e.MeanLatency(), c.MeanLatency()
+	}
+	eLow, cLow := run(6)
+	if eLow >= cLow {
+		t.Errorf("at 6 req/s the edge should win: edge %v vs cloud %v", eLow, cLow)
+	}
+	eHigh, cHigh := run(12)
+	if eHigh <= cHigh {
+		t.Errorf("at 12 req/s the cloud should win: edge %v vs cloud %v", eHigh, cHigh)
+	}
+}
+
+// TestK1EdgeAlwaysWins: §3.1.1 — a single-site edge with identical
+// hardware sees the whole workload and still beats the cloud.
+func TestK1EdgeAlwaysWins(t *testing.T) {
+	sc, _ := netem.ScenarioByName("typical-25ms")
+	tr := Generate(GenSpec{Sites: 1, Duration: 1000, PerSiteRate: 11 * 5, Seed: 11})
+	e := RunEdge(tr, EdgeConfig{Sites: 1, ServersPerSite: 5, Path: sc.Edge, Warmup: 100, Seed: 12})
+	c := RunCloud(tr, CloudConfig{Servers: 5, Path: sc.Cloud, Warmup: 100, Seed: 13})
+	if e.MeanLatency() >= c.MeanLatency() {
+		t.Errorf("k=1 edge should always win: edge %v vs cloud %v", e.MeanLatency(), c.MeanLatency())
+	}
+}
+
+// TestEdgeSlowdownCausesK1Inversion: §3.1.1's exception — with slower
+// edge hardware even k=1 can invert.
+func TestEdgeSlowdownCausesK1Inversion(t *testing.T) {
+	sc, _ := netem.ScenarioByName("nearby-13ms")
+	tr := Generate(GenSpec{Sites: 1, Duration: 1000, PerSiteRate: 10 * 5, Seed: 14})
+	e := RunEdge(tr, EdgeConfig{
+		Sites: 1, ServersPerSite: 5, Path: sc.Edge, Warmup: 100, Seed: 15,
+		SlowdownFactor: 1.25, // edge servers 25% slower
+	})
+	c := RunCloud(tr, CloudConfig{Servers: 5, Path: sc.Cloud, Warmup: 100, Seed: 16})
+	if e.MeanLatency() <= c.MeanLatency() {
+		t.Errorf("slowed k=1 edge should invert: edge %v vs cloud %v", e.MeanLatency(), c.MeanLatency())
+	}
+}
+
+// TestCentralQueueBeatsRoundRobin: the cloud dispatch ablation.
+func TestCentralQueueBeatsRoundRobin(t *testing.T) {
+	tr := Generate(GenSpec{Sites: 5, Duration: 1500, PerSiteRate: 11, Seed: 17})
+	path := netem.Constant("zero", 0)
+	cq := RunCloud(tr, CloudConfig{Servers: 5, Path: path, Policy: CentralQueue, Warmup: 150, Seed: 18})
+	rr := RunCloud(tr, CloudConfig{Servers: 5, Path: path, Policy: RoundRobin, Warmup: 150, Seed: 18})
+	lc := RunCloud(tr, CloudConfig{Servers: 5, Path: path, Policy: LeastConn, Warmup: 150, Seed: 18})
+	if cq.MeanLatency() >= rr.MeanLatency() {
+		t.Errorf("central queue %v should beat round robin %v", cq.MeanLatency(), rr.MeanLatency())
+	}
+	if lc.MeanLatency() >= rr.MeanLatency() {
+		t.Errorf("least-conn %v should beat round robin %v", lc.MeanLatency(), rr.MeanLatency())
+	}
+}
+
+// TestGeoLBMitigatesSkew: jockeying reduces edge latency under skew.
+func TestGeoLBMitigatesSkew(t *testing.T) {
+	// A hot site at ~108% of one server's capacity, others cool.
+	procs := siteProcs([]float64{14, 5, 5, 3, 3})
+	tr := Generate(GenSpec{Sites: 5, Duration: 800, Seed: 19, Arrivals: procs})
+	sc, _ := netem.ScenarioByName("typical-25ms")
+	plain := RunEdge(tr, EdgeConfig{Sites: 5, ServersPerSite: 1, Path: sc.Edge, Warmup: 80, Seed: 20})
+	geo := RunEdge(tr, EdgeConfig{
+		Sites: 5, ServersPerSite: 1, Path: sc.Edge, Warmup: 80, Seed: 20,
+		JockeyThreshold: 3, DetourRTT: 0.005,
+	})
+	if geo.Redirected == 0 {
+		t.Fatal("expected jockeyed requests")
+	}
+	if geo.MeanLatency() >= plain.MeanLatency() {
+		t.Errorf("geo LB %v should beat plain edge %v under skew",
+			geo.MeanLatency(), plain.MeanLatency())
+	}
+}
+
+// TestPerSiteCapacityMatchesSkew: provisioning per-site servers by load
+// (Lemma 3.3 takeaway) should balance utilizations.
+func TestPerSiteCapacityMatchesSkew(t *testing.T) {
+	procs := siteProcs([]float64{20, 10, 5, 5, 5})
+	tr := Generate(GenSpec{Sites: 5, Duration: 800, Seed: 21, Arrivals: procs})
+	res := RunEdge(tr, EdgeConfig{
+		Sites: 5, Path: netem.Constant("zero", 0), Warmup: 80, Seed: 22,
+		PerSiteServers: []int{2, 1, 1, 1, 1},
+	})
+	u0 := res.Sites[0].Utilization
+	for i := 1; i < 5; i++ {
+		if res.Sites[i].Utilization > 1.01 {
+			t.Errorf("site %d saturated: %v", i, res.Sites[i].Utilization)
+		}
+	}
+	if u0 > 0.95 {
+		t.Errorf("provisioned hot site still saturated: %v", u0)
+	}
+}
+
+// siteProcs builds one Poisson arrival process per site at the given
+// rates.
+func siteProcs(rates []float64) []workload.ArrivalProcess {
+	procs := make([]workload.ArrivalProcess, len(rates))
+	for i, r := range rates {
+		procs[i] = workload.NewPoisson(r)
+	}
+	return procs
+}
+
+// TestTimelineCollection: the timeline option bins latencies by request
+// generation time.
+func TestTimelineCollection(t *testing.T) {
+	tr := Generate(GenSpec{Sites: 2, Duration: 300, PerSiteRate: 5, Seed: 23})
+	res := RunEdge(tr, EdgeConfig{
+		Sites: 2, ServersPerSite: 1, Path: netem.Constant("zero", 0),
+		Seed: 24, TimelineBin: 60,
+	})
+	if res.Timeline == nil {
+		t.Fatal("timeline not collected")
+	}
+	if res.Timeline.NumBins() < 4 {
+		t.Errorf("timeline bins = %d, want >= 4", res.Timeline.NumBins())
+	}
+	var total int
+	for i := 0; i < res.Timeline.NumBins(); i++ {
+		total += res.Timeline.BinCount(i)
+	}
+	if total != res.EndToEnd.N() {
+		t.Errorf("timeline holds %d observations, result holds %d", total, res.EndToEnd.N())
+	}
+}
+
+// TestPairedTraceIdentical: edge and cloud runs must see the exact same
+// request records (paired comparison).
+func TestPairedTraceIdentical(t *testing.T) {
+	tr := Generate(GenSpec{Sites: 3, Duration: 200, PerSiteRate: 6, Seed: 25})
+	e := RunEdge(tr, EdgeConfig{Sites: 3, ServersPerSite: 1, Path: netem.Constant("z", 0), Seed: 26})
+	c := RunCloud(tr, CloudConfig{Servers: 3, Path: netem.Constant("z", 0), Seed: 27})
+	if e.Completed != c.Completed || int(e.Completed) != tr.Len() {
+		t.Errorf("completions differ: edge %d cloud %d trace %d", e.Completed, c.Completed, tr.Len())
+	}
+}
+
+func TestRunEdgeConfigValidation(t *testing.T) {
+	tr := Generate(GenSpec{Sites: 2, Duration: 10, PerSiteRate: 1, Seed: 1})
+	defer func() {
+		if recover() == nil {
+			t.Error("site-count mismatch should panic")
+		}
+	}()
+	RunEdge(tr, EdgeConfig{Sites: 3, Path: netem.Constant("z", 0)})
+}
+
+func TestRunCloudPanicsOnZeroServers(t *testing.T) {
+	tr := Generate(GenSpec{Sites: 1, Duration: 10, PerSiteRate: 1, Seed: 1})
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-server cloud should panic")
+		}
+	}()
+	RunCloud(tr, CloudConfig{Servers: 0, Path: netem.Constant("z", 0)})
+}
+
+// TestAzureArrivalsIntegration: the Azure trace generator plugs into
+// Generate and produces per-site loads matching the envelopes.
+func TestAzureArrivalsIntegration(t *testing.T) {
+	spec := trace.DefaultAzureSpec()
+	spec.Minutes = 5
+	series := trace.GenerateAzure(spec)
+	tr := Generate(GenSpec{
+		Sites:    spec.Sites,
+		Duration: 300,
+		Seed:     28,
+		Arrivals: trace.ToArrivalProcesses(series, false),
+	})
+	for i, s := range series {
+		want := s.Total()
+		var got float64
+		for _, r := range tr.Records {
+			if r.Site == i {
+				got++
+			}
+		}
+		if math.Abs(got-want) > 0.25*want+20 {
+			t.Errorf("site %d generated %v requests, envelope says %v", i, got, want)
+		}
+	}
+}

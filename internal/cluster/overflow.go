@@ -1,0 +1,240 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/autoscale"
+	"repro/internal/netem"
+	"repro/internal/queue"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// OverflowConfig configures a hierarchical edge deployment (edge sites
+// backed by a cloud cluster): requests arriving at a site whose load is
+// at or beyond OverflowThreshold are forwarded to the cloud instead,
+// paying the cloud RTT. This is the "hierarchical edge cloud" design
+// from the paper's related work (Tong et al.) and a stronger form of the
+// §5.1 mitigation: instead of jockeying to a sibling site, overloaded
+// traffic falls back to the pooled cloud queue.
+type OverflowConfig struct {
+	Sites             int
+	ServersPerSite    int
+	EdgePath          netem.Path
+	CloudPath         netem.Path
+	CloudServers      int
+	OverflowThreshold int // forward to the cloud when site load ≥ this
+	Warmup            float64
+	Seed              int64
+}
+
+// OverflowResult extends Result with the edge/cloud split.
+type OverflowResult struct {
+	Result
+	EdgeServed  uint64
+	CloudServed uint64
+	Overflowed  uint64
+	EdgeOnly    stats.Sample // latency of requests served at their home site
+	CloudOnly   stats.Sample // latency of overflowed requests
+}
+
+// RunEdgeWithOverflow replays the trace through the hierarchical
+// deployment.
+func RunEdgeWithOverflow(tr *WorkloadTrace, cfg OverflowConfig) *OverflowResult {
+	if cfg.Sites <= 0 {
+		cfg.Sites = tr.Sites
+	}
+	if cfg.Sites != tr.Sites {
+		panic(fmt.Sprintf("cluster: overflow config has %d sites, trace has %d", cfg.Sites, tr.Sites))
+	}
+	if cfg.ServersPerSite <= 0 {
+		cfg.ServersPerSite = 1
+	}
+	if cfg.CloudServers <= 0 {
+		panic("cluster: overflow deployment needs cloud servers")
+	}
+	if cfg.OverflowThreshold <= 0 {
+		panic("cluster: OverflowThreshold must be positive")
+	}
+	eng := sim.NewEngine(cfg.Seed)
+	netRng := eng.NewStream()
+
+	sites := make([]*queue.Station, cfg.Sites)
+	for i := range sites {
+		sites[i] = queue.NewStation(eng, fmt.Sprintf("edge-%d", i), cfg.ServersPerSite, queue.FCFS)
+		sites[i].SetWarmup(cfg.Warmup)
+	}
+	cloud := queue.NewStation(eng, "cloud-backstop", cfg.CloudServers, queue.FCFS)
+	cloud.SetWarmup(cfg.Warmup)
+
+	res := &OverflowResult{Result: Result{Label: "edge+overflow"}}
+
+	var nextID uint64
+	for _, rec := range tr.Records {
+		rec := rec
+		edgeRTT := cfg.EdgePath.Sample(netRng)
+		cloudRTT := cfg.CloudPath.Sample(netRng)
+		nextID++
+		req := &queue.Request{
+			ID:          nextID,
+			Site:        rec.Site,
+			ServiceTime: rec.ServiceTime,
+			Generated:   rec.Time,
+		}
+		// The client always reaches its local site first (edge RTT); an
+		// overflowed request additionally crosses to the cloud.
+		req.NetworkRTT = edgeRTT
+		overflowed := false
+		req.Done = func(e *sim.Engine, r *queue.Request) {
+			if r.Departure < cfg.Warmup {
+				return
+			}
+			e2e := r.EndToEnd()
+			res.EndToEnd.Add(e2e)
+			res.Completed++
+			if overflowed {
+				res.CloudServed++
+				res.CloudOnly.Add(e2e)
+			} else {
+				res.EdgeServed++
+				res.EdgeOnly.Add(e2e)
+			}
+		}
+		eng.At(rec.Time+edgeRTT/2, func(e *sim.Engine) {
+			home := sites[req.Site]
+			if home.Load() >= cfg.OverflowThreshold {
+				overflowed = true
+				res.Overflowed++
+				req.NetworkRTT = edgeRTT + cloudRTT
+				// Cross to the cloud: the request re-enters the network
+				// for cloudRTT/2 before arriving at the pooled queue.
+				e.After(cloudRTT/2, func(*sim.Engine) { cloud.Arrive(req) })
+				return
+			}
+			home.Arrive(req)
+		})
+	}
+
+	res.Duration = eng.Run()
+	var busySum, capSum float64
+	for i, s := range sites {
+		s.Finish()
+		m := s.Metrics()
+		res.Wait.Merge(&m.Wait)
+		res.Sites = append(res.Sites, SiteResult{
+			Site:        i,
+			Wait:        m.Wait,
+			Utilization: m.Utilization(s.Servers),
+			Arrivals:    s.TotalArrivals(),
+			MeanRate:    m.Arrivals.Rate(),
+		})
+		busySum += m.Busy.Average()
+		capSum += float64(s.Servers)
+	}
+	cloud.Finish()
+	res.Wait.Merge(&cloud.Metrics().Wait)
+	if capSum > 0 {
+		res.Utilization = busySum / capSum
+	}
+	return res
+}
+
+// AutoscaleResult extends Result with controller telemetry.
+type AutoscaleResult struct {
+	Result
+	ScaleUps     int
+	ScaleDowns   int
+	PeakServers  int
+	FinalPerSite []int
+	Events       []autoscale.Event
+}
+
+// RunEdgeAutoscaled replays the trace through an edge deployment whose
+// per-site server counts are managed by the reactive autoscaler. Sites
+// start at EdgeConfig.ServersPerSite (bounded by the controller's
+// Min/Max).
+func RunEdgeAutoscaled(tr *WorkloadTrace, cfg EdgeConfig, asCfg autoscale.Config) *AutoscaleResult {
+	if cfg.Sites <= 0 {
+		cfg.Sites = tr.Sites
+	}
+	if cfg.Sites != tr.Sites {
+		panic(fmt.Sprintf("cluster: autoscale config has %d sites, trace has %d", cfg.Sites, tr.Sites))
+	}
+	if cfg.ServersPerSite <= 0 {
+		cfg.ServersPerSite = 1
+	}
+	eng := sim.NewEngine(cfg.Seed)
+	netRng := eng.NewStream()
+
+	stations := make([]*queue.Station, cfg.Sites)
+	for i := range stations {
+		stations[i] = queue.NewStation(eng, fmt.Sprintf("edge-%d", i), cfg.ServersPerSite, cfg.Discipline)
+		stations[i].SetWarmup(cfg.Warmup)
+	}
+	ctrl := autoscale.New(eng, stations, asCfg)
+
+	res := &AutoscaleResult{Result: Result{Label: "edge+autoscale"}}
+	if cfg.TimelineBin > 0 {
+		res.Timeline = stats.NewTimeSeries(0, cfg.TimelineBin)
+	}
+
+	// The controller's ticker keeps the calendar non-empty forever, so
+	// stop it once the last request has completed and let the engine
+	// drain naturally.
+	outstanding := len(tr.Records)
+	var nextID uint64
+	for _, rec := range tr.Records {
+		rtt := cfg.Path.Sample(netRng)
+		nextID++
+		req := &queue.Request{
+			ID:          nextID,
+			Site:        rec.Site,
+			ServiceTime: rec.ServiceTime,
+			NetworkRTT:  rtt,
+			Generated:   rec.Time,
+			Done: func(e *sim.Engine, r *queue.Request) {
+				outstanding--
+				if outstanding == 0 {
+					ctrl.Stop()
+				}
+				if r.Departure < cfg.Warmup {
+					return
+				}
+				e2e := r.EndToEnd()
+				res.EndToEnd.Add(e2e)
+				res.Completed++
+				if res.Timeline != nil {
+					res.Timeline.Add(r.Generated, e2e)
+				}
+			},
+		}
+		eng.At(rec.Time+rtt/2, func(e *sim.Engine) { stations[req.Site].Arrive(req) })
+	}
+
+	res.Duration = eng.Run()
+	ctrl.Stop()
+	var busySum, capSum float64
+	for i, s := range stations {
+		s.Finish()
+		m := s.Metrics()
+		res.Wait.Merge(&m.Wait)
+		res.Sites = append(res.Sites, SiteResult{
+			Site:        i,
+			Wait:        m.Wait,
+			Utilization: m.Utilization(s.Servers),
+			Arrivals:    s.TotalArrivals(),
+			MeanRate:    m.Arrivals.Rate(),
+		})
+		res.FinalPerSite = append(res.FinalPerSite, s.Servers)
+		busySum += m.Busy.Average()
+		capSum += float64(s.Servers)
+	}
+	if capSum > 0 {
+		res.Utilization = busySum / capSum
+	}
+	res.ScaleUps = ctrl.ScaleUps()
+	res.ScaleDowns = ctrl.ScaleDowns()
+	res.PeakServers = ctrl.PeakServers()
+	res.Events = ctrl.Events
+	return res
+}

@@ -1,0 +1,304 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/lb"
+	"repro/internal/netem"
+	"repro/internal/queue"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// DispatchPolicy selects the cloud load-balancing policy.
+type DispatchPolicy string
+
+// Supported cloud dispatch policies.
+const (
+	CentralQueue DispatchPolicy = "central-queue"     // one station, k·m servers (M/M/k semantics)
+	RoundRobin   DispatchPolicy = "round-robin"       // HAProxy default
+	LeastConn    DispatchPolicy = "least-connections" // HAProxy leastconn
+	PowerOfTwo   DispatchPolicy = "power-of-two"
+	RandomSplit  DispatchPolicy = "random"
+)
+
+// EdgeConfig configures an edge deployment run.
+type EdgeConfig struct {
+	Sites          int
+	ServersPerSite int
+	Path           netem.Path
+	Discipline     queue.Discipline
+	Warmup         float64 // seconds of measurements to discard
+	Seed           int64
+	// QueueCap bounds each site's waiting queue (0 = unbounded);
+	// overflowing requests are dropped and counted in Result.Dropped.
+	QueueCap int
+	// SlowdownFactor > 1 inflates service times at the edge relative to
+	// the trace's reference values (resource-constrained edge servers,
+	// §3.1.1). 0 or 1 means identical hardware.
+	SlowdownFactor float64
+	// JockeyThreshold enables §5.1 geographic load balancing: requests
+	// arriving at a site whose load is at or beyond the threshold are
+	// redirected to the least-loaded site at DetourRTT extra latency.
+	JockeyThreshold int
+	DetourRTT       float64
+	// PerSiteServers optionally overrides ServersPerSite per site
+	// (capacity matched to skew, Lemma 3.3 takeaway).
+	PerSiteServers []int
+	// TimelineBin > 0 additionally collects a latency timeline with the
+	// given bin width (Figure 9).
+	TimelineBin float64
+}
+
+// CloudConfig configures a cloud deployment run.
+type CloudConfig struct {
+	Servers     int
+	Path        netem.Path
+	Policy      DispatchPolicy
+	Discipline  queue.Discipline
+	Warmup      float64
+	Seed        int64
+	TimelineBin float64
+	// QueueCap bounds the waiting queue (total for the central queue,
+	// per server otherwise); 0 = unbounded.
+	QueueCap int
+}
+
+// SiteResult captures one edge site's measurements.
+type SiteResult struct {
+	Site        int
+	EndToEnd    stats.Sample // client-observed latency, seconds
+	Wait        stats.Sample // queueing delay at the site
+	Utilization float64
+	Arrivals    uint64
+	MeanRate    float64
+}
+
+// Result captures one deployment run.
+type Result struct {
+	Label       string
+	EndToEnd    stats.Sample // all requests, client-observed latency
+	Wait        stats.Sample // all requests, queueing delay
+	Sites       []SiteResult // per-site detail (len 1 for the cloud)
+	Utilization float64      // load-weighted mean utilization
+	Completed   uint64
+	Duration    float64
+	Timeline    *stats.TimeSeries // nil unless TimelineBin was set
+	Redirected  uint64            // jockeyed requests (edge with geographic LB)
+	Dropped     uint64            // requests rejected by bounded queues
+}
+
+// MeanLatency returns the mean end-to-end latency in seconds.
+func (r *Result) MeanLatency() float64 { return r.EndToEnd.Mean() }
+
+// P95Latency returns the 95th-percentile end-to-end latency in seconds.
+func (r *Result) P95Latency() float64 { return r.EndToEnd.P95() }
+
+// RunEdge replays the trace through an edge deployment: each request
+// incurs the edge network RTT and queues at its home site.
+func RunEdge(tr *WorkloadTrace, cfg EdgeConfig) *Result {
+	if cfg.Sites <= 0 {
+		cfg.Sites = tr.Sites
+	}
+	if cfg.Sites != tr.Sites {
+		panic(fmt.Sprintf("cluster: edge config has %d sites, trace has %d", cfg.Sites, tr.Sites))
+	}
+	if cfg.ServersPerSite <= 0 {
+		cfg.ServersPerSite = 1
+	}
+	eng := sim.NewEngine(cfg.Seed)
+	netRng := eng.NewStream()
+
+	stations := make([]*queue.Station, cfg.Sites)
+	servers := make([]queue.Server, cfg.Sites)
+	for i := range stations {
+		c := cfg.ServersPerSite
+		if cfg.PerSiteServers != nil {
+			c = cfg.PerSiteServers[i]
+		}
+		stations[i] = queue.NewStation(eng, fmt.Sprintf("edge-%d", i), c, cfg.Discipline)
+		stations[i].QueueCap = cfg.QueueCap
+		stations[i].SetWarmup(cfg.Warmup)
+		servers[i] = stations[i]
+	}
+
+	var geo *lb.Geographic
+	if cfg.JockeyThreshold > 0 {
+		geo = lb.NewGeographic(servers, cfg.JockeyThreshold, cfg.DetourRTT, eng.NewStream())
+	}
+
+	res := &Result{Label: "edge"}
+	if cfg.TimelineBin > 0 {
+		res.Timeline = stats.NewTimeSeries(0, cfg.TimelineBin)
+	}
+	perSiteE2E := make([]stats.Sample, cfg.Sites)
+
+	slow := cfg.SlowdownFactor
+	if slow <= 0 {
+		slow = 1
+	}
+
+	var nextID uint64
+	for _, rec := range tr.Records {
+		rec := rec
+		rtt := cfg.Path.Sample(netRng)
+		nextID++
+		req := &queue.Request{
+			ID:          nextID,
+			Site:        rec.Site,
+			ServiceTime: rec.ServiceTime * slow,
+			NetworkRTT:  rtt,
+			Generated:   rec.Time,
+			Done: func(e *sim.Engine, r *queue.Request) {
+				if r.Departure < cfg.Warmup {
+					return
+				}
+				if r.Dropped {
+					res.Dropped++
+					return
+				}
+				e2e := r.EndToEnd()
+				res.EndToEnd.Add(e2e)
+				perSiteE2E[r.Site].Add(e2e)
+				res.Completed++
+				if res.Timeline != nil {
+					res.Timeline.Add(r.Generated, e2e)
+				}
+			},
+		}
+		arriveAt := rec.Time + rtt/2
+		eng.At(arriveAt, func(e *sim.Engine) {
+			if geo != nil {
+				geo.Dispatch(req)
+			} else {
+				stations[req.Site].Arrive(req)
+			}
+		})
+	}
+
+	res.Duration = eng.Run()
+	for _, s := range stations {
+		s.Finish()
+	}
+	if geo != nil {
+		res.Redirected = geo.Redirected
+	}
+
+	var busySum, capSum float64
+	for i, s := range stations {
+		m := s.Metrics()
+		res.Wait.Merge(&m.Wait)
+		sr := SiteResult{
+			Site:        i,
+			EndToEnd:    perSiteE2E[i],
+			Wait:        m.Wait,
+			Utilization: m.Utilization(s.Servers),
+			Arrivals:    s.TotalArrivals(),
+			MeanRate:    m.Arrivals.Rate(),
+		}
+		res.Sites = append(res.Sites, sr)
+		busySum += m.Busy.Average()
+		capSum += float64(s.Servers)
+	}
+	if capSum > 0 {
+		res.Utilization = busySum / capSum
+	}
+	return res
+}
+
+// RunCloud replays the trace through a cloud deployment: every request
+// incurs the cloud RTT and is served by k·m servers behind the chosen
+// dispatch policy.
+func RunCloud(tr *WorkloadTrace, cfg CloudConfig) *Result {
+	if cfg.Servers <= 0 {
+		panic("cluster: cloud needs at least one server")
+	}
+	if cfg.Policy == "" {
+		cfg.Policy = CentralQueue
+	}
+	eng := sim.NewEngine(cfg.Seed)
+	netRng := eng.NewStream()
+
+	var stations []*queue.Station
+	var dispatch func(r *queue.Request)
+	switch cfg.Policy {
+	case CentralQueue:
+		st := queue.NewStation(eng, "cloud", cfg.Servers, cfg.Discipline)
+		st.QueueCap = cfg.QueueCap
+		st.SetWarmup(cfg.Warmup)
+		stations = []*queue.Station{st}
+		dispatch = st.Arrive
+	default:
+		stations = make([]*queue.Station, cfg.Servers)
+		servers := make([]queue.Server, cfg.Servers)
+		for i := range stations {
+			stations[i] = queue.NewStation(eng, fmt.Sprintf("cloud-%d", i), 1, cfg.Discipline)
+			stations[i].QueueCap = cfg.QueueCap
+			stations[i].SetWarmup(cfg.Warmup)
+			servers[i] = stations[i]
+		}
+		var d lb.Dispatcher
+		switch cfg.Policy {
+		case RoundRobin:
+			d = lb.NewRoundRobin(servers)
+		case LeastConn:
+			d = lb.NewLeastConnections(servers, eng.NewStream())
+		case PowerOfTwo:
+			d = lb.NewPowerOfTwo(servers, eng.NewStream())
+		case RandomSplit:
+			d = lb.NewRandom(servers, eng.NewStream())
+		default:
+			panic(fmt.Sprintf("cluster: unknown dispatch policy %q", cfg.Policy))
+		}
+		dispatch = d.Dispatch
+	}
+
+	res := &Result{Label: "cloud"}
+	if cfg.TimelineBin > 0 {
+		res.Timeline = stats.NewTimeSeries(0, cfg.TimelineBin)
+	}
+
+	var nextID uint64
+	for _, rec := range tr.Records {
+		rtt := cfg.Path.Sample(netRng)
+		nextID++
+		req := &queue.Request{
+			ID:          nextID,
+			Site:        -1,
+			ServiceTime: rec.ServiceTime,
+			NetworkRTT:  rtt,
+			Generated:   rec.Time,
+			Done: func(e *sim.Engine, r *queue.Request) {
+				if r.Departure < cfg.Warmup {
+					return
+				}
+				if r.Dropped {
+					res.Dropped++
+					return
+				}
+				e2e := r.EndToEnd()
+				res.EndToEnd.Add(e2e)
+				res.Completed++
+				if res.Timeline != nil {
+					res.Timeline.Add(r.Generated, e2e)
+				}
+			},
+		}
+		eng.At(rec.Time+rtt/2, func(e *sim.Engine) { dispatch(req) })
+	}
+
+	res.Duration = eng.Run()
+	var busySum, capSum float64
+	for _, s := range stations {
+		s.Finish()
+		m := s.Metrics()
+		res.Wait.Merge(&m.Wait)
+		busySum += m.Busy.Average()
+		capSum += float64(s.Servers)
+	}
+	if capSum > 0 {
+		res.Utilization = busySum / capSum
+	}
+	res.Sites = []SiteResult{{Site: -1, EndToEnd: res.EndToEnd, Wait: res.Wait, Utilization: res.Utilization}}
+	return res
+}

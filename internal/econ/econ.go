@@ -1,0 +1,135 @@
+// Package econ models the economic cost of edge deployments, the
+// paper's second future-work direction: "we also plan to study the
+// economic costs of edge deployments resulting from the need to deploy
+// extra capacity to prevent performance inversion" (§7).
+//
+// The model combines three ingredients from the paper:
+//   - the two-sigma peak-provisioning capacities of §5.2,
+//   - the Eq. 22 per-site server counts needed to defeat Lemma 3.1, and
+//   - per-server-hour prices, with edge servers typically costing more
+//     than cloud servers of the same size (small sites forgo economies
+//     of scale; industry edge offerings price 1.3–2× above region
+//     instances).
+package econ
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/theory"
+)
+
+// Pricing holds per-server-hour prices in arbitrary currency units.
+type Pricing struct {
+	CloudPerServerHour float64
+	EdgePerServerHour  float64
+}
+
+// DefaultPricing uses the paper-era c5a.xlarge on-demand price
+// (~$0.154/h) and a 1.5× edge premium.
+func DefaultPricing() Pricing {
+	return Pricing{CloudPerServerHour: 0.154, EdgePerServerHour: 0.154 * 1.5}
+}
+
+func (p Pricing) validate() {
+	if p.CloudPerServerHour <= 0 || p.EdgePerServerHour <= 0 {
+		panic(fmt.Sprintf("econ: invalid pricing %+v", p))
+	}
+}
+
+// Comparison is the cost of serving one workload from the cloud versus
+// the edge, under peak provisioning and inversion-free provisioning.
+type Comparison struct {
+	Lambda float64 // aggregate mean rate, req/s
+	K      int     // edge sites
+	Mu     float64 // per-server service rate
+
+	CloudServers int // two-sigma cloud provisioning
+	// EdgeServersPeak provisions each site for its two-sigma peak
+	// (§5.2); EdgeServersNoInversion additionally satisfies Eq. 22 so no
+	// site inverts against the cloud.
+	EdgeServersPeak        int
+	EdgeServersNoInversion int
+
+	CloudCostPerHour           float64
+	EdgePeakCostPerHour        float64
+	EdgeNoInversionCostPerHour float64
+	PeakCostRatio              float64 // edge-peak / cloud
+	NoInversionCostRatio       float64 // edge-no-inversion / cloud
+	InversionPremiumPerHour    float64 // extra cost of inversion-freedom over peak provisioning
+}
+
+// Compare prices a balanced workload of lambda req/s over k edge sites
+// against a pooled cloud, at network gap dn (seconds).
+func Compare(lambda float64, k int, mu, dn float64, pricing Pricing) Comparison {
+	if lambda < 0 || k <= 0 || mu <= 0 {
+		panic(fmt.Sprintf("econ: invalid inputs lambda=%v k=%d mu=%v", lambda, k, mu))
+	}
+	pricing.validate()
+
+	cloudServers, _ := theory.TwoSigmaServers(lambda, k, mu)
+
+	// Per-site two-sigma peak provisioning.
+	perSiteLambda := lambda / float64(k)
+	perSitePeak := perSiteLambda + 2*math.Sqrt(perSiteLambda)
+	peakPerSite := int(math.Ceil(perSitePeak / mu))
+	if peakPerSite < 1 {
+		peakPerSite = 1
+	}
+	edgePeak := peakPerSite * k
+
+	// Inversion-free provisioning: each site also needs Eq. 22's k_i.
+	lambdas := make([]float64, k)
+	for i := range lambdas {
+		lambdas[i] = perSiteLambda
+	}
+	plan := theory.PlanEdgeCapacity(dn, mu, lambdas, cloudServers, 1.0, 1024)
+	noInv := 0
+	for i, ki := range plan.PerSite {
+		if peakPerSite > ki {
+			ki = peakPerSite // inversion-free must also cover the peak
+		}
+		noInv += ki
+		_ = i
+	}
+
+	c := Comparison{
+		Lambda: lambda, K: k, Mu: mu,
+		CloudServers:           cloudServers,
+		EdgeServersPeak:        edgePeak,
+		EdgeServersNoInversion: noInv,
+	}
+	c.CloudCostPerHour = float64(cloudServers) * pricing.CloudPerServerHour
+	c.EdgePeakCostPerHour = float64(edgePeak) * pricing.EdgePerServerHour
+	c.EdgeNoInversionCostPerHour = float64(noInv) * pricing.EdgePerServerHour
+	if c.CloudCostPerHour > 0 {
+		c.PeakCostRatio = c.EdgePeakCostPerHour / c.CloudCostPerHour
+		c.NoInversionCostRatio = c.EdgeNoInversionCostPerHour / c.CloudCostPerHour
+	}
+	c.InversionPremiumPerHour = c.EdgeNoInversionCostPerHour - c.EdgePeakCostPerHour
+	return c
+}
+
+// AutoscaledCost converts integrated server-seconds (from the
+// autoscaler's telemetry) into currency, for comparing elastic edge
+// capacity against static provisioning.
+func AutoscaledCost(serverSeconds float64, pricing Pricing) float64 {
+	pricing.validate()
+	if serverSeconds < 0 {
+		panic("econ: negative server-seconds")
+	}
+	return serverSeconds / 3600 * pricing.EdgePerServerHour
+}
+
+// BreakEvenEdgePremium returns the edge per-server-hour price multiple
+// (relative to cloud) at which the inversion-free edge deployment costs
+// the same as the cloud deployment. Above this premium the cloud is
+// strictly cheaper.
+func BreakEvenEdgePremium(lambda float64, k int, mu, dn float64) float64 {
+	base := Pricing{CloudPerServerHour: 1, EdgePerServerHour: 1}
+	c := Compare(lambda, k, mu, dn, base)
+	if c.EdgeServersNoInversion == 0 {
+		return math.Inf(1)
+	}
+	return float64(c.CloudServers) / float64(c.EdgeServersNoInversion)
+}

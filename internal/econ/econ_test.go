@@ -1,0 +1,115 @@
+package econ
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompareBasics(t *testing.T) {
+	c := Compare(100, 5, 13, 0.024, DefaultPricing())
+	if c.CloudServers <= 0 || c.EdgeServersPeak <= 0 || c.EdgeServersNoInversion <= 0 {
+		t.Fatalf("non-positive server counts: %+v", c)
+	}
+	// §5.2: the edge always needs at least as many servers as the cloud.
+	if c.EdgeServersPeak < c.CloudServers {
+		t.Errorf("edge peak servers %d below cloud %d", c.EdgeServersPeak, c.CloudServers)
+	}
+	// Inversion-freedom can only add servers.
+	if c.EdgeServersNoInversion < c.EdgeServersPeak {
+		t.Errorf("no-inversion servers %d below peak %d", c.EdgeServersNoInversion, c.EdgeServersPeak)
+	}
+	// Costs follow server counts and the edge premium.
+	if c.PeakCostRatio <= 1 {
+		t.Errorf("edge peak cost ratio %v should exceed 1", c.PeakCostRatio)
+	}
+	if c.NoInversionCostRatio < c.PeakCostRatio {
+		t.Error("inversion-free ratio should not be below peak ratio")
+	}
+	if c.InversionPremiumPerHour < 0 {
+		t.Error("negative inversion premium")
+	}
+}
+
+// TestCostRatioGrowsWithK: splitting the same workload across more sites
+// always costs more (the statistical smoothing argument priced out).
+func TestCostRatioGrowsWithK(t *testing.T) {
+	prev := 0.0
+	for _, k := range []int{2, 5, 10, 25} {
+		c := Compare(200, k, 13, 0.024, DefaultPricing())
+		if c.PeakCostRatio < prev-0.01 {
+			t.Fatalf("peak cost ratio fell at k=%d: %v after %v", k, c.PeakCostRatio, prev)
+		}
+		prev = c.PeakCostRatio
+	}
+}
+
+// TestTighterNetworkGapCostsMore: a closer cloud (smaller Δn) forces
+// more edge capacity to stay inversion-free, so the premium grows.
+func TestTighterNetworkGapCostsMore(t *testing.T) {
+	loose := Compare(100, 5, 13, 0.080, DefaultPricing())
+	tight := Compare(100, 5, 13, 0.008, DefaultPricing())
+	if tight.EdgeServersNoInversion < loose.EdgeServersNoInversion {
+		t.Errorf("tight-Δn no-inversion servers %d below loose %d",
+			tight.EdgeServersNoInversion, loose.EdgeServersNoInversion)
+	}
+}
+
+// TestEdgeAlwaysCostsMoreProperty: for any sane inputs, the edge's peak
+// cost ratio is at least 1 even at equal pricing.
+func TestEdgeAlwaysCostsMoreProperty(t *testing.T) {
+	equal := Pricing{CloudPerServerHour: 1, EdgePerServerHour: 1}
+	f := func(lRaw uint16, kRaw uint8) bool {
+		lambda := 10 + float64(lRaw%2000)
+		k := 2 + int(kRaw%50)
+		c := Compare(lambda, k, 13, 0.025, equal)
+		return c.PeakCostRatio >= 1-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAutoscaledCost(t *testing.T) {
+	p := Pricing{CloudPerServerHour: 1, EdgePerServerHour: 2}
+	// 7200 server-seconds = 2 server-hours at 2/h = 4.
+	if got := AutoscaledCost(7200, p); math.Abs(got-4) > 1e-12 {
+		t.Errorf("autoscaled cost = %v, want 4", got)
+	}
+	if AutoscaledCost(0, p) != 0 {
+		t.Error("zero usage should cost zero")
+	}
+}
+
+func TestBreakEvenEdgePremium(t *testing.T) {
+	be := BreakEvenEdgePremium(100, 5, 13, 0.024)
+	if be <= 0 || be > 1 {
+		t.Errorf("break-even premium = %v, want in (0, 1]", be)
+	}
+	// Verify: pricing the edge exactly at the break-even multiple makes
+	// the two deployments cost the same.
+	p := Pricing{CloudPerServerHour: 1, EdgePerServerHour: be}
+	c := Compare(100, 5, 13, 0.024, p)
+	if math.Abs(c.NoInversionCostRatio-1) > 1e-9 {
+		t.Errorf("at break-even premium the ratio is %v, want 1", c.NoInversionCostRatio)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Compare(-1, 5, 13, 0.02, DefaultPricing()) },
+		func() { Compare(10, 0, 13, 0.02, DefaultPricing()) },
+		func() { Compare(10, 5, 0, 0.02, DefaultPricing()) },
+		func() { Compare(10, 5, 13, 0.02, Pricing{}) },
+		func() { AutoscaledCost(-1, DefaultPricing()) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid econ input should panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/app"
+	"repro/internal/cluster"
+	"repro/internal/netem"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Fig3Result bundles the four series of Figures 3/4 (mean) and 5 (p95):
+// edge with 1 and 2 servers per site, cloud with 5 and 10 servers.
+type Fig3Result struct {
+	Scenario  netem.Scenario
+	Rates     []float64
+	OneServer SweepResult // edge 1 server/site vs cloud 5 servers
+	TwoServer SweepResult // edge 2 servers/site vs cloud 10 servers
+}
+
+// RunFig3 reproduces the Figure 3/4/5 experiment for the given scenario:
+// request rate per server varied 6–12, 5 sites, both the {1 server/site,
+// 5 cloud servers} and {2 servers/site, 10 cloud servers} deployments.
+func RunFig3(scenarioName string, duration float64, seed int64) Fig3Result {
+	sc := mustScenario(scenarioName)
+	base := DefaultSweepConfig()
+	base.Scenario = sc
+	base.Duration = duration
+	base.Seed = seed
+
+	one := base
+	one.ServersPerSite = 1
+	two := base
+	two.ServersPerSite = 2
+	two.Seed = seed + 1
+
+	return Fig3Result{
+		Scenario:  sc,
+		Rates:     base.Rates,
+		OneServer: RunSweep(one),
+		TwoServer: RunSweep(two),
+	}
+}
+
+// Fig6Scenario is one violin of Figure 6.
+type Fig6Scenario struct {
+	Label   string
+	Summary stats.DistSummary
+	Box     stats.BoxPlot
+}
+
+// RunFig6 reproduces Figure 6: the full response-time distributions of
+// the four deployments at 10 req/server/s with the distant (54 ms) cloud.
+func RunFig6(duration float64, seed int64) []Fig6Scenario {
+	sc := mustScenario("distant-54ms")
+	model := app.NewInferenceModel()
+	const rate = 10.0
+
+	type setup struct {
+		label          string
+		serversPerSite int
+		cloud          bool
+		cloudServers   int
+	}
+	setups := []setup{
+		{label: "edge, 1 server", serversPerSite: 1},
+		{label: "edge, 2 servers", serversPerSite: 2},
+		{label: "cloud, 5 servers", cloud: true, cloudServers: 5, serversPerSite: 1},
+		{label: "cloud, 10 servers", cloud: true, cloudServers: 10, serversPerSite: 2},
+	}
+
+	var out []Fig6Scenario
+	for i, s := range setups {
+		tr := cluster.Generate(cluster.GenSpec{
+			Sites:       5,
+			Duration:    duration,
+			PerSiteRate: rate * float64(s.serversPerSite),
+			Model:       model,
+			Seed:        seed + int64(i),
+		})
+		var sample *stats.Sample
+		if s.cloud {
+			res := cluster.RunCloud(tr, cluster.CloudConfig{
+				Servers: s.cloudServers,
+				Path:    sc.Cloud,
+				Warmup:  duration / 10,
+				Seed:    seed + 100 + int64(i),
+			})
+			sample = &res.EndToEnd
+		} else {
+			res := cluster.RunEdge(tr, cluster.EdgeConfig{
+				Sites:          5,
+				ServersPerSite: s.serversPerSite,
+				Path:           sc.Edge,
+				Warmup:         duration / 10,
+				Seed:           seed + 100 + int64(i),
+			})
+			sample = &res.EndToEnd
+		}
+		out = append(out, Fig6Scenario{
+			Label:   s.label,
+			Summary: stats.SummarizeDist(s.label, sample, nil),
+			Box:     stats.BoxPlotOf(s.label, sample),
+		})
+	}
+	return out
+}
+
+// Fig7Point is one bar pair of Figure 7: the cutoff utilizations (mean
+// and p95) for one cloud RTT.
+type Fig7Point struct {
+	Scenario     string
+	CloudRTTms   float64
+	MeanCutoff   float64 // utilization fraction in [0,1]; 1 = no inversion below saturation
+	P95Cutoff    float64
+	MeanRate     float64 // req/s/server at the mean crossover
+	P95Rate      float64
+	MeanInverted bool
+	P95Inverted  bool
+}
+
+// RunFig7 reproduces Figure 7: for each cloud location, sweep the
+// request rate finely and report the utilization above which the edge's
+// mean and p95 latencies exceed the cloud's. Edge: 5 sites × 1 server;
+// cloud: 5 servers.
+func RunFig7(duration float64, seed int64) []Fig7Point {
+	var rates []float64
+	for r := 1.0; r <= 12.5; r += 0.5 {
+		rates = append(rates, r)
+	}
+	var out []Fig7Point
+	for i, sc := range netem.PaperScenarios() {
+		cfg := DefaultSweepConfig()
+		cfg.Scenario = sc
+		cfg.Rates = rates
+		cfg.Duration = duration
+		cfg.Seed = seed + int64(i)*31
+		res := RunSweep(cfg)
+
+		p := Fig7Point{Scenario: sc.Name, CloudRTTms: sc.Cloud.MeanRTT() * 1000}
+		mu := cfg.Model.Mu()
+		if rate, util, ok := res.Crossover(Mean); ok {
+			p.MeanCutoff, p.MeanRate, p.MeanInverted = util, rate, true
+		} else {
+			p.MeanCutoff, p.MeanRate = 1, mu
+		}
+		if rate, util, ok := res.Crossover(P95); ok {
+			p.P95Cutoff, p.P95Rate, p.P95Inverted = util, rate, true
+		} else {
+			p.P95Cutoff, p.P95Rate = 1, mu
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// AzureReplayResult bundles Figures 8–10: the per-site workload series,
+// the edge and cloud latency timelines, and per-site latency box plots.
+type AzureReplayResult struct {
+	Series        []trace.SiteSeries
+	EdgeTimeline  *stats.TimeSeries
+	CloudTimeline *stats.TimeSeries
+	EdgeBoxes     []stats.BoxPlot // one per edge site
+	CloudBox      stats.BoxPlot
+	EdgeResult    *cluster.Result
+	CloudResult   *cluster.Result
+}
+
+// RunAzureReplay reproduces the §4.5 experiment: generate (or accept)
+// 5-site Azure-like traces, replay them at the edge (Ohio, 1 ms) and at
+// the cloud (Montreal, ~25 ms, 5 servers), and collect timelines and
+// per-site distributions. scale multiplies trace rates to hit the
+// desired utilization regime (the paper's sites operate near or beyond
+// one server's capacity at peaks).
+func RunAzureReplay(spec trace.AzureSpec, scale float64, seed int64) AzureReplayResult {
+	series := trace.GenerateAzure(spec)
+	if scale != 1 && scale > 0 {
+		for si := range series {
+			for i := range series[si].Counts {
+				series[si].Counts[i] *= scale
+			}
+		}
+	}
+	sc := mustScenario("typical-25ms")
+	model := app.NewInferenceModel()
+
+	tr := cluster.Generate(cluster.GenSpec{
+		Sites:    spec.Sites,
+		Duration: float64(spec.Minutes) * 60,
+		Model:    model,
+		Seed:     seed,
+		Arrivals: trace.ToArrivalProcesses(series, false),
+	})
+
+	const binWidth = 60 // one-minute bins, as in Figures 8–9
+	edge := cluster.RunEdge(tr, cluster.EdgeConfig{
+		Sites:          spec.Sites,
+		ServersPerSite: 1,
+		Path:           sc.Edge,
+		Warmup:         0,
+		Seed:           seed + 1,
+		TimelineBin:    binWidth,
+	})
+	cloud := cluster.RunCloud(tr, cluster.CloudConfig{
+		Servers:     spec.Sites,
+		Path:        sc.Cloud,
+		Warmup:      0,
+		Seed:        seed + 2,
+		TimelineBin: binWidth,
+	})
+
+	res := AzureReplayResult{
+		Series:        series,
+		EdgeTimeline:  edge.Timeline,
+		CloudTimeline: cloud.Timeline,
+		EdgeResult:    edge,
+		CloudResult:   cloud,
+	}
+	for i := range edge.Sites {
+		label := fmt.Sprintf("Edge %d", i+1)
+		res.EdgeBoxes = append(res.EdgeBoxes, stats.BoxPlotOf(label, &edge.Sites[i].EndToEnd))
+	}
+	res.CloudBox = stats.BoxPlotOf("Cloud", &cloud.EndToEnd)
+	return res
+}

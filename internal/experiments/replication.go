@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// ReplicatedPoint aggregates one sweep point across independent
+// replications: mean of means with a 95% confidence half-width, so the
+// crossover claims carry statistical weight.
+type ReplicatedPoint struct {
+	RatePerServer float64
+	EdgeMean      float64
+	EdgeMeanCI    float64
+	CloudMean     float64
+	CloudMeanCI   float64
+	EdgeP95       float64
+	EdgeP95CI     float64
+	CloudP95      float64
+	CloudP95CI    float64
+	Replications  int
+}
+
+// Separated reports whether the edge and cloud mean confidence intervals
+// do not overlap at this point (the comparison is statistically
+// resolved).
+func (p ReplicatedPoint) Separated() bool {
+	lo1, hi1 := p.EdgeMean-p.EdgeMeanCI, p.EdgeMean+p.EdgeMeanCI
+	lo2, hi2 := p.CloudMean-p.CloudMeanCI, p.CloudMean+p.CloudMeanCI
+	return hi1 < lo2 || hi2 < lo1
+}
+
+// RunReplicatedSweep runs the sweep n times with distinct seeds and
+// aggregates per-point statistics across replications.
+func RunReplicatedSweep(cfg SweepConfig, n int) []ReplicatedPoint {
+	if n <= 0 {
+		panic(fmt.Sprintf("experiments: replications n=%d must be positive", n))
+	}
+	type acc struct {
+		edgeMean, cloudMean stats.Stream
+		edgeP95, cloudP95   stats.Stream
+	}
+	accs := make([]acc, len(cfg.Rates))
+	for rep := 0; rep < n; rep++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(rep)*999983
+		res := RunSweep(c)
+		for i, p := range res.Points {
+			accs[i].edgeMean.Add(p.EdgeMean)
+			accs[i].cloudMean.Add(p.CloudMean)
+			accs[i].edgeP95.Add(p.EdgeP95)
+			accs[i].cloudP95.Add(p.CloudP95)
+		}
+	}
+	out := make([]ReplicatedPoint, len(cfg.Rates))
+	for i, a := range accs {
+		out[i] = ReplicatedPoint{
+			RatePerServer: cfg.Rates[i],
+			EdgeMean:      a.edgeMean.Mean(),
+			EdgeMeanCI:    a.edgeMean.ConfidenceInterval95(),
+			CloudMean:     a.cloudMean.Mean(),
+			CloudMeanCI:   a.cloudMean.ConfidenceInterval95(),
+			EdgeP95:       a.edgeP95.Mean(),
+			EdgeP95CI:     a.edgeP95.ConfidenceInterval95(),
+			CloudP95:      a.cloudP95.Mean(),
+			CloudP95CI:    a.cloudP95.ConfidenceInterval95(),
+			Replications:  n,
+		}
+	}
+	return out
+}
+
+// CrossoverCI runs the sweep n times and returns the mean crossover rate
+// with its 95% confidence half-width. found is false if fewer than half
+// the replications observed a crossover.
+func CrossoverCI(cfg SweepConfig, metric Metric, n int) (rate, ci float64, found bool) {
+	var s stats.Stream
+	for rep := 0; rep < n; rep++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(rep)*999983
+		res := RunSweep(c)
+		if r, _, ok := res.Crossover(metric); ok {
+			s.Add(r)
+		}
+	}
+	if s.N() < int64((n+1)/2) {
+		return 0, 0, false
+	}
+	return s.Mean(), s.ConfidenceInterval95(), true
+}
+
+// InversionInterval is a contiguous span of timeline bins during which
+// the edge's binned mean latency exceeded the cloud's.
+type InversionInterval struct {
+	StartBin, EndBin int     // inclusive bin indices
+	StartTime        float64 // seconds
+	EndTime          float64
+	PeakRatio        float64 // max edge/cloud mean within the interval
+}
+
+// Duration returns the interval length in seconds.
+func (iv InversionInterval) Duration() float64 { return iv.EndTime - iv.StartTime }
+
+// DetectInversions scans paired edge/cloud timelines (as produced by the
+// Azure replay, Figure 9) and extracts the intervals where the edge's
+// per-bin mean exceeds the cloud's. Bins where either side has no
+// observations are skipped (they terminate an open interval).
+func DetectInversions(edge, cloud *stats.TimeSeries) []InversionInterval {
+	if edge == nil || cloud == nil {
+		return nil
+	}
+	n := edge.NumBins()
+	if m := cloud.NumBins(); m < n {
+		n = m
+	}
+	var out []InversionInterval
+	open := false
+	var cur InversionInterval
+	closeInterval := func(endBin int) {
+		if open {
+			cur.EndBin = endBin
+			cur.EndTime = edge.BinTime(endBin) + edge.BinWidth/2
+			out = append(out, cur)
+			open = false
+		}
+	}
+	for i := 0; i < n; i++ {
+		if edge.BinCount(i) == 0 || cloud.BinCount(i) == 0 {
+			closeInterval(i - 1)
+			continue
+		}
+		e, c := edge.BinMean(i), cloud.BinMean(i)
+		if c <= 0 {
+			closeInterval(i - 1)
+			continue
+		}
+		ratio := e / c
+		if e > c {
+			if !open {
+				open = true
+				cur = InversionInterval{
+					StartBin:  i,
+					StartTime: edge.BinTime(i) - edge.BinWidth/2,
+					PeakRatio: ratio,
+				}
+			}
+			if ratio > cur.PeakRatio {
+				cur.PeakRatio = ratio
+			}
+		} else {
+			closeInterval(i - 1)
+		}
+	}
+	closeInterval(n - 1)
+	return out
+}
+
+// InversionFraction returns the fraction of comparable bins that were
+// inverted, plus the worst edge/cloud ratio seen.
+func InversionFraction(edge, cloud *stats.TimeSeries) (fraction, peakRatio float64) {
+	if edge == nil || cloud == nil {
+		return 0, 0
+	}
+	n := edge.NumBins()
+	if m := cloud.NumBins(); m < n {
+		n = m
+	}
+	var comparable, inverted int
+	for i := 0; i < n; i++ {
+		if edge.BinCount(i) == 0 || cloud.BinCount(i) == 0 || cloud.BinMean(i) <= 0 {
+			continue
+		}
+		comparable++
+		ratio := edge.BinMean(i) / cloud.BinMean(i)
+		if ratio > 1 {
+			inverted++
+		}
+		if ratio > peakRatio {
+			peakRatio = ratio
+		}
+	}
+	if comparable == 0 {
+		return 0, peakRatio
+	}
+	return float64(inverted) / float64(comparable), peakRatio
+}

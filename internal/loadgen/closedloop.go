@@ -1,0 +1,114 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// ClosedLoopConfig describes a closed-loop load test: a fixed population
+// of virtual users, each issuing its next request only after the
+// previous response returns (plus an optional think time).
+//
+// Closed-loop generation is the classic methodological trap in queueing
+// experiments: because users wait for responses, the offered load
+// self-throttles exactly when the server is slow, hiding the queueing
+// blow-up that causes performance inversion. edgebench includes it so
+// the open-vs-closed contrast can be demonstrated (see the loadgen
+// tests); the paper's Gatling setup is open-loop, which is why it can
+// observe inversion at all.
+type ClosedLoopConfig struct {
+	TargetURL string
+	Users     int
+	ThinkTime time.Duration // mean exponential think time (0 = none)
+	Duration  time.Duration
+	Warmup    time.Duration
+	Seed      int64
+	// ServiceTimes optionally samples per-request service times for the
+	// X-Service-Time header.
+	ServiceTimes func(rng *rand.Rand) float64
+	Client       *http.Client
+}
+
+// RunClosedLoop executes the closed-loop test and returns the aggregated
+// report.
+func RunClosedLoop(ctx context.Context, cfg ClosedLoopConfig) (*Report, error) {
+	if cfg.TargetURL == "" || cfg.Users <= 0 || cfg.Duration <= 0 {
+		return nil, fmt.Errorf("loadgen: closed-loop config needs TargetURL, Users and Duration")
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{
+			Timeout: 120 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConns:        1024,
+				MaxIdleConnsPerHost: 1024,
+			},
+		}
+	}
+
+	report := &Report{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+
+	for u := 0; u < cfg.Users; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(u)*7919))
+			for time.Now().Before(deadline) {
+				if ctx.Err() != nil {
+					return
+				}
+				var svcHeader string
+				if cfg.ServiceTimes != nil {
+					svcHeader = strconv.FormatFloat(cfg.ServiceTimes(rng), 'g', -1, 64)
+				}
+				res := issue(ctx, client, cfg.TargetURL, svcHeader)
+				inWarmup := time.Since(start) < cfg.Warmup
+
+				mu.Lock()
+				report.Issued++
+				if !inWarmup {
+					switch {
+					case res.Err != nil:
+						report.Errors++
+						report.Failed++
+					case res.Status != http.StatusOK:
+						report.Failed++
+					default:
+						report.Succeeded++
+						report.Latencies.Add(res.Latency.Seconds())
+					}
+				}
+				mu.Unlock()
+
+				if cfg.ThinkTime > 0 {
+					think := time.Duration(rng.ExpFloat64() * float64(cfg.ThinkTime))
+					select {
+					case <-time.After(think):
+					case <-ctx.Done():
+						return
+					}
+				}
+			}
+		}(u)
+	}
+	wg.Wait()
+	report.Duration = time.Since(start)
+	return report, nil
+}
+
+// Throughput returns the achieved successful request rate.
+func (r *Report) Throughput() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Succeeded) / r.Duration.Seconds()
+}

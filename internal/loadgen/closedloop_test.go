@@ -1,0 +1,139 @@
+package loadgen
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/app"
+	"repro/internal/httpserv"
+	"repro/internal/workload"
+)
+
+func slowServer(t *testing.T, workers int, meanService float64) *httptest.Server {
+	t.Helper()
+	srv := httpserv.NewInferenceServer(app.NewInferenceModelWith(meanService, 0), workers, 1)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestClosedLoopBasic(t *testing.T) {
+	ts := slowServer(t, 2, 0.005)
+	rep, err := RunClosedLoop(context.Background(), ClosedLoopConfig{
+		TargetURL: ts.URL,
+		Users:     4,
+		Duration:  800 * time.Millisecond,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Succeeded == 0 {
+		t.Fatal("no successes")
+	}
+	if rep.Failed != 0 {
+		t.Errorf("failures: %d", rep.Failed)
+	}
+	if rep.Throughput() <= 0 {
+		t.Error("throughput should be positive")
+	}
+}
+
+func TestClosedLoopConfigValidation(t *testing.T) {
+	if _, err := RunClosedLoop(context.Background(), ClosedLoopConfig{}); err == nil {
+		t.Error("empty config should error")
+	}
+	if _, err := RunClosedLoop(context.Background(), ClosedLoopConfig{
+		TargetURL: "http://x", Users: 0, Duration: time.Second,
+	}); err == nil {
+		t.Error("zero users should error")
+	}
+}
+
+// TestClosedLoopSelfThrottles: the methodological point. Drive a slow
+// single-worker server (service 50 ms ⇒ capacity 20 req/s) with demand
+// far beyond capacity both ways:
+//   - open loop at 60 req/s: requests pile up, latency explodes well
+//     beyond the service time;
+//   - closed loop with 3 users: latency stays near 3×service time
+//     (each user waits behind at most 2 peers) and throughput
+//     self-limits at capacity.
+func TestClosedLoopSelfThrottles(t *testing.T) {
+	ts := slowServer(t, 1, 0.050)
+
+	open, err := Run(context.Background(), Config{
+		TargetURL: ts.URL,
+		Arrivals:  workload.NewPoisson(60),
+		Duration:  2 * time.Second,
+		Warmup:    500 * time.Millisecond,
+		Seed:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ts2 := slowServer(t, 1, 0.050)
+	closed, err := RunClosedLoop(context.Background(), ClosedLoopConfig{
+		TargetURL: ts2.URL,
+		Users:     3,
+		Duration:  2 * time.Second,
+		Warmup:    500 * time.Millisecond,
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Open-loop latency must blow up far beyond the closed-loop latency.
+	if open.MeanLatency() < 2*closed.MeanLatency() {
+		t.Errorf("open-loop mean %.3fs should dwarf closed-loop %.3fs",
+			open.MeanLatency(), closed.MeanLatency())
+	}
+	// Closed-loop latency is bounded near Users × service time.
+	if closed.MeanLatency() > 0.050*3*2 {
+		t.Errorf("closed-loop mean %.3fs too high for 3 users on a 50ms server", closed.MeanLatency())
+	}
+	// Closed-loop throughput self-limits at or below capacity (20/s).
+	if tp := closed.Throughput(); tp > 22 {
+		t.Errorf("closed-loop throughput %.1f exceeds server capacity", tp)
+	}
+}
+
+func TestClosedLoopThinkTimeReducesThroughput(t *testing.T) {
+	ts := slowServer(t, 4, 0.002)
+	noThink, err := RunClosedLoop(context.Background(), ClosedLoopConfig{
+		TargetURL: ts.URL, Users: 4, Duration: 700 * time.Millisecond, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := slowServer(t, 4, 0.002)
+	think, err := RunClosedLoop(context.Background(), ClosedLoopConfig{
+		TargetURL: ts2.URL, Users: 4, Duration: 700 * time.Millisecond, Seed: 4,
+		ThinkTime: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if think.Issued >= noThink.Issued {
+		t.Errorf("think time should reduce issued requests: %d vs %d", think.Issued, noThink.Issued)
+	}
+}
+
+func TestClosedLoopContextCancel(t *testing.T) {
+	ts := slowServer(t, 1, 0.010)
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := RunClosedLoop(ctx, ClosedLoopConfig{
+		TargetURL: ts.URL, Users: 2, Duration: 30 * time.Second, Seed: 5,
+	})
+	if err != nil {
+		t.Fatalf("closed loop returns the report even on cancel: %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("cancellation did not stop the run promptly")
+	}
+}

@@ -1,0 +1,178 @@
+package loadgen
+
+import (
+	"context"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+func TestRunIssuesAtConfiguredRate(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+
+	rep, err := Run(context.Background(), Config{
+		TargetURL: ts.URL,
+		Arrivals:  workload.NewPoisson(100),
+		Duration:  2 * time.Second,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~200 requests expected.
+	if rep.Issued < 120 || rep.Issued > 300 {
+		t.Errorf("issued %d requests at 100/s over 2s, want ~200", rep.Issued)
+	}
+	if rep.Succeeded != rep.Issued {
+		t.Errorf("succeeded %d != issued %d", rep.Succeeded, rep.Issued)
+	}
+	if int(hits.Load()) != rep.Issued {
+		t.Errorf("server saw %d hits, generator issued %d", hits.Load(), rep.Issued)
+	}
+	if rep.Latencies.N() != rep.Succeeded {
+		t.Errorf("recorded %d latencies", rep.Latencies.N())
+	}
+	if rep.MeanLatency() <= 0 || rep.P95Latency() < rep.MeanLatency()/10 {
+		t.Error("latency stats implausible")
+	}
+}
+
+func TestRunWarmupDiscards(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+	rep, err := Run(context.Background(), Config{
+		TargetURL: ts.URL,
+		Arrivals:  workload.NewPoisson(50),
+		Duration:  1500 * time.Millisecond,
+		Warmup:    750 * time.Millisecond,
+		Seed:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Succeeded >= rep.Issued {
+		t.Errorf("warmup should discard results: succeeded %d of %d issued", rep.Succeeded, rep.Issued)
+	}
+	if rep.Succeeded == 0 {
+		t.Error("post-warmup results missing")
+	}
+}
+
+func TestRunRecordsFailures(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "overloaded", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	rep, err := Run(context.Background(), Config{
+		TargetURL: ts.URL,
+		Arrivals:  workload.NewPoisson(50),
+		Duration:  500 * time.Millisecond,
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed == 0 || rep.Succeeded != 0 {
+		t.Errorf("failures not recorded: %+v", rep)
+	}
+	if rep.Latencies.N() != 0 {
+		t.Error("failed requests must not contribute latencies")
+	}
+}
+
+func TestRunServiceTimeHeader(t *testing.T) {
+	var sawHeader atomic.Bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("X-Service-Time") != "" {
+			sawHeader.Store(true)
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+	_, err := Run(context.Background(), Config{
+		TargetURL:    ts.URL,
+		Arrivals:     workload.NewPoisson(50),
+		Duration:     400 * time.Millisecond,
+		Seed:         4,
+		ServiceTimes: func(rng *rand.Rand) float64 { return 0.005 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sawHeader.Load() {
+		t.Error("X-Service-Time header never sent")
+	}
+}
+
+func TestRunConfigValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Config{}); err == nil {
+		t.Error("empty config should error")
+	}
+	if _, err := Run(context.Background(), Config{TargetURL: "http://x", Duration: time.Second}); err == nil {
+		t.Error("missing arrivals should error")
+	}
+}
+
+func TestRunContextCancel(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := Run(ctx, Config{
+		TargetURL: ts.URL,
+		Arrivals:  workload.NewPoisson(5),
+		Duration:  30 * time.Second,
+		Seed:      5,
+	})
+	if err == nil {
+		t.Error("canceled run should return the context error")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("cancellation did not interrupt the run promptly")
+	}
+}
+
+func TestRunMaxInflight(t *testing.T) {
+	var inflight, peak atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		cur := inflight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+		inflight.Add(-1)
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+	_, err := Run(context.Background(), Config{
+		TargetURL:   ts.URL,
+		Arrivals:    workload.NewPoisson(200),
+		Duration:    500 * time.Millisecond,
+		Seed:        6,
+		MaxInflight: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak.Load() > 3 {
+		t.Errorf("peak inflight %d exceeded cap 3", peak.Load())
+	}
+}

@@ -1,0 +1,105 @@
+// Package netem models the network path between clients and servers. The
+// paper's experiments treat the network as an additive round-trip latency
+// with modest jitter measured between EC2 regions; netem reproduces that
+// with parametric RTT models and provides the paper's scenario presets
+// (edge 1 ms; clouds at 13/15, 25, 54, and 80 ms).
+package netem
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dist"
+)
+
+// Path models the round-trip latency of one network path.
+type Path struct {
+	Name string
+	RTT  dist.Dist
+}
+
+// Sample draws one round-trip latency in seconds.
+func (p Path) Sample(rng *rand.Rand) float64 {
+	v := p.RTT.Sample(rng)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// MeanRTT returns the expected round-trip latency in seconds.
+func (p Path) MeanRTT() float64 { return p.RTT.Mean() }
+
+// String describes the path.
+func (p Path) String() string { return fmt.Sprintf("Path(%s, rtt=%s)", p.Name, p.RTT) }
+
+// Constant returns a path with a fixed RTT in seconds.
+func Constant(name string, rttSeconds float64) Path {
+	return Path{Name: name, RTT: dist.Deterministic{Value: rttSeconds}}
+}
+
+// Jittered returns a path whose RTT is base plus uniform jitter in
+// [0, jitter] seconds, approximating the paper's "RTT between 25 to 28
+// ms" style measurements.
+func Jittered(name string, base, jitter float64) Path {
+	if jitter <= 0 {
+		return Constant(name, base)
+	}
+	return Path{Name: name, RTT: dist.Shifted{D: dist.NewUniform(0, jitter), Offset: base}}
+}
+
+// HeavyTailed returns a path with a lognormal RTT fitted to the given
+// mean and SCV, modeling last-mile links (e.g. cellular) whose latency
+// distributions have long tails.
+func HeavyTailed(name string, mean, scv float64) Path {
+	return Path{Name: name, RTT: dist.NewLogNormalMeanSCV(mean, scv)}
+}
+
+// Paper scenario presets (§4.1). All values in seconds. The edge is
+// emulated at 1 ms (two availability zones in one region); clouds are the
+// four EC2 region pairs the paper measures.
+var (
+	// EdgePath is the 1 ms best-case edge deployment.
+	EdgePath = Jittered("edge-1ms", 0.001, 0.0002)
+	// CloudNearby is us-east-2 → us-east-1 (Ohio→Virginia), ~13–15 ms.
+	CloudNearby = Jittered("cloud-nearby-13ms", 0.013, 0.002)
+	// CloudTypical is Ireland → Frankfurt / Ohio → Montreal, ~25 ms
+	// (paper uses Δn ≈ 25–30 ms for the "typical" scenario).
+	CloudTypical = Jittered("cloud-typical-25ms", 0.025, 0.003)
+	// CloudDistant is Ohio → N. California, ~54 ms.
+	CloudDistant = Jittered("cloud-distant-54ms", 0.054, 0.006)
+	// CloudTranscontinental is us-east-1 → Ireland, ~80 ms.
+	CloudTranscontinental = Jittered("cloud-transcontinental-80ms", 0.080, 0.008)
+)
+
+// Scenario pairs an edge path with a cloud path, as in the paper's four
+// experimental configurations.
+type Scenario struct {
+	Name  string
+	Edge  Path
+	Cloud Path
+}
+
+// DeltaN returns the mean network-latency advantage of the edge.
+func (s Scenario) DeltaN() float64 { return s.Cloud.MeanRTT() - s.Edge.MeanRTT() }
+
+// PaperScenarios returns the paper's four edge/cloud location pairs in
+// increasing cloud distance.
+func PaperScenarios() []Scenario {
+	return []Scenario{
+		{Name: "nearby-13ms", Edge: EdgePath, Cloud: CloudNearby},
+		{Name: "typical-25ms", Edge: EdgePath, Cloud: CloudTypical},
+		{Name: "distant-54ms", Edge: EdgePath, Cloud: CloudDistant},
+		{Name: "transcontinental-80ms", Edge: EdgePath, Cloud: CloudTranscontinental},
+	}
+}
+
+// ScenarioByName looks up a paper scenario; ok is false if absent.
+func ScenarioByName(name string) (Scenario, bool) {
+	for _, s := range PaperScenarios() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}

@@ -1,0 +1,108 @@
+package netem
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestConstantPath(t *testing.T) {
+	p := Constant("c", 0.025)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		if got := p.Sample(rng); got != 0.025 {
+			t.Fatalf("constant path sampled %v", got)
+		}
+	}
+	if p.MeanRTT() != 0.025 {
+		t.Errorf("MeanRTT = %v", p.MeanRTT())
+	}
+}
+
+func TestJitteredPathRange(t *testing.T) {
+	p := Jittered("j", 0.020, 0.004)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 10000; i++ {
+		v := p.Sample(rng)
+		if v < 0.020-1e-12 || v > 0.024+1e-12 {
+			t.Fatalf("jittered sample %v outside [20ms, 24ms]", v)
+		}
+	}
+	if math.Abs(p.MeanRTT()-0.022) > 1e-9 {
+		t.Errorf("MeanRTT = %v, want 0.022", p.MeanRTT())
+	}
+}
+
+func TestJitteredZeroJitterIsConstant(t *testing.T) {
+	p := Jittered("z", 0.010, 0)
+	rng := rand.New(rand.NewSource(3))
+	if p.Sample(rng) != 0.010 {
+		t.Error("zero jitter should be constant")
+	}
+}
+
+func TestHeavyTailedMoments(t *testing.T) {
+	p := HeavyTailed("h", 0.050, 1.5)
+	rng := rand.New(rand.NewSource(4))
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += p.Sample(rng)
+	}
+	mean := sum / n
+	if math.Abs(mean-0.050) > 0.004 {
+		t.Errorf("heavy-tailed mean = %v, want ~0.050", mean)
+	}
+}
+
+func TestSampleClampsNegative(t *testing.T) {
+	// A path with a distribution that can go negative must clamp to 0.
+	p := Jittered("n", -0.010, 0.001)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		if p.Sample(rng) < 0 {
+			t.Fatal("negative RTT escaped clamping")
+		}
+	}
+}
+
+func TestPaperScenarios(t *testing.T) {
+	scs := PaperScenarios()
+	if len(scs) != 4 {
+		t.Fatalf("expected 4 paper scenarios, got %d", len(scs))
+	}
+	// Ordered by increasing cloud distance, and all share the 1 ms edge.
+	prev := 0.0
+	for _, s := range scs {
+		if s.Cloud.MeanRTT() <= prev {
+			t.Errorf("scenario %s out of order", s.Name)
+		}
+		prev = s.Cloud.MeanRTT()
+		if math.Abs(s.Edge.MeanRTT()-0.0011) > 0.0005 {
+			t.Errorf("scenario %s edge RTT = %v, want ~1ms", s.Name, s.Edge.MeanRTT())
+		}
+		if s.DeltaN() <= 0 {
+			t.Errorf("scenario %s has non-positive Δn", s.Name)
+		}
+	}
+	// The paper's nominal distances.
+	wantMs := map[string]float64{
+		"nearby-13ms": 13, "typical-25ms": 25, "distant-54ms": 54, "transcontinental-80ms": 80,
+	}
+	for _, s := range scs {
+		want := wantMs[s.Name]
+		got := s.Cloud.MeanRTT() * 1000
+		if math.Abs(got-want) > 5 {
+			t.Errorf("scenario %s cloud RTT = %vms, want ~%vms", s.Name, got, want)
+		}
+	}
+}
+
+func TestScenarioByName(t *testing.T) {
+	if _, ok := ScenarioByName("typical-25ms"); !ok {
+		t.Error("typical-25ms should exist")
+	}
+	if _, ok := ScenarioByName("nope"); ok {
+		t.Error("unknown scenario should report !ok")
+	}
+}

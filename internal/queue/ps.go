@@ -1,0 +1,200 @@
+package queue
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// PSStation is an egalitarian processor-sharing station with c unit-rate
+// servers: when n requests are present, each receives service at rate
+// min(1, c/n). Processor sharing approximates time-sliced CPU scheduling
+// on the emulated inference servers and serves as an ablation against the
+// paper's FCFS assumption.
+//
+// The implementation advances "virtual work" lazily: on every arrival or
+// departure the remaining service of all in-flight requests is aged by
+// the elapsed time multiplied by the current per-request rate, and the
+// next departure event is rescheduled.
+type PSStation struct {
+	Name    string
+	Servers int
+	engine  *sim.Engine
+
+	inflight  []*psJob
+	lastT     float64
+	nextEvent sim.Handle
+	hasEvent  bool
+
+	m      Metrics
+	warmup float64
+	total  uint64
+}
+
+type psJob struct {
+	req       *Request
+	remaining float64
+}
+
+// NewPSStation creates a processor-sharing station with c servers.
+func NewPSStation(e *sim.Engine, name string, servers int) *PSStation {
+	if servers <= 0 {
+		panic(fmt.Sprintf("queue: PS station %q needs at least one server", name))
+	}
+	s := &PSStation{Name: name, Servers: servers, engine: e, lastT: e.Now()}
+	s.m.QueueLen.Set(e.Now(), 0)
+	s.m.Busy.Set(e.Now(), 0)
+	return s
+}
+
+// SetWarmup discards metrics before time t.
+func (s *PSStation) SetWarmup(t float64) { s.warmup = t }
+
+// Metrics exposes the station's collected metrics.
+func (s *PSStation) Metrics() *Metrics { return &s.m }
+
+// Load returns the number of in-flight requests.
+func (s *PSStation) Load() int { return len(s.inflight) }
+
+// rate returns the current per-request service rate.
+func (s *PSStation) rate() float64 {
+	n := len(s.inflight)
+	if n == 0 {
+		return 0
+	}
+	return math.Min(1, float64(s.Servers)/float64(n))
+}
+
+// age applies elapsed service to all in-flight jobs.
+func (s *PSStation) age() {
+	now := s.engine.Now()
+	dt := now - s.lastT
+	if dt > 0 && len(s.inflight) > 0 {
+		r := s.rate()
+		for _, j := range s.inflight {
+			j.remaining -= dt * r
+			if j.remaining < 0 {
+				j.remaining = 0
+			}
+		}
+	}
+	s.lastT = now
+}
+
+// reschedule cancels any pending departure event and schedules the next
+// one based on the job with the least remaining work.
+func (s *PSStation) reschedule() {
+	if s.hasEvent {
+		s.nextEvent.Cancel()
+		s.hasEvent = false
+	}
+	if len(s.inflight) == 0 {
+		return
+	}
+	minRem := math.Inf(1)
+	for _, j := range s.inflight {
+		if j.remaining < minRem {
+			minRem = j.remaining
+		}
+	}
+	delay := minRem / s.rate()
+	s.nextEvent = s.engine.After(delay, func(e *sim.Engine) {
+		s.hasEvent = false
+		s.departReady()
+	})
+	s.hasEvent = true
+}
+
+// Arrive admits a request.
+func (s *PSStation) Arrive(r *Request) {
+	s.age()
+	now := s.engine.Now()
+	r.Arrival = now
+	r.Start = now // PS begins service immediately (at reduced rate)
+	s.total++
+	if now >= s.warmup {
+		s.m.observeArrival(now)
+	}
+	s.inflight = append(s.inflight, &psJob{req: r, remaining: r.ServiceTime})
+	s.m.Busy.Set(now, math.Min(float64(s.Servers), float64(len(s.inflight))))
+	s.m.QueueLen.Set(now, math.Max(0, float64(len(s.inflight)-s.Servers)))
+	s.reschedule()
+}
+
+func (s *PSStation) departReady() {
+	s.age()
+	now := s.engine.Now()
+	const eps = 1e-12
+	kept := s.inflight[:0]
+	var done []*psJob
+	for _, j := range s.inflight {
+		if j.remaining <= eps {
+			done = append(done, j)
+		} else {
+			kept = append(kept, j)
+		}
+	}
+	s.inflight = kept
+	for _, j := range done {
+		r := j.req
+		r.Departure = now
+		if now >= s.warmup {
+			// In PS the "wait" is the stretch beyond the raw service time.
+			s.m.Wait.Add(r.Sojourn() - r.ServiceTime)
+			s.m.Sojourn.Add(r.Sojourn())
+			s.m.Service.Add(r.ServiceTime)
+			s.m.Departures.Observe(now)
+		}
+		if r.Done != nil {
+			r.Done(s.engine, r)
+		}
+	}
+	s.m.Busy.Set(now, math.Min(float64(s.Servers), float64(len(s.inflight))))
+	s.m.QueueLen.Set(now, math.Max(0, float64(len(s.inflight)-s.Servers)))
+	s.reschedule()
+}
+
+// Finish closes time-weighted metrics at the current simulated time.
+func (s *PSStation) Finish() {
+	now := s.engine.Now()
+	s.m.QueueLen.Finish(now)
+	s.m.Busy.Finish(now)
+}
+
+// TotalArrivals returns the number of requests ever admitted.
+func (s *PSStation) TotalArrivals() uint64 { return s.total }
+
+// Server is the common interface between Station and PSStation, used by
+// dispatchers and the cluster model.
+type Server interface {
+	Arrive(r *Request)
+	Load() int
+	Metrics() *Metrics
+	Finish()
+}
+
+var (
+	_ Server = (*Station)(nil)
+	_ Server = (*PSStation)(nil)
+)
+
+// MergedWaits concatenates the per-request waits from several stations,
+// used to compute the edge-wide weighted averages of Lemma 3.3.
+func MergedWaits(stations []Server) *stats.Sample {
+	out := &stats.Sample{}
+	for _, s := range stations {
+		out.Merge(&s.Metrics().Wait)
+	}
+	return out
+}
+
+// MergedSojourns concatenates per-request sojourn times across stations.
+func MergedSojourns(stations []Server) *stats.Sample {
+	out := &stats.Sample{}
+	for _, s := range stations {
+		out.Merge(&s.Metrics().Sojourn)
+	}
+	return out
+}

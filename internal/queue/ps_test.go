@@ -1,0 +1,180 @@
+package queue
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/theory"
+)
+
+func drivePS(t *testing.T, servers int, lambda, mu, duration float64, seed int64) *PSStation {
+	t.Helper()
+	eng := sim.NewEngine(seed)
+	st := NewPSStation(eng, "ps", servers)
+	st.SetWarmup(duration / 10)
+	arrRng := eng.NewStream()
+	svcRng := eng.NewStream()
+	var schedule func(e *sim.Engine)
+	schedule = func(e *sim.Engine) {
+		if e.Now() > duration {
+			return
+		}
+		st.Arrive(&Request{ServiceTime: svcRng.ExpFloat64() / mu})
+		e.After(arrRng.ExpFloat64()/lambda, schedule)
+	}
+	eng.After(arrRng.ExpFloat64()/lambda, schedule)
+	eng.Run()
+	st.Finish()
+	return st
+}
+
+// TestPSSojournMatchesMM1 exploits the classic insistence of M/M/1-PS:
+// its mean sojourn time equals FCFS M/M/1's, 1/(μ−λ).
+func TestPSSojournMatchesMM1(t *testing.T) {
+	for _, rho := range []float64{0.4, 0.7} {
+		mu := 10.0
+		st := drivePS(t, 1, rho*mu, mu, 8000, 17)
+		want := theory.MM1Sojourn(rho, mu)
+		got := st.Metrics().Sojourn.Mean()
+		if math.Abs(got-want) > 0.15*want {
+			t.Errorf("rho=%v: PS sojourn %.4f, want %.4f", rho, got, want)
+		}
+	}
+}
+
+// TestPSImmediateStartNoIdleWait: a request arriving at an empty PS
+// station departs after exactly its service time.
+func TestPSImmediateStartNoIdleWait(t *testing.T) {
+	eng := sim.NewEngine(1)
+	st := NewPSStation(eng, "ps", 1)
+	var depart float64
+	eng.At(0, func(*sim.Engine) {
+		st.Arrive(&Request{ServiceTime: 2, Done: func(e *sim.Engine, r *Request) {
+			depart = e.Now()
+		}})
+	})
+	eng.Run()
+	if math.Abs(depart-2) > 1e-9 {
+		t.Errorf("solo PS departure at %v, want 2", depart)
+	}
+}
+
+// TestPSFairSharing: two simultaneous equal jobs on one server each take
+// twice their service time.
+func TestPSFairSharing(t *testing.T) {
+	eng := sim.NewEngine(1)
+	st := NewPSStation(eng, "ps", 1)
+	var departures []float64
+	mk := func(svc float64) *Request {
+		return &Request{ServiceTime: svc, Done: func(e *sim.Engine, r *Request) {
+			departures = append(departures, e.Now())
+		}}
+	}
+	eng.At(0, func(*sim.Engine) {
+		st.Arrive(mk(1))
+		st.Arrive(mk(1))
+	})
+	eng.Run()
+	if len(departures) != 2 {
+		t.Fatalf("departures = %v", departures)
+	}
+	for _, d := range departures {
+		if math.Abs(d-2) > 1e-9 {
+			t.Errorf("shared departure at %v, want 2", d)
+		}
+	}
+}
+
+// TestPSUnequalJobs: jobs 1s and 3s arriving together on one server:
+// the short job departs at t=2 (shared until then), the long at t=4.
+func TestPSUnequalJobs(t *testing.T) {
+	eng := sim.NewEngine(1)
+	st := NewPSStation(eng, "ps", 1)
+	var short, long float64
+	eng.At(0, func(*sim.Engine) {
+		st.Arrive(&Request{ServiceTime: 1, Done: func(e *sim.Engine, _ *Request) { short = e.Now() }})
+		st.Arrive(&Request{ServiceTime: 3, Done: func(e *sim.Engine, _ *Request) { long = e.Now() }})
+	})
+	eng.Run()
+	if math.Abs(short-2) > 1e-9 {
+		t.Errorf("short job departed at %v, want 2", short)
+	}
+	if math.Abs(long-4) > 1e-9 {
+		t.Errorf("long job departed at %v, want 4", long)
+	}
+}
+
+// TestPSMultiServerNoSharingBelowCapacity: with c=2 and 2 jobs, each runs
+// at full rate.
+func TestPSMultiServerNoSharingBelowCapacity(t *testing.T) {
+	eng := sim.NewEngine(1)
+	st := NewPSStation(eng, "ps", 2)
+	var departures []float64
+	eng.At(0, func(*sim.Engine) {
+		for i := 0; i < 2; i++ {
+			st.Arrive(&Request{ServiceTime: 1, Done: func(e *sim.Engine, _ *Request) {
+				departures = append(departures, e.Now())
+			}})
+		}
+	})
+	eng.Run()
+	for _, d := range departures {
+		if math.Abs(d-1) > 1e-9 {
+			t.Errorf("under-capacity PS departure at %v, want 1", d)
+		}
+	}
+}
+
+func TestPSLoadTracking(t *testing.T) {
+	eng := sim.NewEngine(1)
+	st := NewPSStation(eng, "ps", 1)
+	eng.At(0, func(*sim.Engine) {
+		st.Arrive(&Request{ServiceTime: 5})
+		st.Arrive(&Request{ServiceTime: 5})
+		if st.Load() != 2 {
+			t.Errorf("Load = %d, want 2", st.Load())
+		}
+	})
+	eng.Run()
+	if st.Load() != 0 {
+		t.Errorf("final Load = %d, want 0", st.Load())
+	}
+	if st.TotalArrivals() != 2 {
+		t.Errorf("TotalArrivals = %d, want 2", st.TotalArrivals())
+	}
+}
+
+func TestPSPanicsOnZeroServers(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-server PS should panic")
+		}
+	}()
+	NewPSStation(sim.NewEngine(1), "bad", 0)
+}
+
+func TestMergedWaits(t *testing.T) {
+	eng := sim.NewEngine(1)
+	a := NewStation(eng, "a", 1, FCFS)
+	b := NewStation(eng, "b", 1, FCFS)
+	eng.At(0, func(*sim.Engine) {
+		a.Arrive(&Request{ServiceTime: 1})
+		a.Arrive(&Request{ServiceTime: 1}) // waits 1s
+		b.Arrive(&Request{ServiceTime: 2})
+	})
+	eng.Run()
+	a.Finish()
+	b.Finish()
+	merged := MergedWaits([]Server{a, b})
+	if merged.N() != 3 {
+		t.Fatalf("merged N = %d, want 3", merged.N())
+	}
+	if got := merged.Quantile(1); math.Abs(got-1) > 1e-9 {
+		t.Errorf("max merged wait = %v, want 1", got)
+	}
+	soj := MergedSojourns([]Server{a, b})
+	if soj.N() != 3 {
+		t.Errorf("merged sojourns N = %d, want 3", soj.N())
+	}
+}

@@ -1,0 +1,276 @@
+// Package queue implements queueing stations on top of the sim engine:
+// a G/G/c FCFS station (the model for both an edge site and the cloud
+// cluster in the paper), alternative disciplines (LIFO, SJF) for
+// ablations, and a processor-sharing station. Stations collect the
+// waiting-time, sojourn-time, queue-length and utilization metrics that
+// the paper's analysis (§3) reasons about.
+package queue
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Discipline selects the order in which queued requests are served.
+type Discipline int
+
+// Supported service disciplines.
+const (
+	FCFS Discipline = iota // first come, first served (the paper's assumption)
+	LIFO                   // last come, first served
+	SJF                    // shortest job first (non-preemptive)
+)
+
+// String names the discipline.
+func (d Discipline) String() string {
+	switch d {
+	case FCFS:
+		return "FCFS"
+	case LIFO:
+		return "LIFO"
+	case SJF:
+		return "SJF"
+	default:
+		return fmt.Sprintf("Discipline(%d)", int(d))
+	}
+}
+
+// Request is one unit of work flowing through a station.
+type Request struct {
+	ID          uint64
+	Site        int     // edge site index, or -1 for cloud
+	Arrival     float64 // arrival time at the station
+	ServiceTime float64 // execution time demanded
+	Start       float64 // time service began
+	Departure   float64 // time service completed
+	NetworkRTT  float64 // round-trip network latency attributed to this request
+	Generated   float64 // time the request left the client (Arrival - RTT/2 conceptually)
+
+	// Dropped is true when the station rejected the request (bounded
+	// queue overflow); Departure is the rejection time and no service
+	// was given.
+	Dropped bool
+
+	// Done is invoked on completion or drop; nil is allowed.
+	Done func(e *sim.Engine, r *Request)
+}
+
+// Wait returns the queueing delay experienced at the station.
+func (r *Request) Wait() float64 { return r.Start - r.Arrival }
+
+// Sojourn returns the total time at the station (wait + service).
+func (r *Request) Sojourn() float64 { return r.Departure - r.Arrival }
+
+// EndToEnd returns the full client-observed latency: network RTT plus
+// station sojourn time, the quantity T = n + w + s in Equations 1–2.
+func (r *Request) EndToEnd() float64 { return r.NetworkRTT + r.Sojourn() }
+
+// Metrics aggregates a station's observations.
+type Metrics struct {
+	Wait         stats.Sample       // per-request queueing delay
+	Sojourn      stats.Sample       // per-request wait + service
+	Service      stats.Stream       // per-request service times
+	QueueLen     stats.TimeWeighted // queue length (excluding in-service)
+	Busy         stats.TimeWeighted // number of busy servers
+	Arrivals     stats.RateCounter
+	Departures   stats.RateCounter
+	Dropped      int64        // rejected by a bounded queue
+	InterArrival stats.Stream // inter-arrival times, for measured SCV
+	lastArrival  float64
+	sawArrival   bool
+}
+
+func (m *Metrics) observeArrival(t float64) {
+	m.Arrivals.Observe(t)
+	if m.sawArrival {
+		m.InterArrival.Add(t - m.lastArrival)
+	}
+	m.sawArrival = true
+	m.lastArrival = t
+}
+
+// Utilization returns the time-average fraction of busy servers given the
+// station's server count.
+func (m *Metrics) Utilization(servers int) float64 {
+	if servers <= 0 {
+		return 0
+	}
+	return m.Busy.Average() / float64(servers)
+}
+
+// Station is a G/G/c queueing station with a single shared queue feeding
+// c servers. With c=1 it models one edge server (paper's M/M/1 and G/G/1
+// cases); with c=k and arrivals from all sites it models the cloud
+// cluster (M/M/k, G/G/k).
+type Station struct {
+	Name    string
+	Servers int
+	Disc    Discipline
+	// QueueCap bounds the number of waiting requests; arrivals beyond it
+	// are dropped (G/G/c/K semantics). 0 means unbounded. The paper's
+	// application "starts dropping requests or thrashing" at saturation
+	// (§4.2); a bounded queue models that regime.
+	QueueCap   int
+	engine     *sim.Engine
+	busy       int
+	waiting    []*Request
+	m          Metrics
+	warmup     float64 // observations before this time are not recorded
+	totalCount uint64
+}
+
+// NewStation creates a station with the given number of servers.
+func NewStation(e *sim.Engine, name string, servers int, disc Discipline) *Station {
+	if servers <= 0 {
+		panic(fmt.Sprintf("queue: station %q needs at least one server", name))
+	}
+	s := &Station{Name: name, Servers: servers, Disc: disc, engine: e}
+	s.m.QueueLen.Set(e.Now(), 0)
+	s.m.Busy.Set(e.Now(), 0)
+	return s
+}
+
+// SetWarmup discards metric observations for requests that complete
+// before time t, removing transient startup bias from steady-state
+// measurements.
+func (s *Station) SetWarmup(t float64) { s.warmup = t }
+
+// Metrics exposes the station's collected metrics.
+func (s *Station) Metrics() *Metrics { return &s.m }
+
+// QueueLength returns the current number of waiting (not in-service)
+// requests.
+func (s *Station) QueueLength() int { return len(s.waiting) }
+
+// Busy returns the number of servers currently serving requests.
+func (s *Station) Busy() int { return s.busy }
+
+// Load returns waiting plus in-service requests, the signal used by
+// least-connection and join-shortest-queue dispatchers.
+func (s *Station) Load() int { return len(s.waiting) + s.busy }
+
+// TotalArrivals returns the number of requests ever admitted.
+func (s *Station) TotalArrivals() uint64 { return s.totalCount }
+
+// Arrive admits a request at the current simulated time. The request's
+// ServiceTime must already be set.
+func (s *Station) Arrive(r *Request) {
+	now := s.engine.Now()
+	r.Arrival = now
+	s.totalCount++
+	if now >= s.warmup {
+		s.m.observeArrival(now)
+	}
+	if s.busy < s.Servers {
+		s.startService(r)
+		return
+	}
+	if s.QueueCap > 0 && len(s.waiting) >= s.QueueCap {
+		r.Dropped = true
+		r.Departure = now
+		if now >= s.warmup {
+			s.m.Dropped++
+		}
+		if r.Done != nil {
+			r.Done(s.engine, r)
+		}
+		return
+	}
+	s.enqueue(r)
+	s.m.QueueLen.Set(now, float64(len(s.waiting)))
+}
+
+func (s *Station) enqueue(r *Request) {
+	switch s.Disc {
+	case FCFS, LIFO:
+		s.waiting = append(s.waiting, r)
+	case SJF:
+		// Insert sorted by service time ascending.
+		i := 0
+		for i < len(s.waiting) && s.waiting[i].ServiceTime <= r.ServiceTime {
+			i++
+		}
+		s.waiting = append(s.waiting, nil)
+		copy(s.waiting[i+1:], s.waiting[i:])
+		s.waiting[i] = r
+	}
+}
+
+func (s *Station) dequeue() *Request {
+	var r *Request
+	switch s.Disc {
+	case FCFS, SJF:
+		r = s.waiting[0]
+		copy(s.waiting, s.waiting[1:])
+		s.waiting[len(s.waiting)-1] = nil
+		s.waiting = s.waiting[:len(s.waiting)-1]
+	case LIFO:
+		r = s.waiting[len(s.waiting)-1]
+		s.waiting[len(s.waiting)-1] = nil
+		s.waiting = s.waiting[:len(s.waiting)-1]
+	}
+	return r
+}
+
+func (s *Station) startService(r *Request) {
+	now := s.engine.Now()
+	r.Start = now
+	s.busy++
+	s.m.Busy.Set(now, float64(s.busy))
+	s.engine.After(r.ServiceTime, func(e *sim.Engine) { s.complete(r) })
+}
+
+func (s *Station) complete(r *Request) {
+	now := s.engine.Now()
+	r.Departure = now
+	s.busy--
+	s.m.Busy.Set(now, float64(s.busy))
+	if now >= s.warmup {
+		s.m.Wait.Add(r.Wait())
+		s.m.Sojourn.Add(r.Sojourn())
+		s.m.Service.Add(r.ServiceTime)
+		s.m.Departures.Observe(now)
+	}
+	if len(s.waiting) > 0 {
+		next := s.dequeue()
+		s.m.QueueLen.Set(now, float64(len(s.waiting)))
+		s.startService(next)
+	}
+	if r.Done != nil {
+		r.Done(s.engine, r)
+	}
+}
+
+// SetServers changes the station's server count at the current simulated
+// time, the primitive behind dynamic resource allocation (the paper's
+// §5.1 "adjusted dynamically to match these workload changes" and its
+// future-work direction). Growing the pool immediately starts service on
+// waiting requests; shrinking lets in-flight services finish (busy may
+// exceed the new target until they complete).
+func (s *Station) SetServers(n int) {
+	if n <= 0 {
+		panic(fmt.Sprintf("queue: station %q cannot scale to %d servers", s.Name, n))
+	}
+	s.Servers = n
+	now := s.engine.Now()
+	for s.busy < s.Servers && len(s.waiting) > 0 {
+		next := s.dequeue()
+		s.m.QueueLen.Set(now, float64(len(s.waiting)))
+		s.startService(next)
+	}
+}
+
+// Finish closes time-weighted metrics at the current simulated time.
+// Call once after the simulation run completes.
+func (s *Station) Finish() {
+	now := s.engine.Now()
+	s.m.QueueLen.Finish(now)
+	s.m.Busy.Finish(now)
+}
+
+// String describes the station.
+func (s *Station) String() string {
+	return fmt.Sprintf("Station(%s, c=%d, %s)", s.Name, s.Servers, s.Disc)
+}

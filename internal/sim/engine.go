@@ -1,0 +1,193 @@
+// Package sim implements the discrete-event simulation engine that
+// substitutes for the paper's EC2 testbed. It provides a simulation clock,
+// an event calendar (binary heap keyed on time with FIFO tie-breaking),
+// and seeded random-number streams so every experiment is reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Event is a callback scheduled to run at a simulated time.
+type Event func(e *Engine)
+
+type scheduledEvent struct {
+	t        float64
+	seq      uint64 // FIFO tie-break for simultaneous events
+	fn       Event
+	canceled bool
+}
+
+type eventHeap []*scheduledEvent
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*scheduledEvent)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; use
+// NewEngine.
+type Engine struct {
+	now       float64
+	events    eventHeap
+	seq       uint64
+	rng       *rand.Rand
+	stopped   bool
+	horizon   float64 // 0 = no horizon
+	processed uint64
+}
+
+// NewEngine returns an engine whose random streams derive from seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulated time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// RNG returns the engine's primary random stream.
+func (e *Engine) RNG() *rand.Rand { return e.rng }
+
+// NewStream returns an independent random stream derived from the
+// engine's seed, for components that should not perturb each other's
+// random sequences.
+func (e *Engine) NewStream() *rand.Rand {
+	return rand.New(rand.NewSource(e.rng.Int63()))
+}
+
+// Handle identifies a scheduled event so it can be canceled.
+type Handle struct{ ev *scheduledEvent }
+
+// Cancel prevents the event from running. Canceling an already-run or
+// already-canceled event is a no-op.
+func (h Handle) Cancel() {
+	if h.ev != nil {
+		h.ev.canceled = true
+	}
+}
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// panics, since that indicates a logic error in the model.
+func (e *Engine) At(t float64, fn Event) Handle {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &scheduledEvent{t: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return Handle{ev: ev}
+}
+
+// After schedules fn to run delay seconds from now.
+func (e *Engine) After(delay float64, fn Event) Handle {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// Stop halts the run loop after the current event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending returns the number of events in the calendar, including
+// canceled events not yet popped.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Run executes events until the calendar empties, Stop is called, or the
+// time horizon (if set with RunUntil) is reached. It returns the final
+// simulated time.
+func (e *Engine) Run() float64 {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		if e.horizon > 0 && e.events[0].t > e.horizon {
+			// Leave post-horizon events in the calendar for later runs.
+			e.now = e.horizon
+			break
+		}
+		ev := heap.Pop(&e.events).(*scheduledEvent)
+		if ev.canceled {
+			continue
+		}
+		if ev.t < e.now {
+			panic(fmt.Sprintf("sim: time moved backwards %v -> %v", e.now, ev.t))
+		}
+		e.now = ev.t
+		e.processed++
+		ev.fn(e)
+	}
+	return e.now
+}
+
+// RunUntil executes events up to and including time horizon, then stops.
+// Events scheduled after the horizon remain in the calendar.
+func (e *Engine) RunUntil(horizon float64) float64 {
+	if horizon < e.now {
+		panic(fmt.Sprintf("sim: horizon %v before now %v", horizon, e.now))
+	}
+	e.horizon = horizon
+	t := e.Run()
+	e.horizon = 0
+	if t < horizon && len(e.events) == 0 {
+		// Calendar drained before the horizon: advance the clock so
+		// repeated RunUntil calls observe monotonic time.
+		e.now = horizon
+		t = horizon
+	}
+	return t
+}
+
+// Every schedules fn to run now+period, then every period thereafter,
+// until the returned Ticker is stopped or the engine halts.
+func (e *Engine) Every(period float64, fn Event) *Ticker {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	t := &Ticker{engine: e, period: period, fn: fn}
+	t.schedule()
+	return t
+}
+
+// Ticker reschedules a recurring event.
+type Ticker struct {
+	engine  *Engine
+	period  float64
+	fn      Event
+	handle  Handle
+	stopped bool
+}
+
+func (t *Ticker) schedule() {
+	t.handle = t.engine.After(t.period, func(e *Engine) {
+		if t.stopped {
+			return
+		}
+		t.fn(e)
+		if !t.stopped {
+			t.schedule()
+		}
+	})
+}
+
+// Stop cancels future firings.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.handle.Cancel()
+}

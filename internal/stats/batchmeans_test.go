@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBatchMeansIIDCoverage(t *testing.T) {
+	// For i.i.d. normals the batch-means CI should cover the true mean in
+	// ~95% of replications; with 40 replications expect at least 30 hits.
+	rng := rand.New(rand.NewSource(10))
+	hits := 0
+	const reps = 40
+	for r := 0; r < reps; r++ {
+		xs := make([]float64, 2000)
+		for i := range xs {
+			xs[i] = 5 + rng.NormFloat64()
+		}
+		bm := ComputeBatchMeans(xs, 20)
+		if math.Abs(bm.Mean-5) <= bm.HalfWidth {
+			hits++
+		}
+	}
+	if hits < 30 {
+		t.Errorf("CI covered the true mean in %d/%d replications", hits, reps)
+	}
+}
+
+// TestBatchMeansWiderThanNaiveForCorrelated: on an AR(1) series, the
+// batch-means CI must exceed the (invalid) i.i.d. CI — the whole point
+// of the method.
+func TestBatchMeansWiderThanNaiveForCorrelated(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 20000
+	xs := make([]float64, n)
+	phi := 0.9
+	for i := 1; i < n; i++ {
+		xs[i] = phi*xs[i-1] + rng.NormFloat64()
+	}
+	bm := ComputeBatchMeans(xs, 20)
+	var s Stream
+	for _, x := range xs {
+		s.Add(x)
+	}
+	naive := s.ConfidenceInterval95()
+	if bm.HalfWidth <= naive {
+		t.Errorf("batch-means CI %v should exceed naive CI %v on AR(1)", bm.HalfWidth, naive)
+	}
+}
+
+func TestBatchMeansBookkeeping(t *testing.T) {
+	xs := make([]float64, 105)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	bm := ComputeBatchMeans(xs, 10)
+	if bm.Batches != 10 || bm.BatchSize != 10 {
+		t.Errorf("batches=%d size=%d, want 10/10", bm.Batches, bm.BatchSize)
+	}
+	// Grand mean over the used prefix (0..99) is 49.5.
+	if math.Abs(bm.Mean-49.5) > 1e-9 {
+		t.Errorf("mean = %v, want 49.5", bm.Mean)
+	}
+}
+
+func TestBatchMeansPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { ComputeBatchMeans([]float64{1, 2, 3}, 1) },
+		func() { ComputeBatchMeans([]float64{1}, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid batch means input should panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLag1Autocorrelation(t *testing.T) {
+	// White noise: near zero.
+	rng := rand.New(rand.NewSource(12))
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	if r := Lag1Autocorrelation(xs); math.Abs(r) > 0.03 {
+		t.Errorf("white-noise lag-1 = %v, want ~0", r)
+	}
+	// AR(1) with phi=0.8: near 0.8.
+	ar := make([]float64, 20000)
+	for i := 1; i < len(ar); i++ {
+		ar[i] = 0.8*ar[i-1] + rng.NormFloat64()
+	}
+	if r := Lag1Autocorrelation(ar); math.Abs(r-0.8) > 0.05 {
+		t.Errorf("AR(1) lag-1 = %v, want ~0.8", r)
+	}
+	// Degenerate inputs.
+	if Lag1Autocorrelation([]float64{1, 2}) != 0 {
+		t.Error("short series should return 0")
+	}
+	if Lag1Autocorrelation([]float64{3, 3, 3, 3}) != 0 {
+		t.Error("constant series should return 0")
+	}
+}
+
+func TestRecommendBatches(t *testing.T) {
+	if got := RecommendBatches(10); got != 2 {
+		t.Errorf("tiny n: %d, want 2", got)
+	}
+	if got := RecommendBatches(100); got != 10 {
+		t.Errorf("n=100: %d, want 10", got)
+	}
+	if got := RecommendBatches(10000); got != 30 {
+		t.Errorf("n=10000: %d, want 30 (capped)", got)
+	}
+	n := 400
+	b := RecommendBatches(n)
+	if b < 2 || b > n/2 {
+		t.Errorf("recommendation %d outside sane bounds", b)
+	}
+}
+
+func TestTCritical95(t *testing.T) {
+	if v := tCritical95(1); math.Abs(v-12.706) > 1e-9 {
+		t.Errorf("t(1) = %v", v)
+	}
+	if v := tCritical95(1000); math.Abs(v-1.96) > 1e-9 {
+		t.Errorf("t(1000) = %v", v)
+	}
+	// Monotone non-increasing over the table range.
+	prev := math.Inf(1)
+	for _, df := range []int{1, 2, 5, 10, 19, 29, 59, 100} {
+		v := tCritical95(df)
+		if v > prev {
+			t.Errorf("t-critical increased at df=%d", df)
+		}
+		prev = v
+	}
+	if !math.IsNaN(tCritical95(0)) {
+		t.Error("df=0 should be NaN")
+	}
+}

@@ -1,0 +1,161 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBoxPlotKnown(t *testing.T) {
+	s := NewSample(9)
+	for i := 1; i <= 9; i++ {
+		s.Add(float64(i))
+	}
+	b := BoxPlotOf("x", s)
+	if b.Median != 5 {
+		t.Errorf("median = %v, want 5", b.Median)
+	}
+	if b.Q1 != 3 || b.Q3 != 7 {
+		t.Errorf("quartiles = %v,%v want 3,7", b.Q1, b.Q3)
+	}
+	if b.Min != 1 || b.Max != 9 {
+		t.Errorf("extremes = %v,%v want 1,9", b.Min, b.Max)
+	}
+	if b.Outliers != 0 {
+		t.Errorf("outliers = %d, want 0", b.Outliers)
+	}
+}
+
+func TestBoxPlotOutliers(t *testing.T) {
+	s := NewSample(0)
+	for i := 0; i < 20; i++ {
+		s.Add(10)
+	}
+	s.Add(1000)
+	b := BoxPlotOf("x", s)
+	if b.Outliers != 1 {
+		t.Errorf("outliers = %d, want 1", b.Outliers)
+	}
+	if b.UpperFence >= 1000 {
+		t.Error("upper fence should exclude the outlier")
+	}
+}
+
+func TestBoxPlotEmpty(t *testing.T) {
+	b := BoxPlotOf("empty", &Sample{})
+	if b.N != 0 || b.Median != 0 {
+		t.Error("empty box plot should be zeroed")
+	}
+}
+
+// TestBoxPlotOrdering: min ≤ q1 ≤ median ≤ q3 ≤ max for any data.
+func TestBoxPlotOrdering(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		s := NewSample(len(xs))
+		s.AddAll(xs)
+		b := BoxPlotOf("p", s)
+		return b.Min <= b.Q1 && b.Q1 <= b.Median && b.Median <= b.Q3 && b.Q3 <= b.Max &&
+			b.LowerFence >= b.Min && b.UpperFence <= b.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarizeDistQuantileInterp(t *testing.T) {
+	s := NewSample(0)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10000; i++ {
+		s.Add(rng.Float64())
+	}
+	d := SummarizeDist("u", s, nil)
+	if len(d.Quantiles) != 99 {
+		t.Fatalf("default probes = %d, want 99", len(d.Quantiles))
+	}
+	// Uniform distribution: quantile(q) ≈ q.
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.955} {
+		if got := d.Quantile(q); !almostEqual(got, q, 0.05) {
+			t.Errorf("Quantile(%v) = %v", q, got)
+		}
+	}
+	// Clamping beyond stored probes.
+	if d.Quantile(0.001) != d.Quantiles[0].Value {
+		t.Error("below-range quantile should clamp to the first probe")
+	}
+	if d.Quantile(0.9999) != d.Quantiles[98].Value {
+		t.Error("above-range quantile should clamp to the last probe")
+	}
+}
+
+func TestSummarizeDistCustomProbes(t *testing.T) {
+	s := NewSample(3)
+	s.AddAll([]float64{1, 2, 3})
+	d := SummarizeDist("x", s, []float64{0.5})
+	if len(d.Quantiles) != 1 || d.Quantiles[0].Q != 0.5 {
+		t.Error("custom probes not honored")
+	}
+	if d.Mean != 2 {
+		t.Errorf("mean = %v, want 2", d.Mean)
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	ts := NewTimeSeries(0, 60)
+	ts.Add(10, 1.0)
+	ts.Add(50, 3.0)
+	ts.Add(70, 10.0)
+	ts.Add(130, 20.0)
+	if ts.NumBins() != 3 {
+		t.Fatalf("bins = %d, want 3", ts.NumBins())
+	}
+	if got := ts.BinMean(0); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("bin 0 mean = %v, want 2", got)
+	}
+	if got := ts.BinMean(1); got != 10 {
+		t.Errorf("bin 1 mean = %v, want 10", got)
+	}
+	if ts.BinCount(0) != 2 || ts.BinCount(1) != 1 || ts.BinCount(2) != 1 {
+		t.Error("bin counts wrong")
+	}
+	if got := ts.BinTime(0); got != 30 {
+		t.Errorf("bin 0 midpoint = %v, want 30", got)
+	}
+	means := ts.Means()
+	if len(means) != 3 || means[2] != 20 {
+		t.Error("Means() wrong")
+	}
+	counts := ts.Counts()
+	if len(counts) != 3 || counts[0] != 2 {
+		t.Error("Counts() wrong")
+	}
+}
+
+func TestTimeSeriesEarlyObservation(t *testing.T) {
+	ts := NewTimeSeries(100, 10)
+	ts.Add(50, 5) // before Start: clamped into bin 0
+	if ts.NumBins() != 1 || ts.BinCount(0) != 1 {
+		t.Error("early observation not clamped into first bin")
+	}
+}
+
+func TestTimeSeriesQuantile(t *testing.T) {
+	ts := NewTimeSeries(0, 1)
+	for i := 0; i < 100; i++ {
+		ts.Add(0.5, float64(i))
+	}
+	if got := ts.BinQuantile(0, 0.5); !almostEqual(got, 49.5, 1e-9) {
+		t.Errorf("bin median = %v, want 49.5", got)
+	}
+}
+
+func TestTimeSeriesPanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero bin width should panic")
+		}
+	}()
+	NewTimeSeries(0, 0)
+}

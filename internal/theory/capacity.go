@@ -1,0 +1,109 @@
+package theory
+
+import (
+	"fmt"
+	"math"
+)
+
+// MinEdgeServers implements the §5.1 provisioning rule (paper Equation
+// 22): the smallest number of servers k_i at edge site i receiving λ_i
+// req/s such that Lemma 3.1's inversion condition fails, i.e.
+//
+//	Δn ≥ √2/μ ( 1/(√k_i (1 − λ_i/(μ k_i))) − 1/(√k (1 − λ/(μ k))) )
+//
+// where k is the cloud server count and λ the aggregate rate. It returns
+// the minimal k_i and the number of servers beyond the site's fair share
+// (overprovisioning). maxServers bounds the search; if even maxServers
+// cannot avoid inversion, ok is false.
+func MinEdgeServers(dn, mu, lambdaSite, lambdaTotal float64, cloudServers, maxServers int) (ki int, ok bool) {
+	if mu <= 0 || cloudServers <= 0 || maxServers <= 0 {
+		panic(fmt.Sprintf("theory: MinEdgeServers mu=%v k=%d max=%d invalid", mu, cloudServers, maxServers))
+	}
+	k := float64(cloudServers)
+	rhoCloud := lambdaTotal / (mu * k)
+	var cloudTerm float64
+	if rhoCloud < 1 {
+		cloudTerm = 1 / (math.Sqrt(k) * (1 - rhoCloud))
+	} // saturated cloud ⇒ cloudTerm → ∞ handled below
+
+	for c := 1; c <= maxServers; c++ {
+		rhoSite := lambdaSite / (mu * float64(c))
+		if rhoSite >= 1 {
+			continue // site saturated; need more servers
+		}
+		edgeTerm := 1 / (math.Sqrt(float64(c)) * (1 - rhoSite))
+		if rhoCloud >= 1 {
+			// Cloud saturated: any stable edge site avoids inversion.
+			return c, true
+		}
+		excess := math.Sqrt2 / mu * (edgeTerm - cloudTerm)
+		if dn >= excess {
+			return c, true
+		}
+	}
+	return maxServers, false
+}
+
+// ProvisionPlan computes per-site minimum server counts for a skewed
+// workload, applying MinEdgeServers at every site plus an
+// overprovisioning headroom factor (≥ 1.0).
+type ProvisionPlan struct {
+	PerSite    []int // servers at each edge site
+	TotalEdge  int
+	CloudTotal int
+	Feasible   bool // false if some site could not avoid inversion within the bound
+}
+
+// PlanEdgeCapacity returns the provisioning plan for per-site rates
+// lambdas against a cloud of cloudServers, per §5.1.
+func PlanEdgeCapacity(dn, mu float64, lambdas []float64, cloudServers int, headroom float64, maxPerSite int) ProvisionPlan {
+	if headroom < 1 {
+		panic("theory: headroom factor must be >= 1")
+	}
+	var total float64
+	for _, l := range lambdas {
+		total += l
+	}
+	plan := ProvisionPlan{PerSite: make([]int, len(lambdas)), CloudTotal: cloudServers, Feasible: true}
+	for i, l := range lambdas {
+		ki, ok := MinEdgeServers(dn, mu, l, total, cloudServers, maxPerSite)
+		if !ok {
+			plan.Feasible = false
+		}
+		ki = int(math.Ceil(float64(ki) * headroom))
+		plan.PerSite[i] = ki
+		plan.TotalEdge += ki
+	}
+	return plan
+}
+
+// TwoSigmaCapacity implements §5.2's peak-provisioning comparison for a
+// Poisson workload of aggregate mean λ split evenly over k sites:
+//
+//	C_cloud = λ + 2√λ
+//	C_edge  = k(λ/k + 2√(λ/k)) = λ + 2√(kλ)
+//
+// Both are expressed in requests/second of required service capacity. The
+// overhead factor C_edge/C_cloud quantifies the extra capacity cost of
+// the edge.
+func TwoSigmaCapacity(lambda float64, k int) (cloud, edge, overhead float64) {
+	if lambda < 0 || k <= 0 {
+		panic(fmt.Sprintf("theory: TwoSigmaCapacity lambda=%v k=%d invalid", lambda, k))
+	}
+	cloud = lambda + 2*math.Sqrt(lambda)
+	edge = lambda + 2*math.Sqrt(float64(k)*lambda)
+	if cloud > 0 {
+		overhead = edge / cloud
+	}
+	return cloud, edge, overhead
+}
+
+// TwoSigmaServers converts the two-sigma capacities into integer server
+// counts for per-server rate μ.
+func TwoSigmaServers(lambda float64, k int, mu float64) (cloudServers, edgeServers int) {
+	if mu <= 0 {
+		panic("theory: TwoSigmaServers needs positive mu")
+	}
+	cloud, edge, _ := TwoSigmaCapacity(lambda, k)
+	return int(math.Ceil(cloud / mu)), int(math.Ceil(edge / mu))
+}

@@ -1,0 +1,189 @@
+package theory
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTwoSigmaCapacityFormula(t *testing.T) {
+	cloud, edge, overhead := TwoSigmaCapacity(100, 4)
+	if !close(cloud, 100+2*10, 1e-12) {
+		t.Errorf("C_cloud = %v, want 120", cloud)
+	}
+	if !close(edge, 100+2*20, 1e-12) {
+		t.Errorf("C_edge = %v, want 140", edge)
+	}
+	if !close(overhead, 140.0/120.0, 1e-12) {
+		t.Errorf("overhead = %v", overhead)
+	}
+}
+
+// TestEdgeAlwaysCostsMore: C_edge > C_cloud for every k > 1 (the §5.2
+// claim), and equality at k=1.
+func TestEdgeAlwaysCostsMore(t *testing.T) {
+	f := func(lRaw uint16, kRaw uint8) bool {
+		lambda := 1 + float64(lRaw%5000)
+		k := 2 + int(kRaw%200)
+		cloud, edge, _ := TwoSigmaCapacity(lambda, k)
+		return edge > cloud
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	cloud, edge, overhead := TwoSigmaCapacity(50, 1)
+	if cloud != edge || overhead != 1 {
+		t.Error("k=1 edge capacity should equal cloud capacity")
+	}
+}
+
+// TestOverheadGrowsWithK and shrinks with λ (smoothing benefit).
+func TestOverheadTrends(t *testing.T) {
+	_, _, o5 := TwoSigmaCapacity(100, 5)
+	_, _, o50 := TwoSigmaCapacity(100, 50)
+	if o50 <= o5 {
+		t.Error("overhead should grow with k")
+	}
+	_, _, small := TwoSigmaCapacity(10, 10)
+	_, _, large := TwoSigmaCapacity(10000, 10)
+	if large >= small {
+		t.Error("overhead should shrink as λ grows")
+	}
+}
+
+func TestTwoSigmaServers(t *testing.T) {
+	cs, es := TwoSigmaServers(100, 4, 13)
+	if cs != int(math.Ceil(120.0/13)) {
+		t.Errorf("cloud servers = %d", cs)
+	}
+	if es != int(math.Ceil(140.0/13)) {
+		t.Errorf("edge servers = %d", es)
+	}
+	if es < cs {
+		t.Error("edge should need at least as many servers")
+	}
+}
+
+func TestMinEdgeServersBasic(t *testing.T) {
+	// Generous Δn: one server suffices at low load.
+	ki, ok := MinEdgeServers(0.5, 13, 2, 10, 5, 32)
+	if !ok || ki != 1 {
+		t.Errorf("low-load site: ki=%d ok=%v, want 1,true", ki, ok)
+	}
+	// Tiny Δn at high site load: needs more than its fair share.
+	ki2, ok2 := MinEdgeServers(0.005, 13, 12, 60, 5, 32)
+	if !ok2 {
+		t.Fatal("should be satisfiable within 32 servers")
+	}
+	if ki2 <= 1 {
+		t.Errorf("high-load tight-Δn site should need >1 server, got %d", ki2)
+	}
+}
+
+// TestMinEdgeServersMonotone: shrinking Δn never reduces the requirement.
+func TestMinEdgeServersMonotone(t *testing.T) {
+	prev := 0
+	for _, dn := range []float64{0.100, 0.050, 0.020, 0.010, 0.005} {
+		ki, ok := MinEdgeServers(dn, 13, 10, 50, 5, 64)
+		if !ok {
+			t.Fatalf("unsatisfiable at dn=%v", dn)
+		}
+		if ki < prev {
+			t.Fatalf("requirement shrank as Δn tightened: %d after %d", ki, prev)
+		}
+		prev = ki
+	}
+}
+
+// TestMinEdgeServersAvoidsInversion: the returned k_i actually defeats
+// Lemma 3.1 at the site.
+func TestMinEdgeServersAvoidsInversion(t *testing.T) {
+	dn, mu := 0.024, 13.0
+	lambdaSite, lambdaTotal := 9.0, 45.0
+	cloudK := 5
+	ki, ok := MinEdgeServers(dn, mu, lambdaSite, lambdaTotal, cloudK, 64)
+	if !ok {
+		t.Fatal("expected feasible plan")
+	}
+	rhoSite := lambdaSite / (mu * float64(ki))
+	rhoCloud := lambdaTotal / (mu * float64(cloudK))
+	edgeTerm := math.Sqrt2 / mu / (math.Sqrt(float64(ki)) * (1 - rhoSite))
+	cloudTerm := math.Sqrt2 / mu / (math.Sqrt(float64(cloudK)) * (1 - rhoCloud))
+	if edgeTerm-cloudTerm > dn {
+		t.Errorf("k_i=%d does not defeat the inversion condition", ki)
+	}
+	// And k_i−1 must fail (minimality), unless k_i is 1.
+	if ki > 1 {
+		rhoLess := lambdaSite / (mu * float64(ki-1))
+		if rhoLess < 1 {
+			edgeLess := math.Sqrt2 / mu / (math.Sqrt(float64(ki-1)) * (1 - rhoLess))
+			if edgeLess-cloudTerm <= dn {
+				t.Errorf("k_i=%d not minimal: %d already suffices", ki, ki-1)
+			}
+		}
+	}
+}
+
+func TestMinEdgeServersInfeasible(t *testing.T) {
+	// Site load beyond what maxServers can stabilize.
+	_, ok := MinEdgeServers(0.010, 1, 100, 100, 5, 4)
+	if ok {
+		t.Error("expected infeasible plan with maxServers=4 and λ=100, μ=1")
+	}
+}
+
+func TestPlanEdgeCapacity(t *testing.T) {
+	lambdas := []float64{12, 6, 3, 2, 2}
+	plan := PlanEdgeCapacity(0.024, 13, lambdas, 5, 1.0, 64)
+	if !plan.Feasible {
+		t.Fatal("plan should be feasible")
+	}
+	if len(plan.PerSite) != 5 {
+		t.Fatalf("per-site length = %d", len(plan.PerSite))
+	}
+	// The busiest site gets at least as many servers as the quietest.
+	if plan.PerSite[0] < plan.PerSite[4] {
+		t.Errorf("capacity should follow load: %v", plan.PerSite)
+	}
+	var total int
+	for _, k := range plan.PerSite {
+		total += k
+	}
+	if total != plan.TotalEdge {
+		t.Error("TotalEdge should sum per-site counts")
+	}
+	// Headroom inflates every site.
+	padded := PlanEdgeCapacity(0.024, 13, lambdas, 5, 1.5, 64)
+	for i := range lambdas {
+		if padded.PerSite[i] < plan.PerSite[i] {
+			t.Errorf("headroom reduced site %d capacity", i)
+		}
+	}
+}
+
+func TestPlanEdgeCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("headroom < 1 should panic")
+		}
+	}()
+	PlanEdgeCapacity(0.02, 13, []float64{1}, 5, 0.5, 8)
+}
+
+func TestTwoSigmaPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { TwoSigmaCapacity(-1, 5) },
+		func() { TwoSigmaCapacity(10, 0) },
+		func() { TwoSigmaServers(10, 5, 0) },
+		func() { MinEdgeServers(0.01, 0, 1, 1, 5, 8) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid capacity input should panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,95 @@
+package theory
+
+import (
+	"fmt"
+	"math"
+)
+
+// PsWaitProbability returns Bolch et al.'s closed-form approximation
+// (paper Equation 16) for the steady-state probability that an arriving
+// request waits in a k-server system at utilization ρ:
+//
+//	Ps ≈ (ρ^k + ρ)/2        if ρ > 0.7
+//	Ps ≈ ρ^((k+1)/2)        if ρ ≤ 0.7
+func PsWaitProbability(k int, rho float64) float64 {
+	if k <= 0 {
+		panic(fmt.Sprintf("theory: PsWaitProbability k=%d invalid", k))
+	}
+	if rho <= 0 {
+		return 0
+	}
+	if rho >= 1 {
+		return 1
+	}
+	if rho > 0.7 {
+		return (math.Pow(rho, float64(k)) + rho) / 2
+	}
+	return math.Pow(rho, (float64(k)+1)/2)
+}
+
+// AllenCunneenWait returns the Allen–Cunneen approximation (paper
+// Equations 14–15) for the expected queueing delay of a G/G/k queue:
+//
+//	E[W] ≈ Ps / (k μ (1−ρ)) · (ca² + cb²)/2
+//
+// where Ps is the wait probability. For k=1 Ps reduces to ρ, recovering
+// Equation 14. ca2 and cb2 are the squared coefficients of variation of
+// inter-arrival and service times.
+func AllenCunneenWait(k int, rho, mu, ca2, cb2 float64) float64 {
+	if k <= 0 || mu <= 0 {
+		panic(fmt.Sprintf("theory: AllenCunneenWait k=%d mu=%v invalid", k, mu))
+	}
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	if rho <= 0 {
+		return 0
+	}
+	var ps float64
+	if k == 1 {
+		ps = rho
+	} else {
+		ps = PsWaitProbability(k, rho)
+	}
+	return ps / (float64(k) * mu * (1 - rho)) * (ca2 + cb2) / 2
+}
+
+// AllenCunneenWaitPaper mirrors the exact algebraic form the paper
+// substitutes into Lemma 3.2 (Equation 17): the k-server term uses
+// Ps = (ρ^k + ρ)/2 unconditionally (the high-utilization branch), because
+// the paper argues inversion only matters at high utilization.
+func AllenCunneenWaitPaper(k int, rho, mu, ca2, cb2 float64) float64 {
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	if rho <= 0 {
+		return 0
+	}
+	if k == 1 {
+		return rho / (mu * (1 - rho)) * (ca2 + cb2) / 2
+	}
+	ps := (math.Pow(rho, float64(k)) + rho) / 2
+	return ps / (mu * (1 - rho)) * (ca2 + cb2) / (2 * float64(k))
+}
+
+// GGkSojourn returns Allen–Cunneen wait plus mean service time.
+func GGkSojourn(k int, rho, mu, ca2, cb2 float64) float64 {
+	w := AllenCunneenWait(k, rho, mu, ca2, cb2)
+	if math.IsInf(w, 1) {
+		return w
+	}
+	return w + 1/mu
+}
+
+// GGkAccuracyNote reports the relative error of the Allen–Cunneen
+// approximation against the exact M/M/k value at the given point (ca²=
+// cb²=1 recovers M/M/k, where exact results exist). It is exposed so
+// tests and EXPERIMENTS.md can quantify approximation quality.
+func GGkAccuracyNote(k int, rho, mu float64) float64 {
+	exact := MMcWait(k, rho, mu)
+	approx := AllenCunneenWait(k, rho, mu, 1, 1)
+	if exact == 0 {
+		return 0
+	}
+	return (approx - exact) / exact
+}

@@ -1,0 +1,150 @@
+package theory
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPsWaitProbability(t *testing.T) {
+	// k=1 low regime: ρ^((1+1)/2) = ρ.
+	if got := PsWaitProbability(1, 0.5); !close(got, 0.5, 1e-12) {
+		t.Errorf("Ps(1, 0.5) = %v, want 0.5", got)
+	}
+	// High regime: (ρ^k + ρ)/2.
+	if got := PsWaitProbability(3, 0.9); !close(got, (math.Pow(0.9, 3)+0.9)/2, 1e-12) {
+		t.Errorf("Ps(3, 0.9) = %v", got)
+	}
+	if PsWaitProbability(5, 0) != 0 {
+		t.Error("Ps at zero load should be 0")
+	}
+	if PsWaitProbability(5, 1) != 1 {
+		t.Error("Ps at saturation should be 1")
+	}
+}
+
+// TestPsBounds: Ps stays within [0,1] everywhere.
+func TestPsBounds(t *testing.T) {
+	f := func(kRaw, rhoRaw uint8) bool {
+		k := 1 + int(kRaw%30)
+		rho := float64(rhoRaw) / 255
+		ps := PsWaitProbability(k, rho)
+		return ps >= 0 && ps <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPsApproximatesErlangC: Bolch's closed form should track the exact
+// Erlang-C wait probability within a modest error across the sane range.
+func TestPsApproximatesErlangC(t *testing.T) {
+	for _, k := range []int{1, 2, 5, 10} {
+		for _, rho := range []float64{0.5, 0.75, 0.9} {
+			exact := ErlangC(k, float64(k)*rho)
+			approx := PsWaitProbability(k, rho)
+			if math.Abs(exact-approx) > 0.22 {
+				t.Errorf("k=%d rho=%v: Ps approx %v vs ErlangC %v", k, rho, approx, exact)
+			}
+		}
+	}
+}
+
+func TestAllenCunneenReducesToMM1(t *testing.T) {
+	// ca2=cb2=1, k=1: E[W] = ρ/(μ(1−ρ)) exactly.
+	for _, rho := range []float64{0.3, 0.6, 0.9} {
+		if !close(AllenCunneenWait(1, rho, 13, 1, 1), MM1Wait(rho, 13), 1e-12) {
+			t.Errorf("AC(k=1, M/M) != MM1 at rho=%v", rho)
+		}
+	}
+}
+
+func TestAllenCunneenReducesToPK(t *testing.T) {
+	// k=1 general service = Pollaczek–Khinchine.
+	for _, cb2 := range []float64{0, 0.5, 2} {
+		if !close(AllenCunneenWait(1, 0.7, 5, 1, cb2), PollaczekKhinchineWait(0.7, 5, cb2), 1e-12) {
+			t.Errorf("AC(k=1) != PK at cb2=%v", cb2)
+		}
+	}
+}
+
+// TestAllenCunneenNearExactMMk: with ca2=cb2=1 the approximation should
+// track exact M/M/k in the high-utilization regime the paper uses it in.
+// The Ps closed form is coarsest around the ρ=0.7 regime boundary for
+// large k (~30% there), tightening as ρ→1, so the tolerance shrinks with
+// utilization.
+func TestAllenCunneenNearExactMMk(t *testing.T) {
+	tol := map[float64]float64{0.75: 0.35, 0.85: 0.25, 0.95: 0.10}
+	for _, k := range []int{2, 5, 10} {
+		for _, rho := range []float64{0.75, 0.85, 0.95} {
+			exact := MMcWait(k, rho, 13)
+			approx := AllenCunneenWait(k, rho, 13, 1, 1)
+			relErr := math.Abs(approx-exact) / exact
+			if relErr > tol[rho] {
+				t.Errorf("k=%d rho=%v: AC rel err %.2f too large (%v vs %v)",
+					k, rho, relErr, approx, exact)
+			}
+		}
+	}
+}
+
+// TestAllenCunneenMonotoneInVariability: more variable arrivals or
+// service must increase the predicted wait (Corollary 3.2.1's driver).
+func TestAllenCunneenMonotoneInVariability(t *testing.T) {
+	f := func(caRaw, cbRaw uint8) bool {
+		ca2 := float64(caRaw%40) / 10
+		cb2 := float64(cbRaw%40) / 10
+		base := AllenCunneenWait(5, 0.8, 13, ca2, cb2)
+		moreA := AllenCunneenWait(5, 0.8, 13, ca2+0.5, cb2)
+		moreB := AllenCunneenWait(5, 0.8, 13, ca2, cb2+0.5)
+		return moreA >= base && moreB >= base
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllenCunneenEdgeCases(t *testing.T) {
+	if AllenCunneenWait(3, 0, 1, 1, 1) != 0 {
+		t.Error("zero load AC wait should be 0")
+	}
+	if !math.IsInf(AllenCunneenWait(3, 1, 1, 1, 1), 1) {
+		t.Error("saturated AC wait should be +Inf")
+	}
+}
+
+func TestAllenCunneenPaperForm(t *testing.T) {
+	// k=1 matches the standard form.
+	if !close(AllenCunneenWaitPaper(1, 0.8, 13, 1, 1), AllenCunneenWait(1, 0.8, 13, 1, 1), 1e-12) {
+		t.Error("paper form k=1 mismatch")
+	}
+	// Above ρ=0.7 the forms agree for k>1 too.
+	if !close(AllenCunneenWaitPaper(5, 0.8, 13, 1, 1), AllenCunneenWait(5, 0.8, 13, 1, 1), 1e-12) {
+		t.Error("paper form high-ρ mismatch")
+	}
+	// Below 0.7 they differ (regime switch) but both stay positive.
+	lo1 := AllenCunneenWaitPaper(5, 0.5, 13, 1, 1)
+	lo2 := AllenCunneenWait(5, 0.5, 13, 1, 1)
+	if lo1 <= 0 || lo2 <= 0 {
+		t.Error("low-ρ waits should be positive")
+	}
+}
+
+func TestGGkSojourn(t *testing.T) {
+	w := AllenCunneenWait(2, 0.6, 4, 1, 1)
+	if !close(GGkSojourn(2, 0.6, 4, 1, 1), w+0.25, 1e-12) {
+		t.Error("sojourn should add mean service 1/μ")
+	}
+	if !math.IsInf(GGkSojourn(2, 1, 4, 1, 1), 1) {
+		t.Error("saturated sojourn should be +Inf")
+	}
+}
+
+func TestGGkAccuracyNote(t *testing.T) {
+	// The reported relative error must match a direct computation.
+	k, rho, mu := 5, 0.85, 13.0
+	want := (AllenCunneenWait(k, rho, mu, 1, 1) - MMcWait(k, rho, mu)) / MMcWait(k, rho, mu)
+	if got := GGkAccuracyNote(k, rho, mu); !close(got, want, 1e-12) {
+		t.Errorf("accuracy note = %v, want %v", got, want)
+	}
+}

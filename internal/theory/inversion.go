@@ -1,0 +1,251 @@
+package theory
+
+import (
+	"fmt"
+	"math"
+)
+
+// Deployment describes one edge-vs-cloud comparison instance: an
+// application that runs either on k servers behind one cloud queue, or
+// distributed over k edge sites (ServersPerSite servers each). All
+// latencies are in seconds.
+type Deployment struct {
+	K              int     // number of cloud servers / edge sites
+	ServersPerSite int     // m servers at each edge site (paper default 1)
+	Mu             float64 // per-server service rate, req/s
+	EdgeRTT        float64 // n_edge, round-trip network latency to the edge
+	CloudRTT       float64 // n_cloud, round-trip network latency to the cloud
+}
+
+// DeltaN returns Δn = n_cloud − n_edge, the network-latency advantage of
+// the edge.
+func (d Deployment) DeltaN() float64 { return d.CloudRTT - d.EdgeRTT }
+
+// validate panics on nonsensical configurations.
+func (d Deployment) validate() {
+	if d.K <= 0 || d.Mu <= 0 || d.ServersPerSite <= 0 {
+		panic(fmt.Sprintf("theory: invalid deployment %+v", d))
+	}
+}
+
+// CloudServers returns the total number of cloud servers (k × m).
+func (d Deployment) CloudServers() int { return d.K * d.ServersPerSite }
+
+// Lemma31 evaluates the paper's Lemma 3.1 (M/M/1 edge sites vs M/M/k
+// cloud, Whitt conditional waits): the edge end-to-end latency exceeds
+// the cloud's whenever
+//
+//	Δn < √2 ( 1/(1−ρ_edge) − 1/(√k (1−ρ_cloud)) ) / μ
+//
+// The returned margin is (edge excess wait − Δn) in seconds: positive
+// means performance inversion (edge worse), negative means the edge wins.
+// When each edge site has m>1 servers, the edge term uses √m per Whitt.
+func (d Deployment) Lemma31(rhoEdge, rhoCloud float64) (inverted bool, margin float64) {
+	d.validate()
+	we := WhittCondWait(d.ServersPerSite, rhoEdge, d.Mu)
+	wc := WhittCondWait(d.CloudServers(), rhoCloud, d.Mu)
+	margin = (we - wc) - d.DeltaN()
+	return margin > 0, margin
+}
+
+// CutoffUtilization311 returns Corollary 3.1.1's cutoff edge utilization
+// ρ*: for balanced load (ρ_edge = ρ_cloud) and identical server
+// configurations, performance inversion occurs for all ρ > ρ*. Solving
+// Lemma 3.1 at equality with m-server edge sites:
+//
+//	Δn = √2/μ · (1/√m − 1/√(km)) / (1−ρ)
+//	ρ* = 1 − √2 (1/√m − 1/√(km)) / (μ Δn)
+//
+// With m=1 this is the paper's ρ* = 1 − √2(1−1/√k)/(μΔn). The result is
+// clamped to [0, 1]: 0 means inversion at any load, 1 means never.
+func (d Deployment) CutoffUtilization311() float64 {
+	d.validate()
+	dn := d.DeltaN()
+	if dn <= 0 {
+		return 0 // the cloud is at least as close; the edge can never win
+	}
+	m := float64(d.ServersPerSite)
+	km := float64(d.CloudServers())
+	rho := 1 - math.Sqrt2*(1/math.Sqrt(m)-1/math.Sqrt(km))/(d.Mu*dn)
+	return clamp01(rho)
+}
+
+// CutoffUtilizationLimit312 returns Corollary 3.1.2's k→∞ limit of the
+// cutoff utilization: ρ* = 1 − √2/(μ Δn) (for single-server sites).
+func (d Deployment) CutoffUtilizationLimit312() float64 {
+	d.validate()
+	dn := d.DeltaN()
+	if dn <= 0 {
+		return 0
+	}
+	m := float64(d.ServersPerSite)
+	return clamp01(1 - math.Sqrt2/(math.Sqrt(m)*d.Mu*dn))
+}
+
+// HardCloudRTTBound313 returns Corollary 3.1.3's hard lower bound on the
+// cloud network RTT: if n_cloud is below this value (seconds), the edge
+// yields worse end-to-end latency even with a 0 ms edge RTT.
+func (d Deployment) HardCloudRTTBound313(rhoEdge, rhoCloud float64) float64 {
+	d.validate()
+	we := WhittCondWait(d.ServersPerSite, rhoEdge, d.Mu)
+	wc := WhittCondWait(d.CloudServers(), rhoCloud, d.Mu)
+	b := we - wc
+	if b < 0 {
+		return 0
+	}
+	return b
+}
+
+// Lemma32 evaluates the generalized G/G bound (paper Lemma 3.2 /
+// Equation 18) using the Allen–Cunneen approximation with the paper's
+// high-utilization Ps form. ca2Edge and ca2Cloud are the squared CoVs of
+// inter-arrival times at one edge site and at the cloud; cb2 is the
+// squared CoV of service times (identical hardware ⇒ shared).
+// The returned margin is (edge wait − cloud wait − Δn); positive means
+// inversion.
+func (d Deployment) Lemma32(rhoEdge, rhoCloud, ca2Edge, ca2Cloud, cb2 float64) (inverted bool, margin float64) {
+	d.validate()
+	we := AllenCunneenWaitPaper(d.ServersPerSite, rhoEdge, d.Mu, ca2Edge, cb2)
+	wc := AllenCunneenWaitPaper(d.CloudServers(), rhoCloud, d.Mu, ca2Cloud, cb2)
+	margin = (we - wc) - d.DeltaN()
+	return margin > 0, margin
+}
+
+// Corollary321Margin returns the k→∞ limit of Lemma 3.2: the cloud term
+// vanishes and inversion depends only on the edge workload's burstiness:
+//
+//	Δn < ρ/(μ(1−ρ)) · (ca²_edge + cb²)/2
+func (d Deployment) Corollary321Margin(rhoEdge, ca2Edge, cb2 float64) (inverted bool, margin float64) {
+	d.validate()
+	we := AllenCunneenWaitPaper(1, rhoEdge, d.Mu, ca2Edge, cb2)
+	margin = we - d.DeltaN()
+	return margin > 0, margin
+}
+
+// CutoffUtilizationGG numerically solves Lemma 3.2 at equality for the
+// balanced case (ρ_edge = ρ_cloud = ρ) by bisection, returning the cutoff
+// utilization above which inversion occurs under general arrival/service
+// variability. Returns 1 if no inversion below saturation, 0 if inversion
+// at any load.
+func (d Deployment) CutoffUtilizationGG(ca2Edge, ca2Cloud, cb2 float64) float64 {
+	d.validate()
+	f := func(rho float64) float64 {
+		_, m := d.Lemma32(rho, rho, ca2Edge, ca2Cloud, cb2)
+		return m
+	}
+	return bisectCutoff(f)
+}
+
+// CutoffUtilizationExactMM numerically solves the exact M/M comparison
+// (M/M/m edge site vs M/M/km cloud, unconditional Erlang-C waits) for the
+// balanced-utilization crossover. This is the reference value the DES
+// experiments are validated against.
+func (d Deployment) CutoffUtilizationExactMM() float64 {
+	d.validate()
+	f := func(rho float64) float64 {
+		we := MMcWait(d.ServersPerSite, rho, d.Mu)
+		wc := MMcWait(d.CloudServers(), rho, d.Mu)
+		return (we - wc) - d.DeltaN()
+	}
+	return bisectCutoff(f)
+}
+
+// CutoffUtilizationExactGG numerically solves the Allen–Cunneen
+// comparison with the regime-switching Ps (not the paper's fixed
+// high-utilization branch) for the balanced crossover. This tracks the
+// DES results closely across the whole utilization range.
+func (d Deployment) CutoffUtilizationExactGG(ca2Edge, ca2Cloud, cb2 float64) float64 {
+	d.validate()
+	f := func(rho float64) float64 {
+		we := AllenCunneenWait(d.ServersPerSite, rho, d.Mu, ca2Edge, cb2)
+		wc := AllenCunneenWait(d.CloudServers(), rho, d.Mu, ca2Cloud, cb2)
+		return (we - wc) - d.DeltaN()
+	}
+	return bisectCutoff(f)
+}
+
+// bisectCutoff finds the smallest ρ in (0,1) where f crosses from
+// negative (edge wins) to positive (inversion). f must be increasing in ρ
+// for ρ near the crossover, which holds for all wait-difference forms
+// used here.
+func bisectCutoff(f func(rho float64) float64) float64 {
+	const eps = 1e-9
+	lo, hi := eps, 1-eps
+	if f(lo) > 0 {
+		return 0 // inverted even at vanishing load
+	}
+	if f(hi) < 0 {
+		return 1 // never inverted below saturation
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if f(mid) > 0 {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// SkewedEdgeCondWait returns the edge-wide average conditional waiting
+// time under a spatial skew (paper Equation 20 and Lemma 3.3): given
+// per-site arrival rates λ_i and per-site service rate μ (single-server
+// sites), the weighted average Σ w_i √2/(μ(1−ρ_i)) with w_i = λ_i/Σλ.
+// Sites at or beyond saturation make the average infinite.
+func SkewedEdgeCondWait(lambdas []float64, mu float64) float64 {
+	if len(lambdas) == 0 || mu <= 0 {
+		panic("theory: SkewedEdgeCondWait needs rates and positive mu")
+	}
+	var total float64
+	for _, l := range lambdas {
+		if l < 0 {
+			panic("theory: negative arrival rate")
+		}
+		total += l
+	}
+	if total == 0 {
+		return 0
+	}
+	var avg float64
+	for _, l := range lambdas {
+		rho := l / mu
+		if rho >= 1 {
+			return math.Inf(1)
+		}
+		w := l / total
+		avg += w * math.Sqrt2 / (mu * (1 - rho))
+	}
+	return avg
+}
+
+// Lemma33 evaluates the skewed-workload inversion condition: with total
+// load Σλ_i spread unevenly over k single-server edge sites versus a
+// k-server cloud seeing Σλ_i, inversion occurs when
+//
+//	Δn < Σ_i w_i √2/(μ(1−ρ_i)) − √2/(√k μ (1−ρ_cloud))
+func (d Deployment) Lemma33(lambdas []float64) (inverted bool, margin float64) {
+	d.validate()
+	if len(lambdas) != d.K {
+		panic(fmt.Sprintf("theory: Lemma33 expects %d per-site rates, got %d", d.K, len(lambdas)))
+	}
+	var total float64
+	for _, l := range lambdas {
+		total += l
+	}
+	rhoCloud := total / (float64(d.CloudServers()) * d.Mu)
+	we := SkewedEdgeCondWait(lambdas, d.Mu)
+	wc := WhittCondWait(d.CloudServers(), rhoCloud, d.Mu)
+	margin = (we - wc) - d.DeltaN()
+	return margin > 0, margin
+}

@@ -1,0 +1,293 @@
+package theory
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func paperDeployment() Deployment {
+	return Deployment{
+		K:              5,
+		ServersPerSite: 1,
+		Mu:             13,
+		EdgeRTT:        0.001,
+		CloudRTT:       0.025,
+	}
+}
+
+func TestDeltaN(t *testing.T) {
+	d := paperDeployment()
+	if !close(d.DeltaN(), 0.024, 1e-12) {
+		t.Errorf("DeltaN = %v, want 0.024", d.DeltaN())
+	}
+	if d.CloudServers() != 5 {
+		t.Errorf("CloudServers = %d, want 5", d.CloudServers())
+	}
+}
+
+func TestLemma31Direction(t *testing.T) {
+	d := paperDeployment()
+	// At high utilization the edge must invert.
+	if inv, margin := d.Lemma31(0.9, 0.9); !inv || margin <= 0 {
+		t.Errorf("high-ρ Lemma 3.1: inv=%v margin=%v", inv, margin)
+	}
+	// With a huge Δn the edge wins at moderate load.
+	far := d
+	far.CloudRTT = 5.0 // 5 seconds
+	if inv, _ := far.Lemma31(0.5, 0.5); inv {
+		t.Error("5 s cloud RTT should not invert at ρ=0.5")
+	}
+}
+
+// TestLemma31MarginMonotone: the inversion margin grows with edge
+// utilization.
+func TestLemma31MarginMonotone(t *testing.T) {
+	d := paperDeployment()
+	prev := math.Inf(-1)
+	for rho := 0.05; rho < 1; rho += 0.05 {
+		_, m := d.Lemma31(rho, rho)
+		if m < prev {
+			t.Fatalf("margin not monotone at rho=%v", rho)
+		}
+		prev = m
+	}
+}
+
+func TestCutoff311MatchesPaperNumbers(t *testing.T) {
+	// The paper's §4.2 validation: Δn=30 ms, k=5 → ρ*≈0.64; k=10 with
+	// 2 servers/site → ρ*≈0.75, at the paper's μ convention (13 ms
+	// service time; see EXPERIMENTS.md).
+	mu := 1000.0 / 13.0
+	d5 := Deployment{K: 5, ServersPerSite: 1, Mu: mu, EdgeRTT: 0, CloudRTT: 0.030}
+	if got := d5.CutoffUtilization311(); math.Abs(got-0.64) > 0.03 {
+		t.Errorf("k=5 cutoff = %v, paper says 0.64", got)
+	}
+	d10 := Deployment{K: 5, ServersPerSite: 2, Mu: mu, EdgeRTT: 0, CloudRTT: 0.030}
+	if got := d10.CutoffUtilization311(); math.Abs(got-0.75) > 0.03 {
+		t.Errorf("k=10 cutoff = %v, paper says 0.75", got)
+	}
+}
+
+// TestCutoff311ConsistentWithLemma31: just below the cutoff the edge
+// wins; just above it inverts (when the cutoff is interior).
+func TestCutoff311ConsistentWithLemma31(t *testing.T) {
+	d := Deployment{K: 5, ServersPerSite: 1, Mu: 70, EdgeRTT: 0.001, CloudRTT: 0.030}
+	cut := d.CutoffUtilization311()
+	if cut <= 0.01 || cut >= 0.99 {
+		t.Fatalf("expected interior cutoff, got %v", cut)
+	}
+	if inv, _ := d.Lemma31(cut-0.01, cut-0.01); inv {
+		t.Error("just below cutoff should not invert")
+	}
+	if inv, _ := d.Lemma31(cut+0.01, cut+0.01); !inv {
+		t.Error("just above cutoff should invert")
+	}
+}
+
+// TestCutoffMonotoneInDeltaN: a more distant cloud raises the cutoff —
+// Figure 7's monotone trend, in all three cutoff models.
+func TestCutoffMonotoneInDeltaN(t *testing.T) {
+	prev311, prevMM, prevGG := -1.0, -1.0, -1.0
+	for _, rtt := range []float64{0.013, 0.025, 0.054, 0.080} {
+		d := Deployment{K: 5, ServersPerSite: 1, Mu: 13, EdgeRTT: 0.001, CloudRTT: rtt}
+		c311 := d.CutoffUtilization311()
+		cMM := d.CutoffUtilizationExactMM()
+		cGG := d.CutoffUtilizationExactGG(0.4, 0.08, 0.1)
+		if c311 < prev311 || cMM < prevMM || cGG < prevGG {
+			t.Fatalf("cutoffs not monotone at rtt=%v: %v %v %v", rtt, c311, cMM, cGG)
+		}
+		prev311, prevMM, prevGG = c311, cMM, cGG
+	}
+}
+
+func TestCutoffLimit312(t *testing.T) {
+	// The k→∞ limit is below any finite-k cutoff and approached from
+	// above as k grows.
+	mu := 70.0
+	lim := Deployment{K: 1000000, ServersPerSite: 1, Mu: mu, EdgeRTT: 0, CloudRTT: 0.030}
+	limit := lim.CutoffUtilizationLimit312()
+	finite := lim.CutoffUtilization311()
+	if math.Abs(limit-finite) > 0.01 {
+		t.Errorf("large-k cutoff %v should approach limit %v", finite, limit)
+	}
+	small := Deployment{K: 2, ServersPerSite: 1, Mu: mu, EdgeRTT: 0, CloudRTT: 0.030}
+	if small.CutoffUtilization311() < limit {
+		t.Error("finite-k cutoff should exceed the k→∞ limit")
+	}
+}
+
+// TestK1NeverInverts: the paper's §3.1.1 discussion — a single-site edge
+// with identical hardware can never invert (cutoff = 1).
+func TestK1NeverInverts(t *testing.T) {
+	d := Deployment{K: 1, ServersPerSite: 1, Mu: 13, EdgeRTT: 0.001, CloudRTT: 0.025}
+	if got := d.CutoffUtilizationExactMM(); got != 1 {
+		t.Errorf("k=1 exact cutoff = %v, want 1 (never inverts)", got)
+	}
+	for _, rho := range []float64{0.1, 0.5, 0.9, 0.99} {
+		we := MMcWait(1, rho, 13.0)
+		wc := MMcWait(1, rho, 13.0)
+		if we-wc > d.DeltaN() {
+			t.Errorf("k=1 inverted at rho=%v", rho)
+		}
+	}
+}
+
+func TestCutoffZeroWhenCloudCloser(t *testing.T) {
+	d := Deployment{K: 5, ServersPerSite: 1, Mu: 13, EdgeRTT: 0.030, CloudRTT: 0.010}
+	if d.CutoffUtilization311() != 0 {
+		t.Error("negative Δn should give cutoff 0")
+	}
+	if d.CutoffUtilizationLimit312() != 0 {
+		t.Error("negative Δn limit should be 0")
+	}
+}
+
+func TestHardCloudRTTBound313(t *testing.T) {
+	d := paperDeployment()
+	b := d.HardCloudRTTBound313(0.6, 0.6)
+	if b <= 0 {
+		t.Fatal("bound should be positive at ρ=0.6")
+	}
+	// Bound grows with utilization.
+	if d.HardCloudRTTBound313(0.9, 0.9) <= b {
+		t.Error("bound should grow with utilization")
+	}
+	// A cloud inside the bound always wins: margin positive with nedge=0.
+	inside := Deployment{K: 5, ServersPerSite: 1, Mu: 13, EdgeRTT: 0, CloudRTT: b * 0.9}
+	if inv, _ := inside.Lemma31(0.6, 0.6); !inv {
+		t.Error("cloud inside the hard bound should beat a 0 ms edge")
+	}
+}
+
+func TestLemma32BurstinessMatters(t *testing.T) {
+	d := paperDeployment()
+	// Smooth workload at moderate load: no inversion at large Δn.
+	far := d
+	far.CloudRTT = 0.200
+	if inv, _ := far.Lemma32(0.75, 0.75, 0.2, 0.04, 0.1); inv {
+		t.Error("smooth workload at Δn=200ms should not invert at ρ=0.75")
+	}
+	// Extremely bursty arrivals flip it.
+	if inv, _ := far.Lemma32(0.75, 0.75, 40, 0.04, 0.1); !inv {
+		t.Error("very bursty arrivals should invert even at Δn=200ms")
+	}
+}
+
+func TestCorollary321IsLemma32Limit(t *testing.T) {
+	// For huge k the two predicates agree.
+	d := Deployment{K: 100000, ServersPerSite: 1, Mu: 13, EdgeRTT: 0.001, CloudRTT: 0.025}
+	_, m32 := d.Lemma32(0.8, 0.8, 1, 1.0/100000, 1)
+	_, m321 := d.Corollary321Margin(0.8, 1, 1)
+	if math.Abs(m32-m321) > 1e-4 {
+		t.Errorf("Lemma 3.2 (k→∞) %v vs Corollary 3.2.1 %v", m32, m321)
+	}
+}
+
+// TestLemma33ReducesToLemma31WhenBalanced: equal per-site rates make the
+// skewed bound coincide with the uniform bound.
+func TestLemma33ReducesToLemma31WhenBalanced(t *testing.T) {
+	d := paperDeployment()
+	rho := 0.7
+	lambdaSite := rho * d.Mu
+	lambdas := []float64{lambdaSite, lambdaSite, lambdaSite, lambdaSite, lambdaSite}
+	_, m33 := d.Lemma33(lambdas)
+	_, m31 := d.Lemma31(rho, rho)
+	if math.Abs(m33-m31) > 1e-9 {
+		t.Errorf("balanced Lemma 3.3 margin %v != Lemma 3.1 margin %v", m33, m31)
+	}
+}
+
+// TestSkewIncreasesEdgeWait: any imbalance raises the weighted edge wait
+// above the balanced value (convexity of 1/(1−ρ)).
+func TestSkewIncreasesEdgeWait(t *testing.T) {
+	f := func(seed int64) bool {
+		mu := 13.0
+		total := 40.0
+		balanced := SkewedEdgeCondWait([]float64{8, 8, 8, 8, 8}, mu)
+		// Construct a random feasible skew preserving the total.
+		r := rngFloats(seed, 5)
+		var sum float64
+		for _, x := range r {
+			sum += x
+		}
+		lambdas := make([]float64, 5)
+		for i, x := range r {
+			lambdas[i] = total * x / sum
+			if lambdas[i] >= mu {
+				return true // saturated site: wait is +Inf > balanced, trivially holds
+			}
+		}
+		skewed := SkewedEdgeCondWait(lambdas, mu)
+		return skewed >= balanced-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// rngFloats returns n positive pseudo-random floats derived from seed.
+func rngFloats(seed int64, n int) []float64 {
+	x := uint64(seed)*2654435761 + 12345
+	out := make([]float64, n)
+	for i := range out {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		out[i] = 0.05 + float64(x%1000)/1000
+	}
+	return out
+}
+
+func TestSkewedEdgeWaitSaturation(t *testing.T) {
+	if !math.IsInf(SkewedEdgeCondWait([]float64{13, 1}, 13), 1) {
+		t.Error("saturated site should make the average wait infinite")
+	}
+	if SkewedEdgeCondWait([]float64{0, 0}, 13) != 0 {
+		t.Error("zero load should give zero wait")
+	}
+}
+
+func TestLemma33PanicsOnWrongLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Lemma33 with wrong-length rates should panic")
+		}
+	}()
+	paperDeployment().Lemma33([]float64{1, 2})
+}
+
+// TestBisectConsistency: the GG cutoff must sit where the Lemma 3.2
+// margin changes sign.
+func TestBisectConsistency(t *testing.T) {
+	d := Deployment{K: 5, ServersPerSite: 1, Mu: 70, EdgeRTT: 0.001, CloudRTT: 0.030}
+	cut := d.CutoffUtilizationGG(1, 0.2, 1)
+	if cut <= 0 || cut >= 1 {
+		t.Fatalf("expected interior GG cutoff, got %v", cut)
+	}
+	if inv, _ := d.Lemma32(cut-0.02, cut-0.02, 1, 0.2, 1); inv {
+		t.Error("below GG cutoff should not invert")
+	}
+	if inv, _ := d.Lemma32(cut+0.02, cut+0.02, 1, 0.2, 1); !inv {
+		t.Error("above GG cutoff should invert")
+	}
+}
+
+// TestMoreVariabilityLowersCutoff: Corollary 3.2.1's practical takeaway.
+func TestMoreVariabilityLowersCutoff(t *testing.T) {
+	d := Deployment{K: 5, ServersPerSite: 1, Mu: 13, EdgeRTT: 0.001, CloudRTT: 0.054}
+	smooth := d.CutoffUtilizationExactGG(0.2, 0.04, 0.1)
+	bursty := d.CutoffUtilizationExactGG(4, 0.8, 2)
+	if bursty >= smooth {
+		t.Errorf("bursty cutoff %v should be below smooth cutoff %v", bursty, smooth)
+	}
+}
+
+func TestValidatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid deployment should panic")
+		}
+	}()
+	Deployment{K: 0, ServersPerSite: 1, Mu: 1}.CutoffUtilization311()
+}

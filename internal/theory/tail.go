@@ -1,0 +1,154 @@
+package theory
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file extends the paper's analysis from means to tails. The paper
+// notes (§4.3) that its analytic results "only permit a comparison of
+// mean latencies" and resorts to experiments for the p95 comparison of
+// Figure 5. For Markovian systems the waiting-time distribution is in
+// fact closed-form — for an M/M/c queue at utilization ρ,
+//
+//	P(W > t) = C(c, cρ) · e^{−cμ(1−ρ)t}
+//
+// where C is the Erlang-C wait probability — so the tail comparison and
+// its cutoff utilization can be computed analytically, and validated
+// against the simulator's Figure 7 p95 bars.
+
+// MMcWaitCCDF returns P(W > t) for an M/M/c queue.
+func MMcWaitCCDF(c int, rho, mu, t float64) float64 {
+	if c <= 0 || mu <= 0 {
+		panic(fmt.Sprintf("theory: MMcWaitCCDF c=%d mu=%v invalid", c, mu))
+	}
+	if rho >= 1 {
+		return 1
+	}
+	if t < 0 {
+		return 1
+	}
+	pc := ErlangC(c, float64(c)*rho)
+	return pc * math.Exp(-float64(c)*mu*(1-rho)*t)
+}
+
+// MMcWaitQuantile returns the q-th quantile of the M/M/c waiting time.
+// The distribution has an atom at zero of mass 1−C(c, cρ); quantiles
+// below that mass are 0.
+func MMcWaitQuantile(c int, rho, mu, q float64) float64 {
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("theory: quantile q=%v outside [0,1]", q))
+	}
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	pc := ErlangC(c, float64(c)*rho)
+	if q <= 1-pc {
+		return 0
+	}
+	if q == 1 {
+		return math.Inf(1)
+	}
+	return -math.Log((1-q)/pc) / (float64(c) * mu * (1 - rho))
+}
+
+// MMcSojournQuantile returns an upper-bound approximation of the q-th
+// quantile of the M/M/c sojourn time (wait + service) by adding the wait
+// quantile to the service quantile at the same probability. Exact for
+// the wait component; the sum is a conservative (superadditive) estimate
+// used for tail-inversion analysis where both sides carry the same
+// service term and it cancels.
+func MMcSojournQuantile(c int, rho, mu, q float64) float64 {
+	w := MMcWaitQuantile(c, rho, mu, q)
+	if math.IsInf(w, 1) {
+		return w
+	}
+	if q >= 1 {
+		return math.Inf(1)
+	}
+	svc := -math.Log(1-q) / mu // exponential service quantile
+	return w + svc
+}
+
+// TailMargin31 is the tail analogue of Lemma 3.1: the q-quantile
+// end-to-end latency of the edge exceeds the cloud's when
+//
+//	Δn < W_edge(q) − W_cloud(q)
+//
+// with W the exact M/M/c waiting-time quantiles (the identical service
+// quantile cancels on both sides). The returned margin is positive when
+// the tail inverts.
+func (d Deployment) TailMargin31(rhoEdge, rhoCloud, q float64) (inverted bool, margin float64) {
+	d.validate()
+	we := MMcWaitQuantile(d.ServersPerSite, rhoEdge, d.Mu, q)
+	wc := MMcWaitQuantile(d.CloudServers(), rhoCloud, d.Mu, q)
+	margin = (we - wc) - d.DeltaN()
+	return margin > 0, margin
+}
+
+// TailCutoffUtilization returns the utilization above which the edge's
+// q-quantile latency exceeds the cloud's (balanced load, identical
+// hardware), solved numerically on the exact M/M/c quantiles. This is
+// the analytic counterpart of Figure 7's p95 bars; Figure 5's headline
+// observation — tails invert before means — appears here as
+// TailCutoffUtilization(0.95) < CutoffUtilizationExactMM().
+func (d Deployment) TailCutoffUtilization(q float64) float64 {
+	d.validate()
+	if q <= 0 || q >= 1 {
+		panic(fmt.Sprintf("theory: tail quantile q=%v outside (0,1)", q))
+	}
+	f := func(rho float64) float64 {
+		_, m := d.TailMargin31(rho, rho, q)
+		return m
+	}
+	return bisectCutoff(f)
+}
+
+// MMcKLossProbability returns the blocking probability of an M/M/c/K
+// queue (c servers, K total capacity including those in service),
+// modeling the §4.2 observation that the saturated service "starts
+// dropping requests". Computed from the truncated birth–death chain.
+func MMcKLossProbability(c, capacity int, rho float64) float64 {
+	if c <= 0 || capacity < c {
+		panic(fmt.Sprintf("theory: MMcK c=%d K=%d invalid", c, capacity))
+	}
+	if rho < 0 {
+		panic("theory: negative utilization")
+	}
+	a := rho * float64(c) // offered load in erlangs
+	// p_n ∝ a^n/n! for n ≤ c, then p_c · (a/c)^{n−c} for c < n ≤ K.
+	// Work in log space for numeric stability at large c.
+	terms := make([]float64, capacity+1)
+	logTerm := 0.0 // log(a^0/0!) = 0
+	terms[0] = 0
+	for n := 1; n <= capacity; n++ {
+		if n <= c {
+			logTerm += math.Log(a) - math.Log(float64(n))
+		} else {
+			logTerm += math.Log(a) - math.Log(float64(c))
+		}
+		terms[n] = logTerm
+	}
+	// Normalize via log-sum-exp.
+	maxLog := terms[0]
+	for _, t := range terms {
+		if t > maxLog {
+			maxLog = t
+		}
+	}
+	var sum float64
+	for _, t := range terms {
+		sum += math.Exp(t - maxLog)
+	}
+	return math.Exp(terms[capacity]-maxLog) / sum
+}
+
+// EffectiveThroughput returns the accepted request rate of an M/M/c/K
+// station offered λ req/s: λ(1 − P_loss).
+func EffectiveThroughput(c, capacity int, lambda, mu float64) float64 {
+	if mu <= 0 {
+		panic("theory: EffectiveThroughput needs positive mu")
+	}
+	rho := lambda / (float64(c) * mu)
+	return lambda * (1 - MMcKLossProbability(c, capacity, rho))
+}

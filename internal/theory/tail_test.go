@@ -1,0 +1,249 @@
+package theory
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMMcWaitCCDF(t *testing.T) {
+	// At t=0 the CCDF equals the wait probability (Erlang C).
+	c, rho, mu := 5, 0.8, 13.0
+	if got := MMcWaitCCDF(c, rho, mu, 0); !close(got, ErlangC(c, 4), 1e-12) {
+		t.Errorf("CCDF(0) = %v, want ErlangC", got)
+	}
+	// Decreasing in t.
+	prev := 2.0
+	for _, tt := range []float64{0, 0.01, 0.05, 0.2, 1} {
+		v := MMcWaitCCDF(c, rho, mu, tt)
+		if v > prev {
+			t.Fatalf("CCDF not decreasing at t=%v", tt)
+		}
+		prev = v
+	}
+	if MMcWaitCCDF(c, 1.0, mu, 5) != 1 {
+		t.Error("saturated CCDF should be 1")
+	}
+}
+
+// TestMMcWaitCCDFIntegratesToMean: ∫₀^∞ P(W>t) dt = E[W] (numeric check
+// of the closed forms against each other).
+func TestMMcWaitCCDFIntegratesToMean(t *testing.T) {
+	c, rho, mu := 3, 0.85, 13.0
+	want := MMcWait(c, rho, mu)
+	var integral float64
+	dt := want / 2000
+	for x := 0.0; x < want*60; x += dt {
+		integral += MMcWaitCCDF(c, rho, mu, x) * dt
+	}
+	if !close(integral, want, 0.01) {
+		t.Errorf("∫CCDF = %v, E[W] = %v", integral, want)
+	}
+}
+
+func TestMMcWaitQuantileConsistency(t *testing.T) {
+	// CCDF(quantile(q)) == 1−q above the zero atom.
+	c, rho, mu := 5, 0.9, 13.0
+	for _, q := range []float64{0.6, 0.9, 0.95, 0.99} {
+		tq := MMcWaitQuantile(c, rho, mu, q)
+		if tq == 0 {
+			continue
+		}
+		if got := MMcWaitCCDF(c, rho, mu, tq); !close(got, 1-q, 1e-9) {
+			t.Errorf("q=%v: CCDF(quantile) = %v, want %v", q, got, 1-q)
+		}
+	}
+}
+
+func TestMMcWaitQuantileAtom(t *testing.T) {
+	// At ρ=0.5, c=5: Erlang C ≈ 0.13; quantiles below 0.87 are 0.
+	pc := ErlangC(5, 2.5)
+	if got := MMcWaitQuantile(5, 0.5, 13, 1-pc-0.01); got != 0 {
+		t.Errorf("quantile inside atom = %v, want 0", got)
+	}
+	if got := MMcWaitQuantile(5, 0.5, 13, 1-pc+0.01); got <= 0 {
+		t.Errorf("quantile beyond atom = %v, want > 0", got)
+	}
+	if !math.IsInf(MMcWaitQuantile(5, 0.5, 13, 1), 1) {
+		t.Error("q=1 should be +Inf")
+	}
+}
+
+// TestMMcWaitQuantileReducesToMM1: c=1 must match the M/M/1 quantile.
+func TestMMcWaitQuantileReducesToMM1(t *testing.T) {
+	f := func(rhoRaw, qRaw uint8) bool {
+		rho := 0.05 + float64(rhoRaw%90)/100
+		q := 0.05 + float64(qRaw%90)/100
+		return close(MMcWaitQuantile(1, rho, 7, q), MM1WaitQuantile(rho, 7, q), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTailInvertsBeforeMeanAnalytic: the paper's Figure 5 observation,
+// now provable analytically: the p95 cutoff utilization is below the
+// mean cutoff for every paper scenario.
+func TestTailInvertsBeforeMeanAnalytic(t *testing.T) {
+	for _, rtt := range []float64{0.013, 0.025, 0.054, 0.080} {
+		d := Deployment{K: 5, ServersPerSite: 1, Mu: 13, EdgeRTT: 0.001, CloudRTT: rtt}
+		mean := d.CutoffUtilizationExactMM()
+		tail := d.TailCutoffUtilization(0.95)
+		if tail >= mean {
+			t.Errorf("rtt=%v: p95 cutoff %v should be below mean cutoff %v", rtt, tail, mean)
+		}
+	}
+}
+
+// TestTailCutoffMonotoneInQuantile: deeper tails invert earlier.
+func TestTailCutoffMonotoneInQuantile(t *testing.T) {
+	d := Deployment{K: 5, ServersPerSite: 1, Mu: 13, EdgeRTT: 0.001, CloudRTT: 0.054}
+	prev := 2.0
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+		cut := d.TailCutoffUtilization(q)
+		if cut > prev+1e-9 {
+			t.Fatalf("tail cutoff not decreasing in q at %v", q)
+		}
+		prev = cut
+	}
+}
+
+// TestTailCutoffMonotoneInRTT: like Figure 7's p95 bars, the tail cutoff
+// rises with cloud distance.
+func TestTailCutoffMonotoneInRTT(t *testing.T) {
+	prev := -1.0
+	for _, rtt := range []float64{0.013, 0.025, 0.054, 0.080} {
+		d := Deployment{K: 5, ServersPerSite: 1, Mu: 13, EdgeRTT: 0.001, CloudRTT: rtt}
+		cut := d.TailCutoffUtilization(0.95)
+		if cut < prev {
+			t.Fatalf("tail cutoff decreased at rtt=%v", rtt)
+		}
+		prev = cut
+	}
+}
+
+func TestTailMargin31Direction(t *testing.T) {
+	d := Deployment{K: 5, ServersPerSite: 1, Mu: 13, EdgeRTT: 0.001, CloudRTT: 0.054}
+	if inv, _ := d.TailMargin31(0.9, 0.9, 0.95); !inv {
+		t.Error("high load should invert the tail")
+	}
+	if inv, _ := d.TailMargin31(0.05, 0.05, 0.95); inv {
+		t.Error("near-idle load should not invert the tail")
+	}
+}
+
+func TestTailQuantilePanics(t *testing.T) {
+	d := Deployment{K: 5, ServersPerSite: 1, Mu: 13, EdgeRTT: 0, CloudRTT: 0.025}
+	for _, q := range []float64{0, 1, -1, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("TailCutoffUtilization(%v) should panic", q)
+				}
+			}()
+			d.TailCutoffUtilization(q)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MMcWaitQuantile(q=2) should panic")
+			}
+		}()
+		MMcWaitQuantile(1, 0.5, 1, 2)
+	}()
+}
+
+func TestMMcSojournQuantile(t *testing.T) {
+	// Sojourn quantile ≥ wait quantile, and grows with q.
+	c, rho, mu := 5, 0.8, 13.0
+	prev := 0.0
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		s := MMcSojournQuantile(c, rho, mu, q)
+		w := MMcWaitQuantile(c, rho, mu, q)
+		if s < w {
+			t.Errorf("sojourn quantile %v below wait quantile %v", s, w)
+		}
+		if s < prev {
+			t.Error("sojourn quantile not monotone")
+		}
+		prev = s
+	}
+	if !math.IsInf(MMcSojournQuantile(c, 1, mu, 0.5), 1) {
+		t.Error("saturated sojourn quantile should be +Inf")
+	}
+}
+
+func TestMMcKLossProbability(t *testing.T) {
+	// K=c reduces to Erlang B.
+	for _, c := range []int{1, 3, 8} {
+		for _, rho := range []float64{0.3, 0.8, 1.2} {
+			a := rho * float64(c)
+			got := MMcKLossProbability(c, c, rho)
+			want := ErlangB(c, a)
+			if !close(got, want, 1e-9) {
+				t.Errorf("c=%d rho=%v: M/M/c/c loss %v != ErlangB %v", c, rho, got, want)
+			}
+		}
+	}
+	// M/M/1/K known form: P_K = (1−ρ)ρ^K/(1−ρ^{K+1}).
+	rho := 0.8
+	K := 5
+	want := (1 - rho) * math.Pow(rho, float64(K)) / (1 - math.Pow(rho, float64(K+1)))
+	if got := MMcKLossProbability(1, K, rho); !close(got, want, 1e-9) {
+		t.Errorf("M/M/1/5 loss = %v, want %v", got, want)
+	}
+}
+
+// TestMMcKLossMonotone: loss decreases with capacity, increases with load.
+func TestMMcKLossMonotone(t *testing.T) {
+	prev := 1.0
+	for _, K := range []int{5, 10, 20, 50} {
+		p := MMcKLossProbability(5, K, 0.9)
+		if p > prev {
+			t.Fatalf("loss not decreasing in K at %d", K)
+		}
+		prev = p
+	}
+	prev = -1
+	for _, rho := range []float64{0.3, 0.6, 0.9, 1.2} {
+		p := MMcKLossProbability(5, 10, rho)
+		if p < prev {
+			t.Fatalf("loss not increasing in rho at %v", rho)
+		}
+		prev = p
+	}
+}
+
+func TestEffectiveThroughput(t *testing.T) {
+	// Below saturation with a huge buffer, throughput ≈ offered load.
+	if got := EffectiveThroughput(5, 500, 40, 13); !close(got, 40, 1e-3) {
+		t.Errorf("unsaturated throughput = %v, want ~40", got)
+	}
+	// Far beyond saturation, throughput caps near cμ.
+	got := EffectiveThroughput(5, 10, 200, 13)
+	if got > 5*13*1.02 {
+		t.Errorf("saturated throughput %v exceeds capacity %v", got, 5*13.0)
+	}
+	if got < 5*13*0.8 {
+		t.Errorf("saturated throughput %v too far below capacity", got)
+	}
+}
+
+func TestMMcKPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { MMcKLossProbability(0, 5, 0.5) },
+		func() { MMcKLossProbability(5, 3, 0.5) },
+		func() { MMcKLossProbability(5, 10, -1) },
+		func() { EffectiveThroughput(5, 10, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid M/M/c/K input should panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

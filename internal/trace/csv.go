@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteSiteSeriesCSV writes per-site series as CSV with header
+// "bin,site0,site1,...". All series must share bin count and width.
+func WriteSiteSeriesCSV(w io.Writer, series []SiteSeries) error {
+	if len(series) == 0 {
+		return fmt.Errorf("trace: no series to write")
+	}
+	bins := len(series[0].Counts)
+	for _, s := range series {
+		if len(s.Counts) != bins {
+			return fmt.Errorf("trace: series length mismatch: %d vs %d", len(s.Counts), bins)
+		}
+	}
+	cw := csv.NewWriter(w)
+	header := []string{"bin"}
+	for i := range series {
+		header = append(header, fmt.Sprintf("site%d", i))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(series)+1)
+	for b := 0; b < bins; b++ {
+		row[0] = strconv.Itoa(b)
+		for i, s := range series {
+			row[i+1] = strconv.FormatFloat(s.Counts[b], 'g', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadSiteSeriesCSV parses the format produced by WriteSiteSeriesCSV.
+// binWidth is attached to every decoded series (the CSV stores bin
+// indices, not times).
+func ReadSiteSeriesCSV(r io.Reader, binWidth float64) ([]SiteSeries, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) < 2 {
+		return nil, fmt.Errorf("trace: CSV has no data rows")
+	}
+	nSites := len(rows[0]) - 1
+	if nSites <= 0 {
+		return nil, fmt.Errorf("trace: CSV header has no site columns")
+	}
+	series := make([]SiteSeries, nSites)
+	for i := range series {
+		series[i] = SiteSeries{Site: i, BinWidth: binWidth}
+	}
+	for rowIdx, row := range rows[1:] {
+		if len(row) != nSites+1 {
+			return nil, fmt.Errorf("trace: row %d has %d fields, want %d", rowIdx+2, len(row), nSites+1)
+		}
+		for i := 0; i < nSites; i++ {
+			v, err := strconv.ParseFloat(row[i+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: row %d col %d: %w", rowIdx+2, i+1, err)
+			}
+			if v < 0 {
+				return nil, fmt.Errorf("trace: row %d col %d: negative count %v", rowIdx+2, i+1, v)
+			}
+			series[i].Counts = append(series[i].Counts, v)
+		}
+	}
+	return series, nil
+}

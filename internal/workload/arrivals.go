@@ -1,0 +1,254 @@
+// Package workload generates arrival processes and spatial partitions.
+// It covers the paper's synthetic workloads (open-loop Poisson and
+// general renewal arrivals at controlled rates, §4.2) and its
+// trace-driven workloads (per-site rate envelopes with temporal and
+// spatial skews, §4.5), plus the partitioners used to split an aggregate
+// load across edge sites.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/dist"
+)
+
+// ArrivalProcess produces a monotone sequence of arrival times.
+type ArrivalProcess interface {
+	// Next returns the next arrival time after t, or ok=false when the
+	// process is exhausted.
+	Next(t float64, rng *rand.Rand) (next float64, ok bool)
+	// Rate returns the nominal long-run arrival rate in req/s (0 if
+	// undefined).
+	Rate() float64
+	// String describes the process.
+	String() string
+}
+
+// Renewal is a renewal arrival process with the given inter-arrival
+// distribution. With an exponential inter-arrival it is a Poisson
+// process; with Erlang inter-arrivals it models the paced request
+// streams produced by fixed-rate load generators.
+type Renewal struct {
+	Inter dist.Dist
+}
+
+// NewPoisson returns a Poisson arrival process at rate req/s.
+func NewPoisson(rate float64) Renewal {
+	return Renewal{Inter: dist.NewExponential(rate)}
+}
+
+// NewPaced returns a renewal process with Erlang-k inter-arrivals (SCV
+// 1/k) at the given rate, modeling a load generator that spaces requests
+// more regularly than Poisson, as Gatling's constant-rate injector does.
+func NewPaced(rate float64, k int) Renewal {
+	return Renewal{Inter: dist.NewErlang(k, 1/rate)}
+}
+
+// NewRenewal wraps an arbitrary inter-arrival distribution.
+func NewRenewal(inter dist.Dist) Renewal { return Renewal{Inter: inter} }
+
+// Next draws the next arrival.
+func (r Renewal) Next(t float64, rng *rand.Rand) (float64, bool) {
+	return t + r.Inter.Sample(rng), true
+}
+
+// Rate returns 1/E[inter-arrival].
+func (r Renewal) Rate() float64 {
+	m := r.Inter.Mean()
+	if m <= 0 {
+		return 0
+	}
+	return 1 / m
+}
+
+func (r Renewal) String() string { return fmt.Sprintf("Renewal(%s)", r.Inter) }
+
+// SCV returns the squared CoV of the inter-arrival times.
+func (r Renewal) SCV() float64 { return r.Inter.SCV() }
+
+// MMPP is a two-state Markov-modulated Poisson process: it alternates
+// between a low-rate and a high-rate Poisson regime with exponentially
+// distributed sojourns, producing the bursty arrivals of Corollary 3.2.1.
+type MMPP struct {
+	RateLow, RateHigh float64
+	MeanLow, MeanHigh float64 // mean sojourn in each state, seconds
+	state             int     // 0 = low, 1 = high
+	stateUntil        float64
+	initialized       bool
+}
+
+// NewMMPP returns a two-state MMPP.
+func NewMMPP(rateLow, rateHigh, meanLow, meanHigh float64) *MMPP {
+	if rateLow < 0 || rateHigh <= 0 || meanLow <= 0 || meanHigh <= 0 {
+		panic("workload: invalid MMPP parameters")
+	}
+	return &MMPP{RateLow: rateLow, RateHigh: rateHigh, MeanLow: meanLow, MeanHigh: meanHigh}
+}
+
+// Next draws the next arrival, advancing regime switches as needed.
+func (m *MMPP) Next(t float64, rng *rand.Rand) (float64, bool) {
+	if !m.initialized {
+		m.state = 0
+		m.stateUntil = t + rng.ExpFloat64()*m.MeanLow
+		m.initialized = true
+	}
+	for {
+		rate := m.RateLow
+		if m.state == 1 {
+			rate = m.RateHigh
+		}
+		var candidate float64
+		if rate > 0 {
+			candidate = t + rng.ExpFloat64()/rate
+		} else {
+			candidate = math.Inf(1)
+		}
+		if candidate <= m.stateUntil {
+			return candidate, true
+		}
+		// Regime switch before the candidate arrival: restart the clock
+		// at the switch time (memorylessness makes this exact).
+		t = m.stateUntil
+		if m.state == 0 {
+			m.state = 1
+			m.stateUntil = t + rng.ExpFloat64()*m.MeanHigh
+		} else {
+			m.state = 0
+			m.stateUntil = t + rng.ExpFloat64()*m.MeanLow
+		}
+	}
+}
+
+// Rate returns the long-run average rate weighted by state occupancy.
+func (m *MMPP) Rate() float64 {
+	tot := m.MeanLow + m.MeanHigh
+	return (m.RateLow*m.MeanLow + m.RateHigh*m.MeanHigh) / tot
+}
+
+func (m *MMPP) String() string {
+	return fmt.Sprintf("MMPP(low=%g@%gs, high=%g@%gs)", m.RateLow, m.MeanLow, m.RateHigh, m.MeanHigh)
+}
+
+// NHPP is a nonhomogeneous Poisson process driven by a piecewise-constant
+// rate envelope (rate[i] applies on [i·BinWidth, (i+1)·BinWidth)). It
+// replays trace-derived request-rate series such as the Azure per-minute
+// invocation counts. The process is exhausted after the envelope ends
+// unless Cycle is true.
+type NHPP struct {
+	Rates    []float64
+	BinWidth float64
+	Cycle    bool
+	maxRate  float64
+}
+
+// NewNHPP builds a nonhomogeneous Poisson process from a rate envelope.
+func NewNHPP(rates []float64, binWidth float64, cycle bool) *NHPP {
+	if len(rates) == 0 || binWidth <= 0 {
+		panic("workload: NHPP needs a non-empty envelope and positive bin width")
+	}
+	p := &NHPP{Rates: append([]float64(nil), rates...), BinWidth: binWidth, Cycle: cycle}
+	for _, r := range rates {
+		if r < 0 {
+			panic("workload: negative rate in NHPP envelope")
+		}
+		if r > p.maxRate {
+			p.maxRate = r
+		}
+	}
+	return p
+}
+
+// Duration returns the envelope's span in seconds.
+func (p *NHPP) Duration() float64 { return float64(len(p.Rates)) * p.BinWidth }
+
+// rateAt returns the envelope rate at absolute time t.
+func (p *NHPP) rateAt(t float64) (float64, bool) {
+	if t < 0 {
+		t = 0
+	}
+	d := p.Duration()
+	if t >= d {
+		if !p.Cycle {
+			return 0, false
+		}
+		t = math.Mod(t, d)
+	}
+	idx := int(t / p.BinWidth)
+	if idx >= len(p.Rates) {
+		idx = len(p.Rates) - 1
+	}
+	return p.Rates[idx], true
+}
+
+// Next draws the next arrival by thinning against the envelope maximum.
+func (p *NHPP) Next(t float64, rng *rand.Rand) (float64, bool) {
+	if p.maxRate == 0 {
+		return 0, false
+	}
+	for i := 0; i < 1_000_000; i++ {
+		t += rng.ExpFloat64() / p.maxRate
+		r, ok := p.rateAt(t)
+		if !ok {
+			return 0, false
+		}
+		if rng.Float64() <= r/p.maxRate {
+			return t, true
+		}
+	}
+	return 0, false
+}
+
+// Rate returns the envelope's time-average rate.
+func (p *NHPP) Rate() float64 {
+	var sum float64
+	for _, r := range p.Rates {
+		sum += r
+	}
+	return sum / float64(len(p.Rates))
+}
+
+func (p *NHPP) String() string {
+	return fmt.Sprintf("NHPP(bins=%d, width=%gs, mean=%.2f req/s)", len(p.Rates), p.BinWidth, p.Rate())
+}
+
+// Trace replays an explicit list of arrival times (seconds, ascending).
+type Trace struct {
+	Times []float64
+	idx   int
+}
+
+// NewTrace returns a replayer over the given arrival times. The slice is
+// not copied; callers must not mutate it afterwards.
+func NewTrace(times []float64) *Trace { return &Trace{Times: times} }
+
+// Next returns the next recorded arrival strictly after t.
+func (tr *Trace) Next(t float64, _ *rand.Rand) (float64, bool) {
+	for tr.idx < len(tr.Times) {
+		at := tr.Times[tr.idx]
+		tr.idx++
+		if at > t {
+			return at, true
+		}
+	}
+	return 0, false
+}
+
+// Rate returns the average rate over the trace span.
+func (tr *Trace) Rate() float64 {
+	n := len(tr.Times)
+	if n < 2 {
+		return 0
+	}
+	span := tr.Times[n-1] - tr.Times[0]
+	if span <= 0 {
+		return 0
+	}
+	return float64(n-1) / span
+}
+
+// Reset rewinds the trace to the beginning.
+func (tr *Trace) Reset() { tr.idx = 0 }
+
+func (tr *Trace) String() string { return fmt.Sprintf("Trace(n=%d)", len(tr.Times)) }

@@ -1,0 +1,211 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dist"
+)
+
+// measureRate counts arrivals of a process over a horizon.
+func measureRate(p ArrivalProcess, horizon float64, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	t, n := 0.0, 0
+	for {
+		next, ok := p.Next(t, rng)
+		if !ok || next > horizon {
+			break
+		}
+		t = next
+		n++
+	}
+	return float64(n) / horizon
+}
+
+func TestPoissonRate(t *testing.T) {
+	p := NewPoisson(8)
+	if got := measureRate(p, 5000, 1); math.Abs(got-8) > 0.3 {
+		t.Errorf("Poisson rate = %v, want ~8", got)
+	}
+	if p.Rate() != 8 {
+		t.Errorf("nominal rate = %v", p.Rate())
+	}
+}
+
+func TestPacedRegularity(t *testing.T) {
+	// Erlang-4 inter-arrivals have SCV 1/4: measure it.
+	p := NewPaced(10, 4)
+	rng := rand.New(rand.NewSource(2))
+	var prev, sum, sum2 float64
+	n := 0
+	tt := 0.0
+	for i := 0; i < 50000; i++ {
+		next, _ := p.Next(tt, rng)
+		if i > 0 {
+			d := next - prev
+			sum += d
+			sum2 += d * d
+			n++
+		}
+		prev, tt = next, next
+	}
+	mean := sum / float64(n)
+	scv := sum2/float64(n)/(mean*mean) - 1
+	if math.Abs(scv-0.25) > 0.03 {
+		t.Errorf("paced SCV = %v, want 0.25", scv)
+	}
+	if math.Abs(mean-0.1) > 0.005 {
+		t.Errorf("paced mean inter-arrival = %v, want 0.1", mean)
+	}
+}
+
+// TestRenewalMonotone: arrival times strictly increase.
+func TestRenewalMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		p := NewRenewal(dist.NewExponential(5))
+		rng := rand.New(rand.NewSource(seed))
+		tt := 0.0
+		for i := 0; i < 100; i++ {
+			next, ok := p.Next(tt, rng)
+			if !ok || next <= tt {
+				return false
+			}
+			tt = next
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMMPPRate(t *testing.T) {
+	// Low 2/s for mean 10s, high 20/s for mean 10s → average 11/s.
+	p := NewMMPP(2, 20, 10, 10)
+	if got := p.Rate(); math.Abs(got-11) > 1e-9 {
+		t.Errorf("MMPP nominal rate = %v, want 11", got)
+	}
+	if got := measureRate(p, 20000, 3); math.Abs(got-11) > 1 {
+		t.Errorf("MMPP measured rate = %v, want ~11", got)
+	}
+}
+
+func TestMMPPBurstierThanPoisson(t *testing.T) {
+	// The MMPP's inter-arrival SCV must exceed 1.
+	p := NewMMPP(1, 30, 5, 5)
+	rng := rand.New(rand.NewSource(4))
+	var prev float64
+	var s, s2 float64
+	n := 0
+	tt := 0.0
+	for i := 0; i < 40000; i++ {
+		next, _ := p.Next(tt, rng)
+		if i > 0 {
+			d := next - prev
+			s += d
+			s2 += d * d
+			n++
+		}
+		prev, tt = next, next
+	}
+	mean := s / float64(n)
+	scv := s2/float64(n)/(mean*mean) - 1
+	if scv <= 1.2 {
+		t.Errorf("MMPP SCV = %v, want clearly > 1", scv)
+	}
+}
+
+func TestNHPPEnvelope(t *testing.T) {
+	// Rate 10 for 100 s then 0: expect ~1000 arrivals, none after t=100.
+	p := NewNHPP([]float64{10, 0}, 100, false)
+	rng := rand.New(rand.NewSource(5))
+	tt, n := 0.0, 0
+	last := 0.0
+	for {
+		next, ok := p.Next(tt, rng)
+		if !ok {
+			break
+		}
+		tt = next
+		last = next
+		n++
+	}
+	if math.Abs(float64(n)-1000) > 120 {
+		t.Errorf("NHPP arrivals = %d, want ~1000", n)
+	}
+	if last > 100 {
+		t.Errorf("arrival at %v after envelope's active bin", last)
+	}
+	if p.Duration() != 200 {
+		t.Errorf("Duration = %v, want 200", p.Duration())
+	}
+	if math.Abs(p.Rate()-5) > 1e-9 {
+		t.Errorf("average rate = %v, want 5", p.Rate())
+	}
+}
+
+func TestNHPPCycle(t *testing.T) {
+	p := NewNHPP([]float64{5}, 10, true)
+	rng := rand.New(rand.NewSource(6))
+	tt := 0.0
+	for i := 0; i < 100; i++ {
+		next, ok := p.Next(tt, rng)
+		if !ok {
+			t.Fatal("cycling NHPP should never exhaust")
+		}
+		tt = next
+	}
+	if tt < 10 {
+		t.Errorf("cycling NHPP should pass the envelope end, got %v", tt)
+	}
+}
+
+func TestNHPPZeroEnvelope(t *testing.T) {
+	p := NewNHPP([]float64{0, 0}, 10, false)
+	rng := rand.New(rand.NewSource(7))
+	if _, ok := p.Next(0, rng); ok {
+		t.Error("all-zero envelope should produce no arrivals")
+	}
+}
+
+func TestTraceReplay(t *testing.T) {
+	tr := NewTrace([]float64{1, 2, 3.5})
+	rng := rand.New(rand.NewSource(1))
+	var got []float64
+	tt := 0.0
+	for {
+		next, ok := tr.Next(tt, rng)
+		if !ok {
+			break
+		}
+		got = append(got, next)
+		tt = next
+	}
+	want := []float64{1, 2, 3.5}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("replayed %v, want %v", got, want)
+		}
+	}
+	tr.Reset()
+	if next, ok := tr.Next(0, rng); !ok || next != 1 {
+		t.Error("Reset should rewind the trace")
+	}
+	if math.Abs(tr.Rate()-2/2.5) > 1e-9 {
+		t.Errorf("trace rate = %v", tr.Rate())
+	}
+}
+
+func TestTraceSkipsPast(t *testing.T) {
+	tr := NewTrace([]float64{1, 2, 3})
+	rng := rand.New(rand.NewSource(1))
+	next, ok := tr.Next(2.5, rng)
+	if !ok || next != 3 {
+		t.Errorf("Next(2.5) = %v,%v want 3,true", next, ok)
+	}
+}

@@ -1,0 +1,149 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func sumsToOne(w []float64) bool {
+	var s float64
+	for _, x := range w {
+		if x < 0 {
+			return false
+		}
+		s += x
+	}
+	return math.Abs(s-1) < 1e-9
+}
+
+func TestUniformWeights(t *testing.T) {
+	u := Uniform{K: 5}
+	w := u.Weights(0)
+	if !sumsToOne(w) {
+		t.Fatal("uniform weights must sum to 1")
+	}
+	for _, x := range w {
+		if math.Abs(x-0.2) > 1e-12 {
+			t.Fatalf("uniform weight = %v, want 0.2", x)
+		}
+	}
+	if u.Sites() != 5 {
+		t.Error("Sites wrong")
+	}
+}
+
+func TestStaticNormalizes(t *testing.T) {
+	s := NewStatic([]float64{2, 2, 4})
+	w := s.Weights(0)
+	want := []float64{0.25, 0.25, 0.5}
+	for i := range want {
+		if math.Abs(w[i]-want[i]) > 1e-12 {
+			t.Fatalf("weights = %v", w)
+		}
+	}
+}
+
+func TestStaticPanics(t *testing.T) {
+	for _, in := range [][]float64{{-1, 2}, {0, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewStatic(%v) should panic", in)
+				}
+			}()
+			NewStatic(in)
+		}()
+	}
+}
+
+// TestZipfProperties: weights sum to 1, are decreasing, and higher s
+// concentrates more mass on site 0.
+func TestZipfProperties(t *testing.T) {
+	f := func(kRaw, sRaw uint8) bool {
+		k := 2 + int(kRaw%20)
+		s := float64(sRaw%30) / 10
+		z := Zipf(k, s)
+		w := z.Weights(0)
+		if !sumsToOne(w) {
+			return false
+		}
+		for i := 1; i < len(w); i++ {
+			if w[i] > w[i-1]+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if Zipf(5, 1.5).W[0] <= Zipf(5, 0.5).W[0] {
+		t.Error("higher Zipf exponent should concentrate load")
+	}
+	if SkewIndex(Zipf(5, 0).W) != 1 {
+		t.Error("Zipf(s=0) should be uniform")
+	}
+}
+
+func TestRotatingShiftsWeights(t *testing.T) {
+	base := NewStatic([]float64{4, 1, 1, 1, 1})
+	r := NewRotating(base, 50) // one full rotation per 50 s → shift every 10 s
+	w0 := r.Weights(0)
+	w1 := r.Weights(10.1)
+	if w0[0] != base.W[0] {
+		t.Error("t=0 should be unshifted")
+	}
+	// After one shift, the hot weight moves to the previous index.
+	if math.Abs(w1[4]-base.W[0]) > 1e-12 {
+		t.Errorf("expected hot site to rotate, got %v", w1)
+	}
+	if !sumsToOne(w1) {
+		t.Error("rotated weights must still sum to 1")
+	}
+	// A full period returns to the start.
+	wFull := r.Weights(50)
+	for i := range w0 {
+		if math.Abs(wFull[i]-w0[i]) > 1e-12 {
+			t.Fatalf("weights after a full period = %v, want %v", wFull, w0)
+		}
+	}
+}
+
+func TestPickSiteDistribution(t *testing.T) {
+	w := []float64{0.7, 0.2, 0.1}
+	rng := rand.New(rand.NewSource(9))
+	counts := make([]int, 3)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[PickSite(w, rng)]++
+	}
+	for i, want := range w {
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("site %d frequency = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestSplitRate(t *testing.T) {
+	rates := SplitRate(Uniform{K: 4}, 40, 0)
+	for _, r := range rates {
+		if math.Abs(r-10) > 1e-12 {
+			t.Fatalf("split rates = %v", rates)
+		}
+	}
+}
+
+func TestSkewIndex(t *testing.T) {
+	if got := SkewIndex([]float64{0.25, 0.25, 0.25, 0.25}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("uniform skew index = %v, want 1", got)
+	}
+	if got := SkewIndex([]float64{0.7, 0.1, 0.1, 0.1}); math.Abs(got-2.8) > 1e-12 {
+		t.Errorf("skew index = %v, want 2.8", got)
+	}
+	if SkewIndex(nil) != 0 {
+		t.Error("empty skew index should be 0")
+	}
+}
