@@ -76,7 +76,9 @@ func main() {
 	}
 	tr := cluster.Generate(spec)
 
-	edge := cluster.RunEdge(tr, cluster.EdgeConfig{
+	// The edge and cloud replays share the trace but nothing else; run
+	// them concurrently through the paired runner.
+	edge, cloud := cluster.RunPaired(tr, cluster.EdgeConfig{
 		Sites:           *sites,
 		ServersPerSite:  *servers,
 		Path:            sc.Edge,
@@ -86,8 +88,7 @@ func main() {
 		JockeyThreshold: *jockey,
 		DetourRTT:       *detour / 1000,
 		QueueCap:        *queueCap,
-	})
-	cloud := cluster.RunCloud(tr, cluster.CloudConfig{
+	}, cluster.CloudConfig{
 		Servers: *sites * *servers,
 		Path:    sc.Cloud,
 		Policy:  cluster.DispatchPolicy(*policy),

@@ -171,6 +171,7 @@ var (
 	Generate               = cluster.Generate
 	RunEdge                = cluster.RunEdge
 	RunCloud               = cluster.RunCloud
+	RunPaired              = cluster.RunPaired
 	RunEdgeWithOverflow    = cluster.RunEdgeWithOverflow
 	RunEdgeAutoscaled      = cluster.RunEdgeAutoscaled
 	DefaultAutoscaleConfig = autoscale.DefaultConfig

@@ -40,15 +40,14 @@ func main() {
 		Sites: 5, Duration: 600, Model: model, Seed: 3, Arrivals: arrivals,
 	})
 
-	naive := edgebench.RunEdge(tr, edgebench.EdgeConfig{
+	naive, cloud := edgebench.RunPaired(tr, edgebench.EdgeConfig{
 		Sites: 5, ServersPerSite: 1, Path: sc.Edge, Warmup: 60, Seed: 4,
+	}, edgebench.CloudConfig{
+		Servers: 5, Path: sc.Cloud, Warmup: 60, Seed: 5,
 	})
 	planned := edgebench.RunEdge(tr, edgebench.EdgeConfig{
 		Sites: 5, Path: sc.Edge, Warmup: 60, Seed: 4,
 		PerSiteServers: plan.PerSite,
-	})
-	cloud := edgebench.RunCloud(tr, edgebench.CloudConfig{
-		Servers: 5, Path: sc.Cloud, Warmup: 60, Seed: 5,
 	})
 
 	// (3) Run-time mitigations on the unplanned 1-server-per-site edge.

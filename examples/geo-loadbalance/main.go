@@ -34,16 +34,15 @@ func main() {
 	fmt.Printf("skewed workload: per-site shares %v, aggregate %.1f req/s (60%% of capacity)\n\n",
 		fmtWeights(weights), aggregate)
 
-	baseline := edgebench.RunEdge(tr, edgebench.EdgeConfig{
+	baseline, cloud := edgebench.RunPaired(tr, edgebench.EdgeConfig{
 		Sites: sites, ServersPerSite: 1, Path: sc.Edge, Warmup: 60, Seed: 21,
+	}, edgebench.CloudConfig{
+		Servers: sites, Path: sc.Cloud, Warmup: 60, Seed: 22,
 	})
 	jockeyed := edgebench.RunEdge(tr, edgebench.EdgeConfig{
 		Sites: sites, ServersPerSite: 1, Path: sc.Edge, Warmup: 60, Seed: 21,
 		JockeyThreshold: 3,     // redirect when 3+ requests at the home site
 		DetourRTT:       0.005, // 5 ms extra to reach a neighbor site
-	})
-	cloud := edgebench.RunCloud(tr, edgebench.CloudConfig{
-		Servers: sites, Path: sc.Cloud, Warmup: 60, Seed: 22,
 	})
 
 	show := func(name string, r *edgebench.Result) {

@@ -36,10 +36,9 @@ func main() {
 		Seed:        1,
 	})
 	sc, _ := edgebench.ScenarioByName("typical-25ms")
-	edge := edgebench.RunEdge(tr, edgebench.EdgeConfig{
+	edge, cloud := edgebench.RunPaired(tr, edgebench.EdgeConfig{
 		Sites: 5, ServersPerSite: 1, Path: sc.Edge, Warmup: 60, Seed: 2,
-	})
-	cloud := edgebench.RunCloud(tr, edgebench.CloudConfig{
+	}, edgebench.CloudConfig{
 		Servers: 5, Path: sc.Cloud, Warmup: 60, Seed: 3,
 	})
 

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/lb"
 	"repro/internal/netem"
@@ -204,6 +205,24 @@ func RunEdge(tr *WorkloadTrace, cfg EdgeConfig) *Result {
 		res.Utilization = busySum / capSum
 	}
 	return res
+}
+
+// RunPaired replays the same trace through an edge and a cloud
+// deployment concurrently and returns both results. Each run owns a
+// private sim.Engine seeded from its own config and only reads the
+// shared trace, so the pairing is bit-identical to running the two
+// serially — the concurrency halves the wall-clock of every paired
+// comparison (the shape of all the paper's experiments).
+func RunPaired(tr *WorkloadTrace, ecfg EdgeConfig, ccfg CloudConfig) (edge, cloud *Result) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		cloud = RunCloud(tr, ccfg)
+	}()
+	edge = RunEdge(tr, ecfg)
+	wg.Wait()
+	return edge, cloud
 }
 
 // RunCloud replays the trace through a cloud deployment: every request

@@ -1,0 +1,148 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// scvTol is the tolerance below which an SCV is treated as exactly 0 or
+// exactly 1 when selecting a family in FitSCV.
+const scvTol = 1e-9
+
+// FitSCV fits a nonnegative distribution to a target mean and squared
+// coefficient of variation, the paper's §3 G/G/k variability knob. Both
+// moments are matched exactly:
+//
+//	scv = 0      → Deterministic
+//	0 < scv < 1  → Erlang-k when 1/scv is integral, otherwise a
+//	               mixed Erlang(k−1, k) (phase-type, Tijms' method)
+//	scv = 1      → Exponential
+//	scv > 1      → two-phase hyperexponential with balanced means
+func FitSCV(mean, scv float64) Dist {
+	if mean <= 0 || scv < 0 {
+		panic(fmt.Sprintf("dist: FitSCV mean=%v scv=%v invalid", mean, scv))
+	}
+	switch {
+	case scv < scvTol:
+		return Deterministic{Value: mean}
+	case math.Abs(scv-1) < scvTol:
+		return NewExponentialMean(mean)
+	case scv < 1:
+		k := int(math.Ceil(1 / scv))
+		if inv := 1 / scv; math.Abs(inv-math.Round(inv)) < scvTol {
+			return NewErlang(int(math.Round(inv)), mean)
+		}
+		return newMixedErlang(k, mean, scv)
+	default:
+		return newHyperExp2(mean, scv)
+	}
+}
+
+// MixedErlang is a probabilistic mixture of Erlang(K−1) and Erlang(K)
+// with common phase rate, the standard phase-type fit for SCVs in
+// (1/k, 1/(k−1)) (Tijms, Stochastic Models, §A.4).
+type MixedErlang struct {
+	K    int     // larger branch's phase count; the other has K−1
+	P    float64 // probability of the K−1 branch
+	Rate float64 // per-phase rate
+}
+
+// newMixedErlang matches mean and scv with 1/k ≤ scv ≤ 1/(k−1).
+func newMixedErlang(k int, mean, scv float64) MixedErlang {
+	fk := float64(k)
+	p := (fk*scv - math.Sqrt(fk*(1+scv)-fk*fk*scv)) / (1 + scv)
+	rate := (fk - p) / mean
+	return MixedErlang{K: k, P: p, Rate: rate}
+}
+
+func (d MixedErlang) phases(rng *rand.Rand) int {
+	if rng.Float64() < d.P {
+		return d.K - 1
+	}
+	return d.K
+}
+
+// Sample draws the branch, then the Erlang variate.
+func (d MixedErlang) Sample(rng *rand.Rand) float64 {
+	return erlangSample(d.phases(rng), d.Rate, rng)
+}
+
+// Mean returns (K − P)/rate.
+func (d MixedErlang) Mean() float64 { return (float64(d.K) - d.P) / d.Rate }
+
+// SCV derives Var/Mean² from the mixture's exact second moment.
+func (d MixedErlang) SCV() float64 {
+	fk := float64(d.K)
+	m := d.Mean()
+	// E[X²] = p·(k−1)k/λ² + (1−p)·k(k+1)/λ² for the two Erlang branches.
+	m2 := (d.P*(fk-1)*fk + (1-d.P)*fk*(fk+1)) / (d.Rate * d.Rate)
+	return (m2 - m*m) / (m * m)
+}
+
+// CDF mixes the two Erlang CDFs.
+func (d MixedErlang) CDF(x float64) float64 {
+	lo := Erlang{K: d.K - 1, Rate: d.Rate}
+	hi := Erlang{K: d.K, Rate: d.Rate}
+	return d.P*lo.CDF(x) + (1-d.P)*hi.CDF(x)
+}
+
+// Quantile inverts the mixture CDF numerically.
+func (d MixedErlang) Quantile(p float64) float64 {
+	checkP(p)
+	return quantileByBisection(d.CDF, p, d.Mean())
+}
+
+func (d MixedErlang) String() string {
+	return fmt.Sprintf("MixedErlang(k=%d, p=%.3f, mean=%.4g)", d.K, d.P, d.Mean())
+}
+
+// HyperExp2 is a two-phase hyperexponential: with probability P1 an
+// exponential at Rate1, otherwise at Rate2. Fitted with balanced means
+// it realizes any SCV > 1.
+type HyperExp2 struct {
+	P1           float64
+	Rate1, Rate2 float64
+}
+
+// newHyperExp2 performs the balanced-means fit: p₁/μ₁ = p₂/μ₂.
+func newHyperExp2(mean, scv float64) HyperExp2 {
+	p1 := (1 + math.Sqrt((scv-1)/(scv+1))) / 2
+	return HyperExp2{P1: p1, Rate1: 2 * p1 / mean, Rate2: 2 * (1 - p1) / mean}
+}
+
+// Sample draws the phase, then the exponential.
+func (d HyperExp2) Sample(rng *rand.Rand) float64 {
+	if rng.Float64() < d.P1 {
+		return rng.ExpFloat64() / d.Rate1
+	}
+	return rng.ExpFloat64() / d.Rate2
+}
+
+// Mean returns p₁/μ₁ + p₂/μ₂.
+func (d HyperExp2) Mean() float64 { return d.P1/d.Rate1 + (1-d.P1)/d.Rate2 }
+
+// SCV derives Var/Mean² from the exact second moment 2Σ pᵢ/μᵢ².
+func (d HyperExp2) SCV() float64 {
+	m := d.Mean()
+	m2 := 2 * (d.P1/(d.Rate1*d.Rate1) + (1-d.P1)/(d.Rate2*d.Rate2))
+	return (m2 - m*m) / (m * m)
+}
+
+// CDF mixes the two exponential CDFs.
+func (d HyperExp2) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return 1 - d.P1*math.Exp(-d.Rate1*x) - (1-d.P1)*math.Exp(-d.Rate2*x)
+}
+
+// Quantile inverts the mixture CDF numerically.
+func (d HyperExp2) Quantile(p float64) float64 {
+	checkP(p)
+	return quantileByBisection(d.CDF, p, d.Mean())
+}
+
+func (d HyperExp2) String() string {
+	return fmt.Sprintf("H2(p1=%.3f, mean=%.4g, scv=%.3g)", d.P1, d.Mean(), d.SCV())
+}

@@ -70,8 +70,9 @@ func RunFig6(duration float64, seed int64) []Fig6Scenario {
 		{label: "cloud, 10 servers", cloud: true, cloudServers: 10, serversPerSite: 2},
 	}
 
-	var out []Fig6Scenario
-	for i, s := range setups {
+	out := make([]Fig6Scenario, len(setups))
+	forEach(len(setups), 0, func(i int) {
+		s := setups[i]
 		tr := cluster.Generate(cluster.GenSpec{
 			Sites:       5,
 			Duration:    duration,
@@ -98,12 +99,12 @@ func RunFig6(duration float64, seed int64) []Fig6Scenario {
 			})
 			sample = &res.EndToEnd
 		}
-		out = append(out, Fig6Scenario{
+		out[i] = Fig6Scenario{
 			Label:   s.label,
 			Summary: stats.SummarizeDist(s.label, sample, nil),
 			Box:     stats.BoxPlotOf(s.label, sample),
-		})
-	}
+		}
+	})
 	return out
 }
 

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultWorkers is the worker-pool size used when a config leaves
+// Workers at 0. It defaults to the machine's logical CPU count and is
+// overridable by front ends (cmd/figures -workers).
+var DefaultWorkers = runtime.NumCPU()
+
+// poolSize resolves a configured worker count: 0 means DefaultWorkers,
+// and the pool never exceeds the number of work items.
+func poolSize(workers, n int) int {
+	if workers <= 0 {
+		workers = DefaultWorkers
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	return workers
+}
+
+// forEach runs fn(0..n-1) on a bounded pool of the given size. Each index
+// is processed exactly once; fn must write its result into an
+// index-addressed slot so the merged output is independent of scheduling
+// order. With workers <= 1 the indices run serially on the calling
+// goroutine, which keeps single-threaded runs allocation-free and easy to
+// debug.
+func forEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = poolSize(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestForEachCoversAllIndices: every index runs exactly once at any pool
+// size.
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		const n = 37
+		counts := make([]int32, n)
+		forEach(n, workers, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Errorf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+	// n <= 0 must be a no-op.
+	forEach(0, 4, func(i int) { t.Error("fn called for n=0") })
+}
+
+// TestForEachBoundsConcurrency: the pool actually runs work concurrently
+// but never exceeds its bound.
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const workers, n = 3, 24
+	var cur, peak int32
+	var mu sync.Mutex
+	forEach(n, workers, func(i int) {
+		c := atomic.AddInt32(&cur, 1)
+		mu.Lock()
+		if c > peak {
+			peak = c
+		}
+		mu.Unlock()
+		time.Sleep(2 * time.Millisecond)
+		atomic.AddInt32(&cur, -1)
+	})
+	if peak > workers {
+		t.Errorf("observed %d concurrent workers, bound is %d", peak, workers)
+	}
+	if peak < 2 {
+		t.Errorf("pool never ran concurrently (peak %d); expected >= 2", peak)
+	}
+}
+
+// TestRunSweepParallelMatchesSerial: a multi-point utilization sweep run
+// through the worker pool is identical, point for point, to the serial
+// order under a fixed seed — the contract that makes the parallel
+// runner safe to adopt everywhere.
+func TestRunSweepParallelMatchesSerial(t *testing.T) {
+	cfg := DefaultSweepConfig()
+	cfg.Rates = []float64{6, 8, 9, 10, 11}
+	cfg.Duration = 150
+	cfg.Warmup = 15
+	cfg.Seed = 77
+
+	serial := cfg
+	serial.Workers = 1
+	parallel := cfg
+	parallel.Workers = 4
+
+	a := RunSweep(serial)
+	b := RunSweep(parallel)
+	if len(a.Points) != len(b.Points) {
+		t.Fatalf("point counts differ: %d vs %d", len(a.Points), len(b.Points))
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Errorf("point %d differs:\n  serial   %+v\n  parallel %+v", i, a.Points[i], b.Points[i])
+		}
+	}
+}
+
+// TestRunPairedMatchesUnpaired is implied by the sweep test above (the
+// sweep routes through cluster.RunPaired), but the replication path has
+// its own merge order to defend.
+func TestReplicatedSweepParallelMatchesSerial(t *testing.T) {
+	cfg := DefaultSweepConfig()
+	cfg.Rates = []float64{8, 10}
+	cfg.Duration = 120
+	cfg.Warmup = 12
+	cfg.Seed = 5
+
+	serial := cfg
+	serial.Workers = 1
+	parallel := cfg
+	parallel.Workers = 3
+
+	a := RunReplicatedSweep(serial, 5)
+	b := RunReplicatedSweep(parallel, 5)
+	if len(a) != len(b) {
+		t.Fatalf("point counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("replicated point %d differs:\n  serial   %+v\n  parallel %+v", i, a[i], b[i])
+		}
+	}
+
+	ra, ca, oka := CrossoverCI(serial, Mean, 4)
+	rb, cb, okb := CrossoverCI(parallel, Mean, 4)
+	if ra != rb || ca != cb || oka != okb {
+		t.Errorf("CrossoverCI diverged: serial (%v, %v, %v) vs parallel (%v, %v, %v)",
+			ra, ca, oka, rb, cb, okb)
+	}
+}

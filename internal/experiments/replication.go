@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/app"
 	"repro/internal/stats"
 )
 
@@ -32,20 +33,21 @@ func (p ReplicatedPoint) Separated() bool {
 }
 
 // RunReplicatedSweep runs the sweep n times with distinct seeds and
-// aggregates per-point statistics across replications.
+// aggregates per-point statistics across replications. Replications
+// execute concurrently — one seeded engine pair per replication — and
+// are merged in replication order, so the aggregate is identical to the
+// serial computation at any pool size.
 func RunReplicatedSweep(cfg SweepConfig, n int) []ReplicatedPoint {
 	if n <= 0 {
 		panic(fmt.Sprintf("experiments: replications n=%d must be positive", n))
 	}
+	reps := runReplications(cfg, n)
 	type acc struct {
 		edgeMean, cloudMean stats.Stream
 		edgeP95, cloudP95   stats.Stream
 	}
 	accs := make([]acc, len(cfg.Rates))
-	for rep := 0; rep < n; rep++ {
-		c := cfg
-		c.Seed = cfg.Seed + int64(rep)*999983
-		res := RunSweep(c)
+	for _, res := range reps {
 		for i, p := range res.Points {
 			accs[i].edgeMean.Add(p.EdgeMean)
 			accs[i].cloudMean.Add(p.CloudMean)
@@ -71,15 +73,36 @@ func RunReplicatedSweep(cfg SweepConfig, n int) []ReplicatedPoint {
 	return out
 }
 
-// CrossoverCI runs the sweep n times and returns the mean crossover rate
-// with its 95% confidence half-width. found is false if fewer than half
-// the replications observed a crossover.
-func CrossoverCI(cfg SweepConfig, metric Metric, n int) (rate, ci float64, found bool) {
-	var s stats.Stream
-	for rep := 0; rep < n; rep++ {
+// runReplications executes n independent replications of the sweep,
+// returning them indexed by replication. The replication×point index
+// space is flattened into one pool pass so the workers stay saturated
+// even when n is smaller than the pool; every point still derives its
+// seeds from (replication, point) alone, so the merge is deterministic.
+func runReplications(cfg SweepConfig, n int) []SweepResult {
+	if cfg.Model.D == nil {
+		cfg.Model = app.NewInferenceModel()
+	}
+	pts := len(cfg.Rates)
+	out := make([]SweepResult, n)
+	for rep := range out {
 		c := cfg
 		c.Seed = cfg.Seed + int64(rep)*999983
-		res := RunSweep(c)
+		out[rep] = SweepResult{Config: c, Points: make([]SweepPoint, pts)}
+	}
+	forEach(n*pts, cfg.Workers, func(idx int) {
+		rep, pt := idx/pts, idx%pts
+		out[rep].Points[pt] = runSweepPoint(out[rep].Config, pt)
+	})
+	return out
+}
+
+// CrossoverCI runs the sweep n times and returns the mean crossover rate
+// with its 95% confidence half-width. found is false if fewer than half
+// the replications observed a crossover. Replications run concurrently
+// and are folded in replication order.
+func CrossoverCI(cfg SweepConfig, metric Metric, n int) (rate, ci float64, found bool) {
+	var s stats.Stream
+	for _, res := range runReplications(cfg, n) {
 		if r, _, ok := res.Crossover(metric); ok {
 			s.Add(r)
 		}

@@ -34,6 +34,12 @@ type SweepConfig struct {
 	ArrivalSCV     float64
 	CloudPolicy    cluster.DispatchPolicy
 	Discipline     queue.Discipline
+	// Workers bounds the worker pool that evaluates sweep points (and,
+	// in RunReplicatedSweep, replications) concurrently. 0 uses
+	// DefaultWorkers; 1 forces serial execution. Every point derives its
+	// seeds from its index alone and results are merged by index, so the
+	// output is identical at any pool size.
+	Workers int
 }
 
 // DefaultSweepConfig returns the Figure 3 setup: 5 edge sites, 1 server
@@ -85,52 +91,61 @@ type SweepResult struct {
 // RunSweep executes the sweep: for every rate it generates one workload
 // trace and replays it through both deployments (paired comparison, as
 // in the paper where the cloud "sees the cumulative request rate").
+// Points are evaluated concurrently on a bounded worker pool — each
+// point seeds its own engines from its index, and results land in
+// index-addressed slots, so the output is byte-identical to a serial
+// run.
 func RunSweep(cfg SweepConfig) SweepResult {
 	if cfg.Model.D == nil {
 		cfg.Model = app.NewInferenceModel()
 	}
-	res := SweepResult{Config: cfg}
-	mu := cfg.Model.Mu()
-	for i, rate := range cfg.Rates {
-		tr := cluster.Generate(cluster.GenSpec{
-			Sites:       cfg.Sites,
-			Duration:    cfg.Duration,
-			PerSiteRate: rate * float64(cfg.ServersPerSite),
-			ArrivalSCV:  cfg.ArrivalSCV,
-			Model:       cfg.Model,
-			Seed:        cfg.Seed + int64(i)*7919,
-		})
-		edge := cluster.RunEdge(tr, cluster.EdgeConfig{
-			Sites:          cfg.Sites,
-			ServersPerSite: cfg.ServersPerSite,
-			Path:           cfg.Scenario.Edge,
-			Discipline:     cfg.Discipline,
-			Warmup:         cfg.Warmup,
-			Seed:           cfg.Seed + int64(i)*104729,
-		})
-		cloud := cluster.RunCloud(tr, cluster.CloudConfig{
-			Servers:    cfg.Sites * cfg.ServersPerSite,
-			Path:       cfg.Scenario.Cloud,
-			Policy:     cfg.CloudPolicy,
-			Discipline: cfg.Discipline,
-			Warmup:     cfg.Warmup,
-			Seed:       cfg.Seed + int64(i)*1299709,
-		})
-		res.Points = append(res.Points, SweepPoint{
-			RatePerServer: rate,
-			Utilization:   rate / mu,
-			MeasuredUtil:  edge.Utilization,
-			EdgeMean:      edge.MeanLatency(),
-			CloudMean:     cloud.MeanLatency(),
-			EdgeP95:       edge.P95Latency(),
-			CloudP95:      cloud.P95Latency(),
-			EdgeMedian:    edge.EndToEnd.Median(),
-			CloudMedian:   cloud.EndToEnd.Median(),
-			EdgeN:         edge.EndToEnd.N(),
-			CloudN:        cloud.EndToEnd.N(),
-		})
-	}
+	res := SweepResult{Config: cfg, Points: make([]SweepPoint, len(cfg.Rates))}
+	forEach(len(cfg.Rates), cfg.Workers, func(i int) {
+		res.Points[i] = runSweepPoint(cfg, i)
+	})
 	return res
+}
+
+// runSweepPoint evaluates one rate of a sweep. All randomness derives
+// from cfg.Seed and the point index, never from shared state.
+func runSweepPoint(cfg SweepConfig, i int) SweepPoint {
+	rate := cfg.Rates[i]
+	tr := cluster.Generate(cluster.GenSpec{
+		Sites:       cfg.Sites,
+		Duration:    cfg.Duration,
+		PerSiteRate: rate * float64(cfg.ServersPerSite),
+		ArrivalSCV:  cfg.ArrivalSCV,
+		Model:       cfg.Model,
+		Seed:        cfg.Seed + int64(i)*7919,
+	})
+	edge, cloud := cluster.RunPaired(tr, cluster.EdgeConfig{
+		Sites:          cfg.Sites,
+		ServersPerSite: cfg.ServersPerSite,
+		Path:           cfg.Scenario.Edge,
+		Discipline:     cfg.Discipline,
+		Warmup:         cfg.Warmup,
+		Seed:           cfg.Seed + int64(i)*104729,
+	}, cluster.CloudConfig{
+		Servers:    cfg.Sites * cfg.ServersPerSite,
+		Path:       cfg.Scenario.Cloud,
+		Policy:     cfg.CloudPolicy,
+		Discipline: cfg.Discipline,
+		Warmup:     cfg.Warmup,
+		Seed:       cfg.Seed + int64(i)*1299709,
+	})
+	return SweepPoint{
+		RatePerServer: rate,
+		Utilization:   rate / cfg.Model.Mu(),
+		MeasuredUtil:  edge.Utilization,
+		EdgeMean:      edge.MeanLatency(),
+		CloudMean:     cloud.MeanLatency(),
+		EdgeP95:       edge.P95Latency(),
+		CloudP95:      cloud.P95Latency(),
+		EdgeMedian:    edge.EndToEnd.Median(),
+		CloudMedian:   cloud.EndToEnd.Median(),
+		EdgeN:         edge.EndToEnd.N(),
+		CloudN:        cloud.EndToEnd.N(),
+	}
 }
 
 // Metric selects which latency statistic a crossover search compares.

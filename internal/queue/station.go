@@ -8,7 +8,9 @@ package queue
 
 import (
 	"fmt"
+	"math/rand"
 
+	"repro/internal/dist"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -119,6 +121,8 @@ type Station struct {
 	m          Metrics
 	warmup     float64 // observations before this time are not recorded
 	totalCount uint64
+	svcDist    dist.Dist  // optional service-time law for demandless requests
+	svcRng     *rand.Rand // stream the law samples against
 }
 
 // NewStation creates a station with the given number of servers.
@@ -136,6 +140,18 @@ func NewStation(e *sim.Engine, name string, servers int, disc Discipline) *Stati
 // before time t, removing transient startup bias from steady-state
 // measurements.
 func (s *Station) SetWarmup(t float64) { s.warmup = t }
+
+// SetServiceDist attaches a service-time distribution to the station:
+// requests admitted with ServiceTime <= 0 draw their demand from d on
+// the given stream (pass engine.NewStream() for an independent,
+// reproducible per-station stream). Requests that arrive with an
+// explicit ServiceTime are unaffected.
+func (s *Station) SetServiceDist(d dist.Dist, rng *rand.Rand) {
+	if d != nil && rng == nil {
+		panic(fmt.Sprintf("queue: station %q service dist needs a stream", s.Name))
+	}
+	s.svcDist, s.svcRng = d, rng
+}
 
 // Metrics exposes the station's collected metrics.
 func (s *Station) Metrics() *Metrics { return &s.m }
@@ -159,6 +175,9 @@ func (s *Station) TotalArrivals() uint64 { return s.totalCount }
 func (s *Station) Arrive(r *Request) {
 	now := s.engine.Now()
 	r.Arrival = now
+	if r.ServiceTime <= 0 && s.svcDist != nil {
+		r.ServiceTime = s.svcDist.Sample(s.svcRng)
+	}
 	s.totalCount++
 	if now >= s.warmup {
 		s.m.observeArrival(now)

@@ -71,10 +71,14 @@ func (r Renewal) SCV() float64 { return r.Inter.SCV() }
 // MMPP is a two-state Markov-modulated Poisson process: it alternates
 // between a low-rate and a high-rate Poisson regime with exponentially
 // distributed sojourns, producing the bursty arrivals of Corollary 3.2.1.
+// All draws flow through dist.Dist so the process shares the simulator's
+// stochastic substrate.
 type MMPP struct {
 	RateLow, RateHigh float64
 	MeanLow, MeanHigh float64 // mean sojourn in each state, seconds
-	state             int     // 0 = low, 1 = high
+	sojourn           [2]dist.Dist
+	gap               [2]dist.Dist // nil where the regime rate is 0
+	state             int          // 0 = low, 1 = high
 	stateUntil        float64
 	initialized       bool
 }
@@ -84,24 +88,36 @@ func NewMMPP(rateLow, rateHigh, meanLow, meanHigh float64) *MMPP {
 	if rateLow < 0 || rateHigh <= 0 || meanLow <= 0 || meanHigh <= 0 {
 		panic("workload: invalid MMPP parameters")
 	}
-	return &MMPP{RateLow: rateLow, RateHigh: rateHigh, MeanLow: meanLow, MeanHigh: meanHigh}
+	m := &MMPP{RateLow: rateLow, RateHigh: rateHigh, MeanLow: meanLow, MeanHigh: meanHigh}
+	m.sojourn = [2]dist.Dist{dist.NewExponentialMean(meanLow), dist.NewExponentialMean(meanHigh)}
+	if rateLow > 0 {
+		m.gap[0] = dist.NewExponential(rateLow)
+	}
+	m.gap[1] = dist.NewExponential(rateHigh)
+	return m
 }
 
 // Next draws the next arrival, advancing regime switches as needed.
 func (m *MMPP) Next(t float64, rng *rand.Rand) (float64, bool) {
 	if !m.initialized {
+		if m.sojourn[0] == nil {
+			// Constructed as a struct literal rather than via NewMMPP:
+			// derive the sampling dists from the parameter fields
+			// (invalid parameters panic in the dist constructors).
+			m.sojourn = [2]dist.Dist{dist.NewExponentialMean(m.MeanLow), dist.NewExponentialMean(m.MeanHigh)}
+			if m.RateLow > 0 {
+				m.gap[0] = dist.NewExponential(m.RateLow)
+			}
+			m.gap[1] = dist.NewExponential(m.RateHigh)
+		}
 		m.state = 0
-		m.stateUntil = t + rng.ExpFloat64()*m.MeanLow
+		m.stateUntil = t + m.sojourn[0].Sample(rng)
 		m.initialized = true
 	}
 	for {
-		rate := m.RateLow
-		if m.state == 1 {
-			rate = m.RateHigh
-		}
 		var candidate float64
-		if rate > 0 {
-			candidate = t + rng.ExpFloat64()/rate
+		if g := m.gap[m.state]; g != nil {
+			candidate = t + g.Sample(rng)
 		} else {
 			candidate = math.Inf(1)
 		}
@@ -111,13 +127,8 @@ func (m *MMPP) Next(t float64, rng *rand.Rand) (float64, bool) {
 		// Regime switch before the candidate arrival: restart the clock
 		// at the switch time (memorylessness makes this exact).
 		t = m.stateUntil
-		if m.state == 0 {
-			m.state = 1
-			m.stateUntil = t + rng.ExpFloat64()*m.MeanHigh
-		} else {
-			m.state = 0
-			m.stateUntil = t + rng.ExpFloat64()*m.MeanLow
-		}
+		m.state = 1 - m.state
+		m.stateUntil = t + m.sojourn[m.state].Sample(rng)
 	}
 }
 
@@ -141,6 +152,8 @@ type NHPP struct {
 	BinWidth float64
 	Cycle    bool
 	maxRate  float64
+	gap      dist.Dist // exponential at maxRate, the thinning proposal
+	thin     dist.Dist // uniform on [0, 1], the acceptance draw
 }
 
 // NewNHPP builds a nonhomogeneous Poisson process from a rate envelope.
@@ -157,6 +170,10 @@ func NewNHPP(rates []float64, binWidth float64, cycle bool) *NHPP {
 			p.maxRate = r
 		}
 	}
+	if p.maxRate > 0 {
+		p.gap = dist.NewExponential(p.maxRate)
+	}
+	p.thin = dist.NewUniform(0, 1)
 	return p
 }
 
@@ -188,12 +205,12 @@ func (p *NHPP) Next(t float64, rng *rand.Rand) (float64, bool) {
 		return 0, false
 	}
 	for i := 0; i < 1_000_000; i++ {
-		t += rng.ExpFloat64() / p.maxRate
+		t += p.gap.Sample(rng)
 		r, ok := p.rateAt(t)
 		if !ok {
 			return 0, false
 		}
-		if rng.Float64() <= r/p.maxRate {
+		if p.thin.Sample(rng) <= r/p.maxRate {
 			return t, true
 		}
 	}

@@ -209,3 +209,23 @@ func TestTraceSkipsPast(t *testing.T) {
 		t.Errorf("Next(2.5) = %v,%v want 3,true", next, ok)
 	}
 }
+
+// TestMMPPStructLiteral: an MMPP built without NewMMPP must lazily
+// derive its sampling distributions instead of nil-panicking.
+func TestMMPPStructLiteral(t *testing.T) {
+	p := &MMPP{RateLow: 1, RateHigh: 30, MeanLow: 5, MeanHigh: 5}
+	rng := rand.New(rand.NewSource(4))
+	t0, n := 0.0, 0
+	for t0 < 2000 {
+		next, ok := p.Next(t0, rng)
+		if !ok {
+			t.Fatal("MMPP exhausted")
+		}
+		t0 = next
+		n++
+	}
+	rate := float64(n) / t0
+	if want := p.Rate(); math.Abs(rate-want) > 0.2*want {
+		t.Errorf("literal MMPP empirical rate %.2f, want ≈ %.2f", rate, want)
+	}
+}

@@ -3,6 +3,8 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+
+	"repro/internal/dist"
 )
 
 // Batch converts an epoch process into batch arrivals: at every epoch of
@@ -30,15 +32,8 @@ func NewBatch(epochs ArrivalProcess, size int) *Batch {
 // NewSecondBatches returns the paper's generator shape: every second, a
 // batch of ratePerSecond requests.
 func NewSecondBatches(ratePerSecond int) *Batch {
-	return NewBatch(NewRenewal(deterministicInter{1}), ratePerSecond)
+	return NewBatch(NewRenewal(dist.Deterministic{Value: 1}), ratePerSecond)
 }
-
-type deterministicInter struct{ d float64 }
-
-func (d deterministicInter) Sample(*rand.Rand) float64 { return d.d }
-func (d deterministicInter) Mean() float64             { return d.d }
-func (d deterministicInter) SCV() float64              { return 0 }
-func (d deterministicInter) String() string            { return fmt.Sprintf("Det(%g)", d.d) }
 
 // Next emits the remaining members of the current batch at the epoch
 // time, then advances the underlying epoch process.
