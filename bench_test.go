@@ -215,7 +215,6 @@ func BenchmarkAblationDispatch(b *testing.B) {
 		cluster.RoundRobin, cluster.RandomSplit,
 	}
 	for _, pol := range policies {
-		pol := pol
 		b.Run(string(pol), func(b *testing.B) {
 			var mean float64
 			for i := 0; i < b.N; i++ {
@@ -270,7 +269,6 @@ func BenchmarkAblationGeoLB(b *testing.B) {
 // 3.2.1 predicts burstier service lowers the inversion threshold.
 func BenchmarkAblationServiceCoV(b *testing.B) {
 	for _, scv := range []float64{0.0, 0.5, 1.0, 2.0} {
-		scv := scv
 		b.Run(scvName(scv), func(b *testing.B) {
 			var cross float64
 			for i := 0; i < b.N; i++ {
@@ -332,6 +330,51 @@ func BenchmarkAblationSkewProvisioning(b *testing.B) {
 			m = run([]int{3, 2, 2, 2, 1})
 		}
 		b.ReportMetric(m*1000, "mean-ms")
+	})
+}
+
+// BenchmarkReplayStreaming1M measures the streaming replay core on a
+// million-request trace in bounded-summary mode: the event calendar
+// holds O(#stations) events, request objects and event nodes recycle
+// through free lists, and latency collectors keep constant state. The
+// pre-refactor materialized runner allocated ~6 objects per request
+// (request + Done closure + arrival closure + two event nodes + service
+// closure; measured 1,201,755 allocs for a 200k-request edge replay);
+// the streaming core must stay at least 10x below that per request.
+// Run with -benchmem (the CI short-bench step does) to see allocs/op.
+func BenchmarkReplayStreaming1M(b *testing.B) {
+	tr := cluster.Generate(cluster.GenSpec{
+		Sites: 5, Duration: 10000, PerSiteRate: 20, Seed: 61,
+	})
+	if tr.Len() < 900000 {
+		b.Fatalf("trace has %d requests, want ~1M", tr.Len())
+	}
+	sc, _ := netem.ScenarioByName("typical-25ms")
+	b.Run("edge", func(b *testing.B) {
+		b.ReportAllocs()
+		var mean float64
+		for i := 0; i < b.N; i++ {
+			res := cluster.RunEdge(tr, cluster.EdgeConfig{
+				Sites: 5, ServersPerSite: 2, Path: sc.Edge,
+				Warmup: 100, Seed: 62, Summary: stats.Bounded,
+			})
+			mean = res.MeanLatency()
+		}
+		b.ReportMetric(mean*1000, "mean-ms")
+		b.ReportMetric(float64(tr.Len()), "requests")
+	})
+	b.Run("cloud", func(b *testing.B) {
+		b.ReportAllocs()
+		var mean float64
+		for i := 0; i < b.N; i++ {
+			res := cluster.RunCloud(tr, cluster.CloudConfig{
+				Servers: 10, Path: sc.Cloud,
+				Warmup: 100, Seed: 63, Summary: stats.Bounded,
+			})
+			mean = res.MeanLatency()
+		}
+		b.ReportMetric(mean*1000, "mean-ms")
+		b.ReportMetric(float64(tr.Len()), "requests")
 	})
 }
 

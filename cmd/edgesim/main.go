@@ -22,6 +22,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/dist"
 	"repro/internal/netem"
+	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
@@ -41,6 +42,7 @@ func main() {
 	detour := flag.Float64("detour-ms", 5, "extra RTT for jockeyed requests (ms)")
 	skew := flag.String("skew", "", "comma-separated per-site weights (e.g. 5,2,1,1,1)")
 	queueCap := flag.Int("queue-cap", 0, "bound each queue at this many waiting requests (0=unbounded)")
+	summary := flag.String("summary", "exact", "latency summary memory model: exact (retain every sample) | bounded (O(1) streaming moments + P2 quantiles, for huge replays)")
 	autoscaleMax := flag.Int("autoscale-max", 0, "also run an autoscaled edge growing each site up to this many servers (0=off)")
 	overflowAt := flag.Int("overflow-at", 0, "also run a hierarchical edge overflowing to the cloud at this site load (0=off)")
 	flag.Parse()
@@ -48,6 +50,16 @@ func main() {
 	sc, ok := netem.ScenarioByName(*scenario)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "edgesim: unknown scenario %q\n", *scenario)
+		os.Exit(1)
+	}
+	var mode stats.Mode
+	switch *summary {
+	case "exact":
+		mode = stats.Exact
+	case "bounded":
+		mode = stats.Bounded
+	default:
+		fmt.Fprintf(os.Stderr, "edgesim: unknown -summary %q (want exact|bounded)\n", *summary)
 		os.Exit(1)
 	}
 	model := app.NewInferenceModelWith(1/app.SaturationRate, *serviceSCV)
@@ -88,12 +100,14 @@ func main() {
 		JockeyThreshold: *jockey,
 		DetourRTT:       *detour / 1000,
 		QueueCap:        *queueCap,
+		Summary:         mode,
 	}, cluster.CloudConfig{
 		Servers: *sites * *servers,
 		Path:    sc.Cloud,
 		Policy:  cluster.DispatchPolicy(*policy),
 		Warmup:  *warmup,
 		Seed:    *seed + 2,
+		Summary: mode,
 	})
 
 	fmt.Printf("scenario %s: edge RTT %.1fms, cloud RTT %.1fms, Δn %.1fms\n",
@@ -108,7 +122,7 @@ func main() {
 	if *autoscaleMax > 0 {
 		scaled := cluster.RunEdgeAutoscaled(tr, cluster.EdgeConfig{
 			Sites: *sites, ServersPerSite: *servers, Path: sc.Edge,
-			Warmup: *warmup, Seed: *seed + 1,
+			Warmup: *warmup, Seed: *seed + 1, Summary: mode,
 		}, autoscale.Config{
 			Interval: 2, Min: *servers, Max: *autoscaleMax,
 			UpThreshold: 1.5, DownThreshold: 0.2, Cooldown: 6,
@@ -122,7 +136,7 @@ func main() {
 			Sites: *sites, ServersPerSite: *servers,
 			EdgePath: sc.Edge, CloudPath: sc.Cloud,
 			CloudServers: *sites * *servers, OverflowThreshold: *overflowAt,
-			Warmup: *warmup, Seed: *seed + 1,
+			Warmup: *warmup, Seed: *seed + 1, Summary: mode,
 		})
 		rows = append(rows, latencyRow("edge+overflow", &over.Result))
 		defer fmt.Printf("overflow: %d requests (%.1f%%) served by the cloud backstop\n",

@@ -121,6 +121,26 @@ type GenSpec = cluster.GenSpec
 // edge/cloud runs.
 type WorkloadTrace = cluster.WorkloadTrace
 
+// Source streams workload records lazily into the replay core;
+// WorkloadTrace implements it, and generator sources can replay
+// arbitrarily long workloads without materializing them.
+type Source = cluster.Source
+
+// SummaryMode selects a run's latency-collection memory model (see
+// EdgeConfig.Summary): ExactSummary retains every observation,
+// BoundedSummary keeps O(1) streaming moments and P² quantiles.
+type SummaryMode = stats.Mode
+
+// Latency summary memory models.
+const (
+	ExactSummary   = stats.Exact
+	BoundedSummary = stats.Bounded
+)
+
+// LatencyDigest is a latency collector with a selectable memory model
+// (the type of Result.EndToEnd and friends).
+type LatencyDigest = stats.Digest
+
 // EdgeConfig configures a simulated edge deployment.
 type EdgeConfig = cluster.EdgeConfig
 

@@ -26,6 +26,9 @@ type OverflowConfig struct {
 	OverflowThreshold int // forward to the cloud when site load ≥ this
 	Warmup            float64
 	Seed              int64
+	// Summary selects the latency-collection memory model; see
+	// EdgeConfig.Summary.
+	Summary stats.Mode
 }
 
 // OverflowResult extends Result with the edge/cloud split.
@@ -34,12 +37,17 @@ type OverflowResult struct {
 	EdgeServed  uint64
 	CloudServed uint64
 	Overflowed  uint64
-	EdgeOnly    stats.Sample // latency of requests served at their home site
-	CloudOnly   stats.Sample // latency of overflowed requests
+	EdgeOnly    stats.Digest // latency of requests served at their home site
+	CloudOnly   stats.Digest // latency of overflowed requests
 }
 
+// overflowTag marks a request forwarded to the cloud backstop.
+const overflowTag = 1
+
 // RunEdgeWithOverflow replays the trace through the hierarchical
-// deployment.
+// deployment on the shared streaming core: the home site's load is
+// inspected at the request's arrival instant, and overflowed requests
+// cross to the cloud on the secondary RTT sampled at generation time.
 func RunEdgeWithOverflow(tr *WorkloadTrace, cfg OverflowConfig) *OverflowResult {
 	if cfg.Sites <= 0 {
 		cfg.Sites = tr.Sites
@@ -58,67 +66,67 @@ func RunEdgeWithOverflow(tr *WorkloadTrace, cfg OverflowConfig) *OverflowResult 
 	}
 	eng := sim.NewEngine(cfg.Seed)
 	netRng := eng.NewStream()
+	pool := &queue.FreeList{}
 
 	sites := make([]*queue.Station, cfg.Sites)
 	for i := range sites {
-		sites[i] = queue.NewStation(eng, fmt.Sprintf("edge-%d", i), cfg.ServersPerSite, queue.FCFS)
-		sites[i].SetWarmup(cfg.Warmup)
+		sites[i] = newStation(eng, fmt.Sprintf("edge-%d", i), cfg.ServersPerSite,
+			queue.FCFS, 0, cfg.Warmup, cfg.Summary, pool)
 	}
-	cloud := queue.NewStation(eng, "cloud-backstop", cfg.CloudServers, queue.FCFS)
-	cloud.SetWarmup(cfg.Warmup)
+	cloud := newStation(eng, "cloud-backstop", cfg.CloudServers,
+		queue.FCFS, 0, cfg.Warmup, cfg.Summary, pool)
 
-	res := &OverflowResult{Result: Result{Label: "edge+overflow"}}
+	res := &OverflowResult{Result: *newResult("edge+overflow", cfg.Summary, tr.Len())}
+	res.EdgeOnly = stats.NewDigest(cfg.Summary, 0)
+	res.CloudOnly = stats.NewDigest(cfg.Summary, 0)
 
-	var nextID uint64
-	for _, rec := range tr.Records {
-		rec := rec
-		edgeRTT := cfg.EdgePath.Sample(netRng)
-		cloudRTT := cfg.CloudPath.Sample(netRng)
-		nextID++
-		req := &queue.Request{
-			ID:          nextID,
-			Site:        rec.Site,
-			ServiceTime: rec.ServiceTime,
-			Generated:   rec.Time,
-		}
-		// The client always reaches its local site first (edge RTT); an
-		// overflowed request additionally crosses to the cloud.
-		req.NetworkRTT = edgeRTT
-		overflowed := false
-		req.Done = func(e *sim.Engine, r *queue.Request) {
-			if r.Departure < cfg.Warmup {
-				return
-			}
-			e2e := r.EndToEnd()
-			res.EndToEnd.Add(e2e)
-			res.Completed++
-			if overflowed {
+	sink := &resultSink{
+		res:    &res.Result,
+		warmup: cfg.Warmup,
+		post: func(r *queue.Request, e2e float64) {
+			if r.Tag == overflowTag {
 				res.CloudServed++
 				res.CloudOnly.Add(e2e)
 			} else {
 				res.EdgeServed++
 				res.EdgeOnly.Add(e2e)
 			}
-		}
-		eng.At(rec.Time+edgeRTT/2, func(e *sim.Engine) {
+		},
+	}
+
+	// An overflowed request re-enters the network for cloudRTT/2 before
+	// arriving at the pooled queue.
+	cloudAdmit := sim.PayloadEvent(func(e *sim.Engine, p any) {
+		cloud.Arrive(p.(*queue.Request))
+	})
+
+	f := &feeder{
+		src:  tr.Source(),
+		pool: pool,
+		sampleRTT: func() (float64, float64) {
+			// The client always reaches its local site first (edge RTT);
+			// the cloud leg rides along for the overflow decision.
+			return cfg.EdgePath.Sample(netRng), cfg.CloudPath.Sample(netRng)
+		},
+		sink: sink,
+		slow: 1,
+		admit: func(e *sim.Engine, p any) {
+			req := p.(*queue.Request)
 			home := sites[req.Site]
 			if home.Load() >= cfg.OverflowThreshold {
-				overflowed = true
+				req.Tag = overflowTag
 				res.Overflowed++
-				req.NetworkRTT = edgeRTT + cloudRTT
-				// Cross to the cloud: the request re-enters the network
-				// for cloudRTT/2 before arriving at the pooled queue.
-				e.After(cloudRTT/2, func(*sim.Engine) { cloud.Arrive(req) })
+				req.NetworkRTT += req.AuxRTT
+				e.AfterPayload(req.AuxRTT/2, cloudAdmit, req)
 				return
 			}
 			home.Arrive(req)
-		})
+		},
 	}
+	runDeployment(eng, f, &res.Result, append(append([]*queue.Station(nil), sites...), cloud))
 
-	res.Duration = eng.Run()
 	var busySum, capSum float64
 	for i, s := range sites {
-		s.Finish()
 		m := s.Metrics()
 		res.Wait.Merge(&m.Wait)
 		res.Sites = append(res.Sites, SiteResult{
@@ -131,7 +139,6 @@ func RunEdgeWithOverflow(tr *WorkloadTrace, cfg OverflowConfig) *OverflowResult 
 		busySum += m.Busy.Average()
 		capSum += float64(s.Servers)
 	}
-	cloud.Finish()
 	res.Wait.Merge(&cloud.Metrics().Wait)
 	if capSum > 0 {
 		res.Utilization = busySum / capSum
@@ -165,57 +172,61 @@ func RunEdgeAutoscaled(tr *WorkloadTrace, cfg EdgeConfig, asCfg autoscale.Config
 	}
 	eng := sim.NewEngine(cfg.Seed)
 	netRng := eng.NewStream()
+	pool := &queue.FreeList{}
 
 	stations := make([]*queue.Station, cfg.Sites)
 	for i := range stations {
-		stations[i] = queue.NewStation(eng, fmt.Sprintf("edge-%d", i), cfg.ServersPerSite, cfg.Discipline)
-		stations[i].SetWarmup(cfg.Warmup)
+		stations[i] = newStation(eng, fmt.Sprintf("edge-%d", i), cfg.ServersPerSite,
+			cfg.Discipline, 0, cfg.Warmup, cfg.Summary, pool)
 	}
 	ctrl := autoscale.New(eng, stations, asCfg)
 
-	res := &AutoscaleResult{Result: Result{Label: "edge+autoscale"}}
+	res := &AutoscaleResult{Result: *newResult("edge+autoscale", cfg.Summary, tr.Len())}
 	if cfg.TimelineBin > 0 {
 		res.Timeline = stats.NewTimeSeries(0, cfg.TimelineBin)
 	}
 
 	// The controller's ticker keeps the calendar non-empty forever, so
-	// stop it once the last request has completed and let the engine
-	// drain naturally.
-	outstanding := len(tr.Records)
-	var nextID uint64
-	for _, rec := range tr.Records {
-		rtt := cfg.Path.Sample(netRng)
-		nextID++
-		req := &queue.Request{
-			ID:          nextID,
-			Site:        rec.Site,
-			ServiceTime: rec.ServiceTime,
-			NetworkRTT:  rtt,
-			Generated:   rec.Time,
-			Done: func(e *sim.Engine, r *queue.Request) {
-				outstanding--
-				if outstanding == 0 {
-					ctrl.Stop()
-				}
-				if r.Departure < cfg.Warmup {
-					return
-				}
-				e2e := r.EndToEnd()
-				res.EndToEnd.Add(e2e)
-				res.Completed++
-				if res.Timeline != nil {
-					res.Timeline.Add(r.Generated, e2e)
-				}
-			},
+	// stop it once the source is drained and the last emitted request
+	// has been consumed, letting the engine drain naturally.
+	var drained bool
+	var consumed uint64
+	var f *feeder
+	maybeStop := func() {
+		if drained && consumed == f.count {
+			ctrl.Stop()
 		}
-		eng.At(rec.Time+rtt/2, func(e *sim.Engine) { stations[req.Site].Arrive(req) })
 	}
-
-	res.Duration = eng.Run()
+	sink := &resultSink{
+		res:    &res.Result,
+		warmup: cfg.Warmup,
+		pre: func(*queue.Request) {
+			consumed++
+			maybeStop()
+		},
+	}
+	f = &feeder{
+		src:  tr.Source(),
+		pool: pool,
+		sampleRTT: func() (float64, float64) {
+			return cfg.Path.Sample(netRng), 0
+		},
+		sink: sink,
+		slow: 1,
+		admit: func(e *sim.Engine, p any) {
+			req := p.(*queue.Request)
+			stations[req.Site].Arrive(req)
+		},
+		onDrained: func() {
+			drained = true
+			maybeStop()
+		},
+	}
+	runDeployment(eng, f, &res.Result, stations)
 	ctrl.Stop()
+
 	var busySum, capSum float64
 	for i, s := range stations {
-		s.Finish()
 		m := s.Metrics()
 		res.Wait.Merge(&m.Wait)
 		res.Sites = append(res.Sites, SiteResult{

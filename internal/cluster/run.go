@@ -49,6 +49,16 @@ type EdgeConfig struct {
 	// TimelineBin > 0 additionally collects a latency timeline with the
 	// given bin width (Figure 9).
 	TimelineBin float64
+	// Summary selects the latency-collection memory model: stats.Exact
+	// (default) retains every observation for exact quantiles;
+	// stats.Bounded keeps constant state per collector (running moments
+	// plus P² quantile estimates), the right choice for replays of
+	// millions of requests.
+	Summary stats.Mode
+
+	// probe, when set by tests, observes the event-calendar size at
+	// every generated arrival.
+	probe func(pending int)
 }
 
 // CloudConfig configures a cloud deployment run.
@@ -63,13 +73,18 @@ type CloudConfig struct {
 	// QueueCap bounds the waiting queue (total for the central queue,
 	// per server otherwise); 0 = unbounded.
 	QueueCap int
+	// Summary selects the latency-collection memory model; see
+	// EdgeConfig.Summary.
+	Summary stats.Mode
+
+	probe func(pending int)
 }
 
 // SiteResult captures one edge site's measurements.
 type SiteResult struct {
 	Site        int
-	EndToEnd    stats.Sample // client-observed latency, seconds
-	Wait        stats.Sample // queueing delay at the site
+	EndToEnd    stats.Digest // client-observed latency, seconds
+	Wait        stats.Digest // queueing delay at the site
 	Utilization float64
 	Arrivals    uint64
 	MeanRate    float64
@@ -78,8 +93,8 @@ type SiteResult struct {
 // Result captures one deployment run.
 type Result struct {
 	Label       string
-	EndToEnd    stats.Sample // all requests, client-observed latency
-	Wait        stats.Sample // all requests, queueing delay
+	EndToEnd    stats.Digest // all requests, client-observed latency
+	Wait        stats.Digest // all requests, queueing delay
 	Sites       []SiteResult // per-site detail (len 1 for the cloud)
 	Utilization float64      // load-weighted mean utilization
 	Completed   uint64
@@ -95,6 +110,168 @@ func (r *Result) MeanLatency() float64 { return r.EndToEnd.Mean() }
 // P95Latency returns the 95th-percentile end-to-end latency in seconds.
 func (r *Result) P95Latency() float64 { return r.EndToEnd.P95() }
 
+// newResult builds a result whose digests follow the requested memory
+// model; sizeHint pre-allocates exact samples to the trace length so
+// retained-mode replays do not regrow from nil.
+func newResult(label string, mode stats.Mode, sizeHint int) *Result {
+	hint := 0
+	if mode == stats.Exact {
+		hint = sizeHint
+	}
+	return &Result{
+		Label:    label,
+		EndToEnd: stats.NewDigest(mode, hint),
+		Wait:     stats.NewDigest(mode, hint),
+	}
+}
+
+// newDigests returns n empty digests in the given mode.
+func newDigests(mode stats.Mode, n int) []stats.Digest {
+	out := make([]stats.Digest, n)
+	if mode == stats.Bounded {
+		for i := range out {
+			out[i].SetBounded()
+		}
+	}
+	return out
+}
+
+// resultSink is the shared queue.Sink of a deployment run: every request
+// carries a pointer to it instead of a per-request closure. pre runs for
+// every consumed request (even dropped or warmup ones); post runs for
+// each measured completion. Requests are recycled right after Consume
+// returns, so the hooks must not retain them.
+type resultSink struct {
+	res     *Result
+	warmup  float64
+	perSite []stats.Digest // per-site end-to-end, when collected
+	pre     func(r *queue.Request)
+	post    func(r *queue.Request, e2e float64)
+}
+
+// Consume records one finished request into the run's result.
+func (s *resultSink) Consume(e *sim.Engine, r *queue.Request) {
+	if s.pre != nil {
+		s.pre(r)
+	}
+	if r.Departure < s.warmup {
+		return
+	}
+	if r.Dropped {
+		s.res.Dropped++
+		return
+	}
+	e2e := r.EndToEnd()
+	s.res.EndToEnd.Add(e2e)
+	if s.perSite != nil {
+		s.perSite[r.Site].Add(e2e)
+	}
+	s.res.Completed++
+	if s.res.Timeline != nil {
+		s.res.Timeline.Add(r.Generated, e2e)
+	}
+	if s.post != nil {
+		s.post(r, e2e)
+	}
+}
+
+// feeder is the streaming heart of runDeployment: it holds exactly one
+// pending trace record and re-arms a single "generate next arrival"
+// event as records are consumed, so the event calendar never holds more
+// than one future arrival regardless of trace length. Network RTTs are
+// sampled at generation time in record order, and pump/arrival events
+// are scheduled front-priority (sim.AtFront) so they win exact-time
+// ties against completions just as pre-scheduled arrivals would. Both
+// together keep the random sequence and the event order — and therefore
+// every result — identical to a run that materializes all arrivals up
+// front.
+type feeder struct {
+	src       Source
+	pool      *queue.FreeList
+	sampleRTT func() (rtt, aux float64) // draws per record, in record order
+	sink      queue.Sink
+	admit     sim.PayloadEvent // routes a request at its arrival instant
+	slow      float64          // service-time multiplier (edge slowdown)
+	cloudSite bool             // stamp Site=-1 (cloud) instead of rec.Site
+	onDrained func()           // source exhausted (may fire before start returns)
+	probe     func(pending int)
+
+	pump    sim.Event // bound once; re-armed for every record
+	pending RequestRecord
+	nextID  uint64
+	count   uint64 // records emitted so far
+}
+
+// start pulls the first record and arms the pump. Call before eng.Run.
+func (f *feeder) start(e *sim.Engine) {
+	f.pump = func(e *sim.Engine) { f.emit(e) }
+	if rec, ok := f.src.Next(); ok {
+		f.pending = rec
+		e.AtFront(rec.Time, f.pump)
+	} else if f.onDrained != nil {
+		f.onDrained()
+	}
+}
+
+// emit fires at the pending record's generation time: it builds the
+// request from the free list, schedules its arrival rtt/2 later, and
+// re-arms the pump for the next record.
+func (f *feeder) emit(e *sim.Engine) {
+	rec := f.pending
+	rtt, aux := f.sampleRTT()
+	req := f.pool.Get()
+	f.nextID++
+	f.count++
+	req.ID = f.nextID
+	if f.cloudSite {
+		req.Site = -1
+	} else {
+		req.Site = rec.Site
+	}
+	req.ServiceTime = rec.ServiceTime * f.slow
+	req.NetworkRTT = rtt
+	req.AuxRTT = aux
+	req.Generated = rec.Time
+	req.Done = f.sink
+	e.AtPayloadFront(rec.Time+rtt/2, f.admit, req)
+	if f.probe != nil {
+		f.probe(e.Pending())
+	}
+	if nxt, ok := f.src.Next(); ok {
+		if nxt.Time < rec.Time {
+			panic(fmt.Sprintf("cluster: Source yielded time %v after %v", nxt.Time, rec.Time))
+		}
+		f.pending = nxt
+		e.AtFront(nxt.Time, f.pump)
+	} else if f.onDrained != nil {
+		f.onDrained()
+	}
+}
+
+// runDeployment is the topology-independent replay core shared by the
+// edge, cloud, overflow, and autoscaled runners: stream the source
+// through the feeder, run the calendar dry, and close the stations'
+// time-weighted metrics.
+func runDeployment(eng *sim.Engine, f *feeder, res *Result, stations []*queue.Station) {
+	f.start(eng)
+	res.Duration = eng.Run()
+	for _, s := range stations {
+		s.Finish()
+	}
+}
+
+// newStation builds a deployment station wired for the run: warmup,
+// queue bound, summary mode, and the shared request free list.
+func newStation(eng *sim.Engine, name string, servers int, disc queue.Discipline,
+	queueCap int, warmup float64, mode stats.Mode, pool *queue.FreeList) *queue.Station {
+	st := queue.NewStation(eng, name, servers, disc)
+	st.QueueCap = queueCap
+	st.SetWarmup(warmup)
+	st.SetSummaryMode(mode)
+	st.Recycle = pool
+	return st
+}
+
 // RunEdge replays the trace through an edge deployment: each request
 // incurs the edge network RTT and queues at its home site.
 func RunEdge(tr *WorkloadTrace, cfg EdgeConfig) *Result {
@@ -109,6 +286,7 @@ func RunEdge(tr *WorkloadTrace, cfg EdgeConfig) *Result {
 	}
 	eng := sim.NewEngine(cfg.Seed)
 	netRng := eng.NewStream()
+	pool := &queue.FreeList{}
 
 	stations := make([]*queue.Station, cfg.Sites)
 	servers := make([]queue.Server, cfg.Sites)
@@ -117,9 +295,8 @@ func RunEdge(tr *WorkloadTrace, cfg EdgeConfig) *Result {
 		if cfg.PerSiteServers != nil {
 			c = cfg.PerSiteServers[i]
 		}
-		stations[i] = queue.NewStation(eng, fmt.Sprintf("edge-%d", i), c, cfg.Discipline)
-		stations[i].QueueCap = cfg.QueueCap
-		stations[i].SetWarmup(cfg.Warmup)
+		stations[i] = newStation(eng, fmt.Sprintf("edge-%d", i), c, cfg.Discipline,
+			cfg.QueueCap, cfg.Warmup, cfg.Summary, pool)
 		servers[i] = stations[i]
 	}
 
@@ -128,59 +305,37 @@ func RunEdge(tr *WorkloadTrace, cfg EdgeConfig) *Result {
 		geo = lb.NewGeographic(servers, cfg.JockeyThreshold, cfg.DetourRTT, eng.NewStream())
 	}
 
-	res := &Result{Label: "edge"}
+	res := newResult("edge", cfg.Summary, tr.Len())
 	if cfg.TimelineBin > 0 {
 		res.Timeline = stats.NewTimeSeries(0, cfg.TimelineBin)
 	}
-	perSiteE2E := make([]stats.Sample, cfg.Sites)
+	perSite := newDigests(cfg.Summary, cfg.Sites)
+	sink := &resultSink{res: res, warmup: cfg.Warmup, perSite: perSite}
 
 	slow := cfg.SlowdownFactor
 	if slow <= 0 {
 		slow = 1
 	}
-
-	var nextID uint64
-	for _, rec := range tr.Records {
-		rec := rec
-		rtt := cfg.Path.Sample(netRng)
-		nextID++
-		req := &queue.Request{
-			ID:          nextID,
-			Site:        rec.Site,
-			ServiceTime: rec.ServiceTime * slow,
-			NetworkRTT:  rtt,
-			Generated:   rec.Time,
-			Done: func(e *sim.Engine, r *queue.Request) {
-				if r.Departure < cfg.Warmup {
-					return
-				}
-				if r.Dropped {
-					res.Dropped++
-					return
-				}
-				e2e := r.EndToEnd()
-				res.EndToEnd.Add(e2e)
-				perSiteE2E[r.Site].Add(e2e)
-				res.Completed++
-				if res.Timeline != nil {
-					res.Timeline.Add(r.Generated, e2e)
-				}
-			},
-		}
-		arriveAt := rec.Time + rtt/2
-		eng.At(arriveAt, func(e *sim.Engine) {
+	f := &feeder{
+		src:  tr.Source(),
+		pool: pool,
+		sampleRTT: func() (float64, float64) {
+			return cfg.Path.Sample(netRng), 0
+		},
+		sink: sink,
+		slow: slow,
+		admit: func(e *sim.Engine, p any) {
+			req := p.(*queue.Request)
 			if geo != nil {
 				geo.Dispatch(req)
 			} else {
 				stations[req.Site].Arrive(req)
 			}
-		})
+		},
+		probe: cfg.probe,
 	}
+	runDeployment(eng, f, res, stations)
 
-	res.Duration = eng.Run()
-	for _, s := range stations {
-		s.Finish()
-	}
 	if geo != nil {
 		res.Redirected = geo.Redirected
 	}
@@ -191,7 +346,7 @@ func RunEdge(tr *WorkloadTrace, cfg EdgeConfig) *Result {
 		res.Wait.Merge(&m.Wait)
 		sr := SiteResult{
 			Site:        i,
-			EndToEnd:    perSiteE2E[i],
+			EndToEnd:    perSite[i],
 			Wait:        m.Wait,
 			Utilization: m.Utilization(s.Servers),
 			Arrivals:    s.TotalArrivals(),
@@ -237,23 +392,22 @@ func RunCloud(tr *WorkloadTrace, cfg CloudConfig) *Result {
 	}
 	eng := sim.NewEngine(cfg.Seed)
 	netRng := eng.NewStream()
+	pool := &queue.FreeList{}
 
 	var stations []*queue.Station
 	var dispatch func(r *queue.Request)
 	switch cfg.Policy {
 	case CentralQueue:
-		st := queue.NewStation(eng, "cloud", cfg.Servers, cfg.Discipline)
-		st.QueueCap = cfg.QueueCap
-		st.SetWarmup(cfg.Warmup)
+		st := newStation(eng, "cloud", cfg.Servers, cfg.Discipline,
+			cfg.QueueCap, cfg.Warmup, cfg.Summary, pool)
 		stations = []*queue.Station{st}
 		dispatch = st.Arrive
 	default:
 		stations = make([]*queue.Station, cfg.Servers)
 		servers := make([]queue.Server, cfg.Servers)
 		for i := range stations {
-			stations[i] = queue.NewStation(eng, fmt.Sprintf("cloud-%d", i), 1, cfg.Discipline)
-			stations[i].QueueCap = cfg.QueueCap
-			stations[i].SetWarmup(cfg.Warmup)
+			stations[i] = newStation(eng, fmt.Sprintf("cloud-%d", i), 1, cfg.Discipline,
+				cfg.QueueCap, cfg.Warmup, cfg.Summary, pool)
 			servers[i] = stations[i]
 		}
 		var d lb.Dispatcher
@@ -272,44 +426,30 @@ func RunCloud(tr *WorkloadTrace, cfg CloudConfig) *Result {
 		dispatch = d.Dispatch
 	}
 
-	res := &Result{Label: "cloud"}
+	res := newResult("cloud", cfg.Summary, tr.Len())
 	if cfg.TimelineBin > 0 {
 		res.Timeline = stats.NewTimeSeries(0, cfg.TimelineBin)
 	}
+	sink := &resultSink{res: res, warmup: cfg.Warmup}
 
-	var nextID uint64
-	for _, rec := range tr.Records {
-		rtt := cfg.Path.Sample(netRng)
-		nextID++
-		req := &queue.Request{
-			ID:          nextID,
-			Site:        -1,
-			ServiceTime: rec.ServiceTime,
-			NetworkRTT:  rtt,
-			Generated:   rec.Time,
-			Done: func(e *sim.Engine, r *queue.Request) {
-				if r.Departure < cfg.Warmup {
-					return
-				}
-				if r.Dropped {
-					res.Dropped++
-					return
-				}
-				e2e := r.EndToEnd()
-				res.EndToEnd.Add(e2e)
-				res.Completed++
-				if res.Timeline != nil {
-					res.Timeline.Add(r.Generated, e2e)
-				}
-			},
-		}
-		eng.At(rec.Time+rtt/2, func(e *sim.Engine) { dispatch(req) })
+	f := &feeder{
+		src:  tr.Source(),
+		pool: pool,
+		sampleRTT: func() (float64, float64) {
+			return cfg.Path.Sample(netRng), 0
+		},
+		sink:      sink,
+		slow:      1,
+		cloudSite: true,
+		admit: func(e *sim.Engine, p any) {
+			dispatch(p.(*queue.Request))
+		},
+		probe: cfg.probe,
 	}
+	runDeployment(eng, f, res, stations)
 
-	res.Duration = eng.Run()
 	var busySum, capSum float64
 	for _, s := range stations {
-		s.Finish()
 		m := s.Metrics()
 		res.Wait.Merge(&m.Wait)
 		busySum += m.Busy.Average()

@@ -1,0 +1,34 @@
+package cluster
+
+// Source streams request records in nondecreasing Time order. The
+// deployment runners pull from a Source lazily — exactly one pending
+// "generate next arrival" event sits in the event calendar at any time —
+// so replay memory is bounded by the number of in-flight requests, not
+// by trace length. WorkloadTrace implements the interface over its
+// materialized records; synthetic sources can generate records on the
+// fly and replay arbitrarily long workloads in constant space.
+type Source interface {
+	// Next returns the next record, or ok=false when the source is
+	// exhausted. Records must be yielded in nondecreasing Time order;
+	// the runners panic on a time regression.
+	Next() (RequestRecord, bool)
+}
+
+// sliceSource iterates a materialized record slice.
+type sliceSource struct {
+	recs []RequestRecord
+	i    int
+}
+
+func (s *sliceSource) Next() (RequestRecord, bool) {
+	if s.i >= len(s.recs) {
+		return RequestRecord{}, false
+	}
+	r := s.recs[s.i]
+	s.i++
+	return r, true
+}
+
+// Source returns a fresh iterator over the trace. Each call starts at
+// the beginning, so concurrent runs (RunPaired) each take their own.
+func (w *WorkloadTrace) Source() Source { return &sliceSource{recs: w.Records} }

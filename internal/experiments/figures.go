@@ -80,7 +80,7 @@ func RunFig6(duration float64, seed int64) []Fig6Scenario {
 			Model:       model,
 			Seed:        seed + int64(i),
 		})
-		var sample *stats.Sample
+		var sample *stats.Digest
 		if s.cloud {
 			res := cluster.RunCloud(tr, cluster.CloudConfig{
 				Servers: s.cloudServers,
@@ -101,8 +101,8 @@ func RunFig6(duration float64, seed int64) []Fig6Scenario {
 		}
 		out[i] = Fig6Scenario{
 			Label:   s.label,
-			Summary: stats.SummarizeDist(s.label, sample, nil),
-			Box:     stats.BoxPlotOf(s.label, sample),
+			Summary: sample.Summarize(s.label, nil),
+			Box:     sample.Box(s.label),
 		}
 	})
 	return out
@@ -220,8 +220,8 @@ func RunAzureReplay(spec trace.AzureSpec, scale float64, seed int64) AzureReplay
 	}
 	for i := range edge.Sites {
 		label := fmt.Sprintf("Edge %d", i+1)
-		res.EdgeBoxes = append(res.EdgeBoxes, stats.BoxPlotOf(label, &edge.Sites[i].EndToEnd))
+		res.EdgeBoxes = append(res.EdgeBoxes, edge.Sites[i].EndToEnd.Box(label))
 	}
-	res.CloudBox = stats.BoxPlotOf("Cloud", &cloud.EndToEnd)
+	res.CloudBox = cloud.EndToEnd.Box("Cloud")
 	return res
 }

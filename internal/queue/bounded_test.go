@@ -68,11 +68,11 @@ func TestBoundedQueueNeverExceedsCap(t *testing.T) {
 	dropped := 0
 	eng.At(0, func(*sim.Engine) {
 		for i := 0; i < 10; i++ {
-			st.Arrive(&Request{ServiceTime: 100, Done: func(_ *sim.Engine, r *Request) {
+			st.Arrive(&Request{ServiceTime: 100, Done: DoneFunc(func(_ *sim.Engine, r *Request) {
 				if r.Dropped {
 					dropped++
 				}
-			}})
+			})})
 			if st.QueueLength() > 3 {
 				t.Fatalf("queue length %d exceeded cap 3", st.QueueLength())
 			}
@@ -96,11 +96,11 @@ func TestDroppedRequestMarked(t *testing.T) {
 	eng.At(0, func(*sim.Engine) {
 		st.Arrive(&Request{ServiceTime: 10})
 		st.Arrive(&Request{ServiceTime: 10})
-		r := &Request{ServiceTime: 10, Done: func(_ *sim.Engine, rr *Request) {
+		r := &Request{ServiceTime: 10, Done: DoneFunc(func(_ *sim.Engine, rr *Request) {
 			if rr.Dropped {
 				reject = rr
 			}
-		}}
+		})}
 		st.Arrive(r)
 	})
 	eng.RunUntil(1)
@@ -149,7 +149,7 @@ func TestSetServersShrinkIsGraceful(t *testing.T) {
 	var completions int
 	eng.At(0, func(*sim.Engine) {
 		for i := 0; i < 3; i++ {
-			st.Arrive(&Request{ServiceTime: 1, Done: func(_ *sim.Engine, _ *Request) { completions++ }})
+			st.Arrive(&Request{ServiceTime: 1, Done: DoneFunc(func(_ *sim.Engine, _ *Request) { completions++ })})
 		}
 		st.SetServers(1)
 		// In-flight services keep running.
@@ -159,7 +159,7 @@ func TestSetServersShrinkIsGraceful(t *testing.T) {
 	})
 	// A fourth request at t=0.5 queues because target capacity is 1.
 	eng.At(0.5, func(*sim.Engine) {
-		st.Arrive(&Request{ServiceTime: 1, Done: func(_ *sim.Engine, _ *Request) { completions++ }})
+		st.Arrive(&Request{ServiceTime: 1, Done: DoneFunc(func(_ *sim.Engine, _ *Request) { completions++ })})
 		if st.Busy() != 3 || st.QueueLength() != 1 {
 			t.Errorf("shrunk station admitted beyond capacity: busy=%d queued=%d",
 				st.Busy(), st.QueueLength())

@@ -1,0 +1,43 @@
+package queue
+
+// FreeList recycles Request objects through a replay. The deployment
+// runner draws fresh requests from Get and attaches the list to every
+// station (Station.Recycle); each station returns a request to the list
+// after its Done sink has consumed it. Once the pipeline reaches steady
+// state the live set is bounded by the number of in-flight requests and
+// the replay allocates no new request objects, regardless of trace
+// length.
+//
+// A FreeList is single-threaded, like the engine that drives it: use
+// one per deployment, never shared across engines.
+type FreeList struct {
+	free   []*Request
+	allocs uint64
+}
+
+// Get returns a zeroed request, recycling an idle one when available.
+func (f *FreeList) Get() *Request {
+	if n := len(f.free); n > 0 {
+		r := f.free[n-1]
+		f.free[n-1] = nil
+		f.free = f.free[:n-1]
+		return r
+	}
+	f.allocs++
+	return &Request{}
+}
+
+// Put zeroes r and makes it available to Get. The caller must not
+// retain r past this call.
+func (f *FreeList) Put(r *Request) {
+	*r = Request{}
+	f.free = append(f.free, r)
+}
+
+// Idle returns the number of recycled requests currently held.
+func (f *FreeList) Idle() int { return len(f.free) }
+
+// Allocated returns how many requests Get has ever allocated fresh —
+// in a steady-state replay this is the high-water mark of in-flight
+// requests, not the trace length.
+func (f *FreeList) Allocated() uint64 { return f.allocs }

@@ -1,0 +1,108 @@
+package queue
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestFreeListRecyclesZeroed(t *testing.T) {
+	var f FreeList
+	r := f.Get()
+	if f.Allocated() != 1 {
+		t.Fatalf("Allocated = %d after first Get", f.Allocated())
+	}
+	r.ID = 7
+	r.ServiceTime = 3
+	r.Tag = 1
+	r.AuxRTT = 0.5
+	r.Dropped = true
+	r.Done = DoneFunc(func(*sim.Engine, *Request) {})
+	f.Put(r)
+	if f.Idle() != 1 {
+		t.Fatalf("Idle = %d after Put", f.Idle())
+	}
+	r2 := f.Get()
+	if r2 != r {
+		t.Error("Get should return the recycled object")
+	}
+	if r2.ID != 0 || r2.ServiceTime != 0 || r2.Tag != 0 || r2.AuxRTT != 0 ||
+		r2.Dropped || r2.Done != nil {
+		t.Errorf("recycled request not zeroed: %+v", r2)
+	}
+	if f.Allocated() != 1 {
+		t.Errorf("Allocated = %d, recycling should not count as an allocation", f.Allocated())
+	}
+}
+
+// TestStationRecyclesRequests: with a free list attached, a sequential
+// replay reuses a constant number of request objects regardless of how
+// many requests flow through, and completions observe correct values.
+func TestStationRecyclesRequests(t *testing.T) {
+	eng := sim.NewEngine(1)
+	pool := &FreeList{}
+	st := NewStation(eng, "recycle", 1, FCFS)
+	st.Recycle = pool
+
+	const n = 1000
+	completions := 0
+	var sink Sink = DoneFunc(func(e *sim.Engine, r *Request) {
+		completions++
+		if r.Departure != e.Now() || r.ServiceTime != 0.5 {
+			t.Errorf("recycled request corrupted: %+v", r)
+		}
+	})
+	// One request in flight at a time: arrivals spaced past the service
+	// time, each drawn from the pool.
+	for i := 0; i < n; i++ {
+		at := float64(i)
+		eng.At(at, func(e *sim.Engine) {
+			r := pool.Get()
+			r.ID = uint64(i)
+			r.ServiceTime = 0.5
+			r.Done = sink
+			st.Arrive(r)
+		})
+	}
+	eng.Run()
+	if completions != n {
+		t.Fatalf("completions = %d, want %d", completions, n)
+	}
+	if pool.Allocated() > 2 {
+		t.Errorf("pool allocated %d requests for a sequential replay, want <= 2", pool.Allocated())
+	}
+}
+
+// TestStationRecyclesDroppedRequests: the drop path recycles too.
+func TestStationRecyclesDroppedRequests(t *testing.T) {
+	eng := sim.NewEngine(1)
+	pool := &FreeList{}
+	st := NewStation(eng, "dropcycle", 1, FCFS)
+	st.QueueCap = 1
+	st.Recycle = pool
+	drops := 0
+	var sink Sink = DoneFunc(func(_ *sim.Engine, r *Request) {
+		if r.Dropped {
+			drops++
+		}
+	})
+	eng.At(0, func(*sim.Engine) {
+		for i := 0; i < 5; i++ {
+			r := pool.Get()
+			r.ServiceTime = 100
+			r.Done = sink
+			st.Arrive(r)
+		}
+	})
+	eng.RunUntil(1)
+	// 1 serving + 1 queued + 3 dropped; the dropped three recycled
+	// immediately, so the pool allocated at most... each Arrive happens
+	// back-to-back before any Put, so 5 allocations — but the dropped
+	// ones must all be Idle again minus reuse.
+	if drops != 3 {
+		t.Fatalf("drops = %d, want 3", drops)
+	}
+	if pool.Idle() == 0 {
+		t.Error("dropped requests were not returned to the free list")
+	}
+}

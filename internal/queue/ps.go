@@ -148,7 +148,7 @@ func (s *PSStation) departReady() {
 			s.m.Departures.Observe(now)
 		}
 		if r.Done != nil {
-			r.Done(s.engine, r)
+			r.Done.Consume(s.engine, r)
 		}
 	}
 	s.m.Busy.Set(now, math.Min(float64(s.Servers), float64(len(s.inflight))))
@@ -180,19 +180,20 @@ var (
 	_ Server = (*PSStation)(nil)
 )
 
-// MergedWaits concatenates the per-request waits from several stations,
-// used to compute the edge-wide weighted averages of Lemma 3.3.
-func MergedWaits(stations []Server) *stats.Sample {
-	out := &stats.Sample{}
+// MergedWaits merges the per-request waits from several stations, used
+// to compute the edge-wide weighted averages of Lemma 3.3. The result
+// is exact when every station collects exact metrics.
+func MergedWaits(stations []Server) *stats.Digest {
+	out := &stats.Digest{}
 	for _, s := range stations {
 		out.Merge(&s.Metrics().Wait)
 	}
 	return out
 }
 
-// MergedSojourns concatenates per-request sojourn times across stations.
-func MergedSojourns(stations []Server) *stats.Sample {
-	out := &stats.Sample{}
+// MergedSojourns merges per-request sojourn times across stations.
+func MergedSojourns(stations []Server) *stats.Digest {
+	out := &stats.Digest{}
 	for _, s := range stations {
 		out.Merge(&s.Metrics().Sojourn)
 	}

@@ -50,9 +50,9 @@ func TestPSImmediateStartNoIdleWait(t *testing.T) {
 	st := NewPSStation(eng, "ps", 1)
 	var depart float64
 	eng.At(0, func(*sim.Engine) {
-		st.Arrive(&Request{ServiceTime: 2, Done: func(e *sim.Engine, r *Request) {
+		st.Arrive(&Request{ServiceTime: 2, Done: DoneFunc(func(e *sim.Engine, r *Request) {
 			depart = e.Now()
-		}})
+		})})
 	})
 	eng.Run()
 	if math.Abs(depart-2) > 1e-9 {
@@ -67,9 +67,9 @@ func TestPSFairSharing(t *testing.T) {
 	st := NewPSStation(eng, "ps", 1)
 	var departures []float64
 	mk := func(svc float64) *Request {
-		return &Request{ServiceTime: svc, Done: func(e *sim.Engine, r *Request) {
+		return &Request{ServiceTime: svc, Done: DoneFunc(func(e *sim.Engine, r *Request) {
 			departures = append(departures, e.Now())
-		}}
+		})}
 	}
 	eng.At(0, func(*sim.Engine) {
 		st.Arrive(mk(1))
@@ -93,8 +93,8 @@ func TestPSUnequalJobs(t *testing.T) {
 	st := NewPSStation(eng, "ps", 1)
 	var short, long float64
 	eng.At(0, func(*sim.Engine) {
-		st.Arrive(&Request{ServiceTime: 1, Done: func(e *sim.Engine, _ *Request) { short = e.Now() }})
-		st.Arrive(&Request{ServiceTime: 3, Done: func(e *sim.Engine, _ *Request) { long = e.Now() }})
+		st.Arrive(&Request{ServiceTime: 1, Done: DoneFunc(func(e *sim.Engine, _ *Request) { short = e.Now() })})
+		st.Arrive(&Request{ServiceTime: 3, Done: DoneFunc(func(e *sim.Engine, _ *Request) { long = e.Now() })})
 	})
 	eng.Run()
 	if math.Abs(short-2) > 1e-9 {
@@ -113,9 +113,9 @@ func TestPSMultiServerNoSharingBelowCapacity(t *testing.T) {
 	var departures []float64
 	eng.At(0, func(*sim.Engine) {
 		for i := 0; i < 2; i++ {
-			st.Arrive(&Request{ServiceTime: 1, Done: func(e *sim.Engine, _ *Request) {
+			st.Arrive(&Request{ServiceTime: 1, Done: DoneFunc(func(e *sim.Engine, _ *Request) {
 				departures = append(departures, e.Now())
-			}})
+			})})
 		}
 	})
 	eng.Run()

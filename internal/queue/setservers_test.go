@@ -1,0 +1,251 @@
+package queue
+
+// Tests for SetServers — the dynamic-capacity primitive behind the
+// autoscaler — interacting with bounded queues and the non-FCFS
+// disciplines, previously untested.
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// completionRecorder returns a request factory whose completions append
+// (id, time) pairs.
+func completionRecorder(order *[]uint64, times *[]float64) func(id uint64, svc float64) *Request {
+	return func(id uint64, svc float64) *Request {
+		return &Request{ID: id, ServiceTime: svc, Done: DoneFunc(func(e *sim.Engine, r *Request) {
+			*order = append(*order, r.ID)
+			*times = append(*times, e.Now())
+		})}
+	}
+}
+
+// TestSetServersGrowServesBacklog: growing the pool immediately pulls
+// waiting requests into service and their completions land accordingly.
+func TestSetServersGrowServesBacklog(t *testing.T) {
+	eng := sim.NewEngine(1)
+	st := NewStation(eng, "grow", 1, FCFS)
+	var order []uint64
+	var times []float64
+	mk := completionRecorder(&order, &times)
+	eng.At(0, func(*sim.Engine) {
+		st.Arrive(mk(1, 10))
+		st.Arrive(mk(2, 1))
+		st.Arrive(mk(3, 1))
+	})
+	eng.At(1, func(*sim.Engine) {
+		st.SetServers(3)
+		if st.Busy() != 3 {
+			t.Errorf("busy = %d right after grow, want 3", st.Busy())
+		}
+		if st.QueueLength() != 0 {
+			t.Errorf("queue length = %d after grow, want 0", st.QueueLength())
+		}
+	})
+	eng.Run()
+	if len(order) != 3 || order[0] != 2 || order[1] != 3 || order[2] != 1 {
+		t.Errorf("completion order = %v, want [2 3 1]", order)
+	}
+	if times[0] != 2 || times[1] != 2 {
+		t.Errorf("waiting requests should complete at t=2 (grow at 1 + svc 1), got %v", times)
+	}
+}
+
+// TestSetServersShrinkDrainsGracefully: shrinking lets in-flight
+// services finish (busy exceeds the target transiently) but completing
+// servers retire — no new service starts until busy drops below the
+// new count.
+func TestSetServersShrinkDrainsGracefully(t *testing.T) {
+	eng := sim.NewEngine(1)
+	st := NewStation(eng, "shrink", 3, FCFS)
+	var order []uint64
+	var times []float64
+	mk := completionRecorder(&order, &times)
+	eng.At(0, func(*sim.Engine) {
+		st.Arrive(mk(1, 5))
+		st.Arrive(mk(2, 5))
+		st.Arrive(mk(3, 5))
+		st.Arrive(mk(4, 1)) // waits
+	})
+	eng.At(1, func(*sim.Engine) {
+		st.SetServers(1)
+		if st.Busy() != 3 {
+			t.Errorf("busy = %d right after shrink, want 3 (in-flight finish)", st.Busy())
+		}
+	})
+	eng.Run()
+	// 1,2,3 complete at t=5. The first two completions retire their
+	// servers (busy 2, then 1, both >= target); only the third drops
+	// busy below 1 server, so request 4 starts at t=5 and ends at t=6.
+	if len(order) != 4 || order[3] != 4 {
+		t.Fatalf("completion order = %v, want 4 last", order)
+	}
+	if times[3] != 6 {
+		t.Errorf("post-shrink request completed at %v, want 6", times[3])
+	}
+	if got := st.Metrics().Busy.Max(); got != 3 {
+		t.Errorf("peak busy = %v, want 3", got)
+	}
+	if st.Busy() != 0 {
+		t.Errorf("busy = %d after drain, want 0", st.Busy())
+	}
+}
+
+// TestSetServersGrowWithQueueCap: growth frees queue slots (served
+// requests leave the wait line) and the cap keeps applying to later
+// arrivals.
+func TestSetServersGrowWithQueueCap(t *testing.T) {
+	eng := sim.NewEngine(1)
+	st := NewStation(eng, "capgrow", 1, FCFS)
+	st.QueueCap = 2
+	dropped := 0
+	mk := func(id uint64) *Request {
+		return &Request{ID: id, ServiceTime: 100, Done: DoneFunc(func(_ *sim.Engine, r *Request) {
+			if r.Dropped {
+				dropped++
+			}
+		})}
+	}
+	eng.At(0, func(*sim.Engine) {
+		st.Arrive(mk(1)) // serving
+		st.Arrive(mk(2)) // waiting
+		st.Arrive(mk(3)) // waiting (cap reached)
+		st.Arrive(mk(4)) // dropped
+	})
+	eng.At(1, func(*sim.Engine) {
+		st.SetServers(2) // request 2 starts, freeing a slot
+		if st.QueueLength() != 1 {
+			t.Errorf("queue length = %d after grow, want 1", st.QueueLength())
+		}
+	})
+	eng.At(2, func(*sim.Engine) {
+		st.Arrive(mk(5)) // fills the freed slot
+		st.Arrive(mk(6)) // dropped again
+	})
+	eng.RunUntil(3)
+	if dropped != 2 {
+		t.Errorf("dropped = %d, want 2 (one before and one after the grow)", dropped)
+	}
+	if st.Metrics().Dropped != 2 {
+		t.Errorf("metric dropped = %d, want 2", st.Metrics().Dropped)
+	}
+	if st.Busy() != 2 || st.QueueLength() != 2 {
+		t.Errorf("busy=%d queue=%d, want 2/2", st.Busy(), st.QueueLength())
+	}
+}
+
+// TestSetServersShrinkWithQueueCap: after a shrink the smaller service
+// rate backs the queue up to its cap and overflow drops resume.
+func TestSetServersShrinkWithQueueCap(t *testing.T) {
+	eng := sim.NewEngine(1)
+	st := NewStation(eng, "capshrink", 2, FCFS)
+	st.QueueCap = 1
+	dropped := 0
+	mk := func(id uint64, svc float64) *Request {
+		return &Request{ID: id, ServiceTime: svc, Done: DoneFunc(func(_ *sim.Engine, r *Request) {
+			if r.Dropped {
+				dropped++
+			}
+		})}
+	}
+	eng.At(0, func(*sim.Engine) {
+		st.Arrive(mk(1, 50))
+		st.Arrive(mk(2, 50))
+	})
+	eng.At(1, func(*sim.Engine) { st.SetServers(1) })
+	eng.At(2, func(*sim.Engine) {
+		st.Arrive(mk(3, 1)) // waits (cap 1)
+		st.Arrive(mk(4, 1)) // dropped: queue full, no third server coming
+	})
+	eng.RunUntil(10)
+	if dropped != 1 {
+		t.Errorf("dropped = %d, want 1", dropped)
+	}
+	if st.Busy() != 2 {
+		t.Errorf("busy = %d, want 2 (in-flight still draining)", st.Busy())
+	}
+}
+
+// TestSetServersGrowLIFO: a grow pulls waiting requests in LIFO order.
+func TestSetServersGrowLIFO(t *testing.T) {
+	eng := sim.NewEngine(1)
+	st := NewStation(eng, "lifogrow", 1, LIFO)
+	var order []uint64
+	var times []float64
+	mk := completionRecorder(&order, &times)
+	eng.At(0, func(*sim.Engine) { st.Arrive(mk(1, 100)) })
+	eng.At(1, func(*sim.Engine) { st.Arrive(mk(2, 1)) })
+	eng.At(2, func(*sim.Engine) { st.Arrive(mk(3, 1)) })
+	eng.At(3, func(*sim.Engine) { st.Arrive(mk(4, 1)) })
+	eng.At(4, func(*sim.Engine) { st.SetServers(3) }) // pulls 4 then 3
+	eng.RunUntil(8)
+	if len(order) < 3 {
+		t.Fatalf("completions = %v", order)
+	}
+	// 4 and 3 complete at t=5 (scheduled in that order); 2 starts when
+	// one of them retires a slot... busy drops to 2 < 3, so 2 starts at
+	// t=5 and completes at 6.
+	if order[0] != 4 || order[1] != 3 || order[2] != 2 {
+		t.Errorf("LIFO grow completion order = %v, want [4 3 2]", order)
+	}
+}
+
+// TestSetServersGrowSJF: a grow pulls waiting requests shortest-first.
+func TestSetServersGrowSJF(t *testing.T) {
+	eng := sim.NewEngine(1)
+	st := NewStation(eng, "sjfgrow", 1, SJF)
+	var order []uint64
+	var times []float64
+	mk := completionRecorder(&order, &times)
+	eng.At(0, func(*sim.Engine) { st.Arrive(mk(1, 100)) })
+	eng.At(1, func(*sim.Engine) { st.Arrive(mk(2, 5)) })
+	eng.At(2, func(*sim.Engine) { st.Arrive(mk(3, 1)) })
+	eng.At(3, func(*sim.Engine) { st.Arrive(mk(4, 3)) })
+	eng.At(4, func(*sim.Engine) {
+		st.SetServers(3) // pulls 3 (svc 1) then 4 (svc 3)
+		if st.QueueLength() != 1 {
+			t.Errorf("queue length = %d after grow, want 1 (request 2 still waits)", st.QueueLength())
+		}
+	})
+	eng.RunUntil(20)
+	// 3 completes at 5; its slot frees request 2 (starts 5, ends 10);
+	// 4 completes at 7.
+	want := []uint64{3, 4, 2}
+	for i, w := range want {
+		if i >= len(order) || order[i] != w {
+			t.Fatalf("SJF grow completion order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestSetServersRepeatedOscillation: alternating grow/shrink keeps the
+// accounting consistent (busy never exceeds the historical maximum
+// target, waiting requests all eventually serve).
+func TestSetServersRepeatedOscillation(t *testing.T) {
+	eng := sim.NewEngine(1)
+	st := NewStation(eng, "osc", 2, FCFS)
+	completions := 0
+	for i := 0; i < 40; i++ {
+		id := uint64(i)
+		at := float64(i) * 0.5
+		eng.At(at, func(*sim.Engine) {
+			st.Arrive(&Request{ID: id, ServiceTime: 1.4, Done: DoneFunc(
+				func(_ *sim.Engine, _ *Request) { completions++ })})
+		})
+	}
+	for i := 0; i < 10; i++ {
+		n := 1 + (i % 4) // 1..4 servers
+		eng.At(float64(i)*2+0.25, func(*sim.Engine) { st.SetServers(n) })
+	}
+	eng.Run()
+	if completions != 40 {
+		t.Errorf("completions = %d, want 40 (no request lost across scaling)", completions)
+	}
+	if st.Busy() != 0 || st.QueueLength() != 0 {
+		t.Errorf("station not drained: busy=%d queue=%d", st.Busy(), st.QueueLength())
+	}
+	if max := st.Metrics().Busy.Max(); max > 4 {
+		t.Errorf("busy peaked at %v, should never exceed the largest target 4", max)
+	}
+}

@@ -50,14 +50,40 @@ type Request struct {
 	NetworkRTT  float64 // round-trip network latency attributed to this request
 	Generated   float64 // time the request left the client (Arrival - RTT/2 conceptually)
 
+	// Tag is scratch routing state owned by the deployment model (e.g.
+	// the hierarchical overflow runner marks forwarded requests). The
+	// free list clears it on recycle.
+	Tag uint64
+	// AuxRTT carries a secondary network RTT sampled at generation time
+	// for two-leg topologies (e.g. the cloud leg of an overflow
+	// deployment), so routing decisions need no per-request closure.
+	AuxRTT float64
+
 	// Dropped is true when the station rejected the request (bounded
 	// queue overflow); Departure is the rejection time and no service
 	// was given.
 	Dropped bool
 
-	// Done is invoked on completion or drop; nil is allowed.
-	Done func(e *sim.Engine, r *Request)
+	// Done is consumed on completion or drop; nil is allowed. A replay
+	// shares one Sink across all its requests (see Sink); ad-hoc
+	// callers can wrap a closure in DoneFunc.
+	Done Sink
 }
+
+// Sink consumes a request when it completes or is dropped. One sink
+// instance is shared by every request of a replay, replacing the
+// per-request Done closures that dominated allocation in large runs.
+// After Consume returns the request may be recycled (Station.Recycle),
+// so implementations must copy out anything they need.
+type Sink interface {
+	Consume(e *sim.Engine, r *Request)
+}
+
+// DoneFunc adapts a plain function to the Sink interface.
+type DoneFunc func(e *sim.Engine, r *Request)
+
+// Consume invokes the function.
+func (f DoneFunc) Consume(e *sim.Engine, r *Request) { f(e, r) }
 
 // Wait returns the queueing delay experienced at the station.
 func (r *Request) Wait() float64 { return r.Start - r.Arrival }
@@ -69,10 +95,12 @@ func (r *Request) Sojourn() float64 { return r.Departure - r.Arrival }
 // station sojourn time, the quantity T = n + w + s in Equations 1–2.
 func (r *Request) EndToEnd() float64 { return r.NetworkRTT + r.Sojourn() }
 
-// Metrics aggregates a station's observations.
+// Metrics aggregates a station's observations. Wait and Sojourn are
+// Digests: exact by default, switchable to bounded memory for long
+// replays (UseBounded / Station.SetSummaryMode).
 type Metrics struct {
-	Wait         stats.Sample       // per-request queueing delay
-	Sojourn      stats.Sample       // per-request wait + service
+	Wait         stats.Digest       // per-request queueing delay
+	Sojourn      stats.Digest       // per-request wait + service
 	Service      stats.Stream       // per-request service times
 	QueueLen     stats.TimeWeighted // queue length (excluding in-service)
 	Busy         stats.TimeWeighted // number of busy servers
@@ -91,6 +119,13 @@ func (m *Metrics) observeArrival(t float64) {
 	}
 	m.sawArrival = true
 	m.lastArrival = t
+}
+
+// UseBounded switches the per-request latency collectors to bounded
+// memory. Call before the first observation.
+func (m *Metrics) UseBounded() {
+	m.Wait.SetBounded()
+	m.Sojourn.SetBounded()
 }
 
 // Utilization returns the time-average fraction of busy servers given the
@@ -114,7 +149,13 @@ type Station struct {
 	// are dropped (G/G/c/K semantics). 0 means unbounded. The paper's
 	// application "starts dropping requests or thrashing" at saturation
 	// (§4.2); a bounded queue models that regime.
-	QueueCap   int
+	QueueCap int
+	// Recycle, when set, receives every request after its Done sink has
+	// consumed it, so a replay can reuse request objects instead of
+	// allocating one per record. All stations of a deployment share one
+	// free list. Callers that retain requests past Done must leave this
+	// nil.
+	Recycle    *FreeList
 	engine     *sim.Engine
 	busy       int
 	waiting    []*Request
@@ -123,6 +164,7 @@ type Station struct {
 	totalCount uint64
 	svcDist    dist.Dist  // optional service-time law for demandless requests
 	svcRng     *rand.Rand // stream the law samples against
+	completeFn sim.PayloadEvent
 }
 
 // NewStation creates a station with the given number of servers.
@@ -131,9 +173,21 @@ func NewStation(e *sim.Engine, name string, servers int, disc Discipline) *Stati
 		panic(fmt.Sprintf("queue: station %q needs at least one server", name))
 	}
 	s := &Station{Name: name, Servers: servers, Disc: disc, engine: e}
+	// One completion callback for the station's lifetime: scheduling a
+	// service completion allocates no closure per request.
+	s.completeFn = func(e *sim.Engine, p any) { s.complete(p.(*Request)) }
 	s.m.QueueLen.Set(e.Now(), 0)
 	s.m.Busy.Set(e.Now(), 0)
 	return s
+}
+
+// SetSummaryMode selects the metric memory model (stats.Exact retains
+// every wait/sojourn observation; stats.Bounded keeps constant state).
+// Call before any request arrives.
+func (s *Station) SetSummaryMode(m stats.Mode) {
+	if m == stats.Bounded {
+		s.m.UseBounded()
+	}
 }
 
 // SetWarmup discards metric observations for requests that complete
@@ -193,7 +247,10 @@ func (s *Station) Arrive(r *Request) {
 			s.m.Dropped++
 		}
 		if r.Done != nil {
-			r.Done(s.engine, r)
+			r.Done.Consume(s.engine, r)
+		}
+		if s.Recycle != nil {
+			s.Recycle.Put(r)
 		}
 		return
 	}
@@ -238,7 +295,7 @@ func (s *Station) startService(r *Request) {
 	r.Start = now
 	s.busy++
 	s.m.Busy.Set(now, float64(s.busy))
-	s.engine.After(r.ServiceTime, func(e *sim.Engine) { s.complete(r) })
+	s.engine.AfterPayload(r.ServiceTime, s.completeFn, r)
 }
 
 func (s *Station) complete(r *Request) {
@@ -252,13 +309,19 @@ func (s *Station) complete(r *Request) {
 		s.m.Service.Add(r.ServiceTime)
 		s.m.Departures.Observe(now)
 	}
-	if len(s.waiting) > 0 {
+	// Guarded on the server count so a shrink (SetServers) actually
+	// drains: while busy still exceeds the new target, completing
+	// servers retire instead of pulling the next waiting request.
+	if s.busy < s.Servers && len(s.waiting) > 0 {
 		next := s.dequeue()
 		s.m.QueueLen.Set(now, float64(len(s.waiting)))
 		s.startService(next)
 	}
 	if r.Done != nil {
-		r.Done(s.engine, r)
+		r.Done.Consume(s.engine, r)
+	}
+	if s.Recycle != nil {
+		s.Recycle.Put(r)
 	}
 }
 

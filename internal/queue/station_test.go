@@ -108,9 +108,9 @@ func TestFCFSOrder(t *testing.T) {
 	st := NewStation(eng, "fcfs", 1, FCFS)
 	var completions []uint64
 	mk := func(id uint64, svc float64) *Request {
-		return &Request{ID: id, ServiceTime: svc, Done: func(_ *sim.Engine, r *Request) {
+		return &Request{ID: id, ServiceTime: svc, Done: DoneFunc(func(_ *sim.Engine, r *Request) {
 			completions = append(completions, r.ID)
-		}}
+		})}
 	}
 	eng.At(0, func(*sim.Engine) { st.Arrive(mk(1, 10)) })
 	eng.At(1, func(*sim.Engine) { st.Arrive(mk(2, 1)) })
@@ -129,9 +129,9 @@ func TestLIFOOrder(t *testing.T) {
 	st := NewStation(eng, "lifo", 1, LIFO)
 	var completions []uint64
 	mk := func(id uint64, svc float64) *Request {
-		return &Request{ID: id, ServiceTime: svc, Done: func(_ *sim.Engine, r *Request) {
+		return &Request{ID: id, ServiceTime: svc, Done: DoneFunc(func(_ *sim.Engine, r *Request) {
 			completions = append(completions, r.ID)
-		}}
+		})}
 	}
 	eng.At(0, func(*sim.Engine) { st.Arrive(mk(1, 10)) })
 	eng.At(1, func(*sim.Engine) { st.Arrive(mk(2, 1)) })
@@ -151,9 +151,9 @@ func TestSJFOrder(t *testing.T) {
 	st := NewStation(eng, "sjf", 1, SJF)
 	var completions []uint64
 	mk := func(id uint64, svc float64) *Request {
-		return &Request{ID: id, ServiceTime: svc, Done: func(_ *sim.Engine, r *Request) {
+		return &Request{ID: id, ServiceTime: svc, Done: DoneFunc(func(_ *sim.Engine, r *Request) {
 			completions = append(completions, r.ID)
-		}}
+		})}
 	}
 	eng.At(0, func(*sim.Engine) { st.Arrive(mk(1, 10)) })
 	eng.At(1, func(*sim.Engine) { st.Arrive(mk(2, 5)) })

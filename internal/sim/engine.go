@@ -2,6 +2,13 @@
 // substitutes for the paper's EC2 testbed. It provides a simulation clock,
 // an event calendar (binary heap keyed on time with FIFO tie-breaking),
 // and seeded random-number streams so every experiment is reproducible.
+//
+// The calendar recycles its event nodes through a free list and supports
+// payload-carrying events (AtPayload/AfterPayload), so steady-state
+// models — one completion event per in-service request, one pending
+// arrival per source — schedule without allocating. Canceled events are
+// compacted out of the heap as soon as they dominate it, keeping the
+// calendar proportional to the number of live events.
 package sim
 
 import (
@@ -13,10 +20,20 @@ import (
 // Event is a callback scheduled to run at a simulated time.
 type Event func(e *Engine)
 
+// PayloadEvent is a callback scheduled with an attached payload. A model
+// that stores one PayloadEvent value and schedules it repeatedly with
+// different payloads avoids the per-request closure allocations of the
+// plain Event form.
+type PayloadEvent func(e *Engine, payload any)
+
 type scheduledEvent struct {
 	t        float64
 	seq      uint64 // FIFO tie-break for simultaneous events
+	gen      uint64 // incremented on recycle; guards stale Handles
+	front    bool   // sorts before non-front events at the same time
 	fn       Event
+	pfn      PayloadEvent
+	payload  any
 	canceled bool
 }
 
@@ -26,6 +43,9 @@ func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
 	if h[i].t != h[j].t {
 		return h[i].t < h[j].t
+	}
+	if h[i].front != h[j].front {
+		return h[i].front
 	}
 	return h[i].seq < h[j].seq
 }
@@ -45,6 +65,8 @@ func (h *eventHeap) Pop() interface{} {
 type Engine struct {
 	now       float64
 	events    eventHeap
+	free      []*scheduledEvent // recycled event nodes
+	canceled  int               // canceled entries still in the heap
 	seq       uint64
 	rng       *rand.Rand
 	stopped   bool
@@ -71,26 +93,88 @@ func (e *Engine) NewStream() *rand.Rand {
 }
 
 // Handle identifies a scheduled event so it can be canceled.
-type Handle struct{ ev *scheduledEvent }
+type Handle struct {
+	engine *Engine
+	ev     *scheduledEvent
+	gen    uint64
+}
 
 // Cancel prevents the event from running. Canceling an already-run or
-// already-canceled event is a no-op.
+// already-canceled event is a no-op: event nodes are recycled, so the
+// handle carries a generation stamp and only cancels the scheduling it
+// was issued for.
 func (h Handle) Cancel() {
-	if h.ev != nil {
-		h.ev.canceled = true
+	if h.ev == nil || h.ev.gen != h.gen || h.ev.canceled {
+		return
 	}
+	h.ev.canceled = true
+	e := h.engine
+	e.canceled++
+	// Compact once dead entries dominate the calendar, so models that
+	// cancel aggressively (e.g. processor sharing rescheduling its next
+	// departure on every arrival) keep the heap proportional to the
+	// number of live events.
+	if e.canceled*2 > len(e.events) {
+		e.compact()
+	}
+}
+
+// compact removes canceled entries from the calendar and recycles them.
+func (e *Engine) compact() {
+	live := e.events[:0]
+	for _, ev := range e.events {
+		if ev.canceled {
+			e.release(ev)
+		} else {
+			live = append(live, ev)
+		}
+	}
+	for i := len(live); i < len(e.events); i++ {
+		e.events[i] = nil
+	}
+	e.events = live
+	e.canceled = 0
+	heap.Init(&e.events)
+}
+
+// acquire returns a recycled or fresh event node scheduled at time t.
+func (e *Engine) acquire(t float64) *scheduledEvent {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	var ev *scheduledEvent
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &scheduledEvent{}
+	}
+	ev.t = t
+	ev.seq = e.seq
+	e.seq++
+	return ev
+}
+
+// release recycles an executed or compacted event node. Bumping the
+// generation invalidates any outstanding Handle to it.
+func (e *Engine) release(ev *scheduledEvent) {
+	ev.gen++
+	ev.front = false
+	ev.fn = nil
+	ev.pfn = nil
+	ev.payload = nil
+	ev.canceled = false
+	e.free = append(e.free, ev)
 }
 
 // At schedules fn to run at absolute time t. Scheduling in the past
 // panics, since that indicates a logic error in the model.
 func (e *Engine) At(t float64, fn Event) Handle {
-	if t < e.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
-	}
-	ev := &scheduledEvent{t: t, seq: e.seq, fn: fn}
-	e.seq++
+	ev := e.acquire(t)
+	ev.fn = fn
 	heap.Push(&e.events, ev)
-	return Handle{ev: ev}
+	return Handle{engine: e, ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run delay seconds from now.
@@ -101,12 +185,59 @@ func (e *Engine) After(delay float64, fn Event) Handle {
 	return e.At(e.now+delay, fn)
 }
 
+// AtPayload schedules fn to run at absolute time t with the given
+// payload. Unlike At, the callback value can be created once and reused
+// across schedulings, so a steady-state model allocates nothing here.
+func (e *Engine) AtPayload(t float64, fn PayloadEvent, payload any) Handle {
+	ev := e.acquire(t)
+	ev.pfn = fn
+	ev.payload = payload
+	heap.Push(&e.events, ev)
+	return Handle{engine: e, ev: ev, gen: ev.gen}
+}
+
+// AfterPayload schedules fn to run delay seconds from now with the given
+// payload.
+func (e *Engine) AfterPayload(delay float64, fn PayloadEvent, payload any) Handle {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	return e.AtPayload(e.now+delay, fn, payload)
+}
+
+// AtFront schedules fn at time t ahead of every non-front event already
+// or later scheduled at the same instant (front events keep FIFO order
+// among themselves). A source that injects arrivals lazily uses this to
+// reproduce the tie-breaking of a calendar where all arrivals were
+// scheduled before the run began.
+func (e *Engine) AtFront(t float64, fn Event) Handle {
+	ev := e.acquire(t)
+	ev.front = true
+	ev.fn = fn
+	heap.Push(&e.events, ev)
+	return Handle{engine: e, ev: ev, gen: ev.gen}
+}
+
+// AtPayloadFront is AtFront with an attached payload.
+func (e *Engine) AtPayloadFront(t float64, fn PayloadEvent, payload any) Handle {
+	ev := e.acquire(t)
+	ev.front = true
+	ev.pfn = fn
+	ev.payload = payload
+	heap.Push(&e.events, ev)
+	return Handle{engine: e, ev: ev, gen: ev.gen}
+}
+
 // Stop halts the run loop after the current event returns.
 func (e *Engine) Stop() { e.stopped = true }
 
 // Pending returns the number of events in the calendar, including
-// canceled events not yet popped.
+// canceled events not yet popped or compacted.
 func (e *Engine) Pending() int { return len(e.events) }
+
+// Canceled returns the number of canceled events still occupying the
+// calendar. Compaction keeps this at no more than half of Pending().
+func (e *Engine) Canceled() int { return e.canceled }
 
 // Processed returns the number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }
@@ -124,6 +255,8 @@ func (e *Engine) Run() float64 {
 		}
 		ev := heap.Pop(&e.events).(*scheduledEvent)
 		if ev.canceled {
+			e.canceled--
+			e.release(ev)
 			continue
 		}
 		if ev.t < e.now {
@@ -131,7 +264,15 @@ func (e *Engine) Run() float64 {
 		}
 		e.now = ev.t
 		e.processed++
-		ev.fn(e)
+		// Copy the callback and recycle the node before invoking it, so
+		// the callback's own scheduling can reuse the node immediately.
+		fn, pfn, payload := ev.fn, ev.pfn, ev.payload
+		e.release(ev)
+		if pfn != nil {
+			pfn(e, payload)
+		} else {
+			fn(e)
+		}
 	}
 	return e.now
 }
@@ -161,6 +302,16 @@ func (e *Engine) Every(period float64, fn Event) *Ticker {
 		panic("sim: ticker period must be positive")
 	}
 	t := &Ticker{engine: e, period: period, fn: fn}
+	// One wrapper closure for the ticker's lifetime; rescheduling reuses it.
+	t.fire = func(e *Engine) {
+		if t.stopped {
+			return
+		}
+		t.fn(e)
+		if !t.stopped {
+			t.schedule()
+		}
+	}
 	t.schedule()
 	return t
 }
@@ -170,20 +321,13 @@ type Ticker struct {
 	engine  *Engine
 	period  float64
 	fn      Event
+	fire    Event
 	handle  Handle
 	stopped bool
 }
 
 func (t *Ticker) schedule() {
-	t.handle = t.engine.After(t.period, func(e *Engine) {
-		if t.stopped {
-			return
-		}
-		t.fn(e)
-		if !t.stopped {
-			t.schedule()
-		}
-	})
+	t.handle = t.engine.After(t.period, t.fire)
 }
 
 // Stop cancels future firings.

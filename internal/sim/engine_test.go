@@ -11,7 +11,6 @@ func TestEventOrdering(t *testing.T) {
 	e := NewEngine(1)
 	var order []float64
 	for _, at := range []float64{5, 1, 3, 2, 4} {
-		at := at
 		e.At(at, func(*Engine) { order = append(order, at) })
 	}
 	end := e.Run()
@@ -30,7 +29,6 @@ func TestSimultaneousEventsFIFO(t *testing.T) {
 	e := NewEngine(1)
 	var order []int
 	for i := 0; i < 10; i++ {
-		i := i
 		e.At(1.0, func(*Engine) { order = append(order, i) })
 	}
 	e.Run()

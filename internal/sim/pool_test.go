@@ -1,0 +1,189 @@
+package sim
+
+import (
+	"testing"
+)
+
+// TestPayloadEvents: AtPayload/AfterPayload deliver the payload and honor
+// time ordering exactly like plain events.
+func TestPayloadEvents(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	fn := PayloadEvent(func(e *Engine, p any) { got = append(got, p.(int)) })
+	e.AtPayload(3, fn, 30)
+	e.AtPayload(1, fn, 10)
+	e.AfterPayload(2, fn, 20)
+	e.Run()
+	want := []int{10, 20, 30}
+	for i, w := range want {
+		if got[i] != w {
+			t.Fatalf("payload order = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestAtFrontWinsTies: front events run before normal events at the
+// same instant regardless of scheduling order, and keep FIFO order
+// among themselves.
+func TestAtFrontWinsTies(t *testing.T) {
+	e := NewEngine(1)
+	var order []string
+	e.At(1, func(*Engine) { order = append(order, "normal-1") })
+	e.AtFront(1, func(*Engine) { order = append(order, "front-1") })
+	e.AtPayloadFront(1, func(_ *Engine, p any) { order = append(order, p.(string)) }, "front-2")
+	e.At(1, func(*Engine) { order = append(order, "normal-2") })
+	e.At(0.5, func(en *Engine) {
+		// A front event scheduled mid-run still beats queued normal
+		// events at the same time.
+		en.AtFront(1, func(*Engine) { order = append(order, "front-3") })
+	})
+	e.Run()
+	want := []string{"front-1", "front-2", "front-3", "normal-1", "normal-2"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i, w := range want {
+		if order[i] != w {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestEventNodeRecycling: executed events return to the free list, so a
+// long chain of sequential events keeps only O(1) nodes alive.
+func TestEventNodeRecycling(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	var next Event
+	next = func(en *Engine) {
+		count++
+		if count < 10000 {
+			en.After(0.001, next)
+		}
+	}
+	e.After(0.001, next)
+	e.Run()
+	if count != 10000 {
+		t.Fatalf("ran %d events", count)
+	}
+	if len(e.free) > 4 {
+		t.Errorf("free list holds %d nodes after a sequential chain, want <= 4", len(e.free))
+	}
+}
+
+// TestStaleHandleCancelIsNoOp: a Handle kept past its event's execution
+// must not cancel the recycled node's next occupant.
+func TestStaleHandleCancelIsNoOp(t *testing.T) {
+	e := NewEngine(1)
+	ran1, ran2 := false, false
+	h := e.At(1, func(*Engine) { ran1 = true })
+	e.Run()
+	if !ran1 {
+		t.Fatal("first event did not run")
+	}
+	// Schedule a second event; with pooling it reuses the same node.
+	e.At(2, func(*Engine) { ran2 = true })
+	h.Cancel() // stale: generation mismatch, must be a no-op
+	e.Run()
+	if !ran2 {
+		t.Error("stale Handle.Cancel killed a recycled event")
+	}
+}
+
+// TestCanceledCompaction: when canceled entries exceed half the calendar,
+// the heap is compacted so dead events never dominate Pending().
+func TestCanceledCompaction(t *testing.T) {
+	e := NewEngine(1)
+	handles := make([]Handle, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		handles = append(handles, e.At(float64(i+1), func(*Engine) {}))
+	}
+	// Cancel 999 of 1000: compaction must kick in along the way.
+	for _, h := range handles[1:] {
+		h.Cancel()
+	}
+	if e.Pending() > 500 {
+		t.Errorf("Pending() = %d after mass cancel, want <= 500", e.Pending())
+	}
+	if e.Canceled()*2 > e.Pending() {
+		t.Errorf("canceled %d of %d pending, compaction should keep it at <= half",
+			e.Canceled(), e.Pending())
+	}
+	ran := 0
+	e.At(0.5, func(*Engine) { ran++ })
+	end := e.Run()
+	if ran != 1 {
+		t.Errorf("live event after compaction ran %d times, want 1", ran)
+	}
+	if end != 1 {
+		t.Errorf("final time = %v, want 1 (the surviving scheduled event)", end)
+	}
+}
+
+// TestCancelDuringRunCompacts: cancels issued from inside event callbacks
+// also trigger compaction.
+func TestCancelDuringRunCompacts(t *testing.T) {
+	e := NewEngine(1)
+	var handles []Handle
+	for i := 0; i < 400; i++ {
+		handles = append(handles, e.At(100+float64(i), func(*Engine) {
+			t.Error("canceled event ran")
+		}))
+	}
+	e.At(1, func(en *Engine) {
+		for _, h := range handles {
+			h.Cancel()
+		}
+		if en.Pending() != 0 {
+			t.Errorf("Pending() = %d after canceling everything, want 0", en.Pending())
+		}
+	})
+	e.Run()
+}
+
+// TestDoubleCancelCountsOnce: canceling the same handle twice must not
+// corrupt the canceled-entry accounting.
+func TestDoubleCancelCountsOnce(t *testing.T) {
+	e := NewEngine(1)
+	h := e.At(1, func(*Engine) {})
+	e.At(2, func(*Engine) {})
+	e.At(3, func(*Engine) {})
+	h.Cancel()
+	h.Cancel()
+	if e.Canceled() != 1 {
+		t.Errorf("Canceled() = %d after double cancel, want 1", e.Canceled())
+	}
+	e.Run()
+	if e.Canceled() != 0 {
+		t.Errorf("Canceled() = %d after run, want 0", e.Canceled())
+	}
+}
+
+// TestPayloadNoAlloc: scheduling a stored PayloadEvent with a pointer
+// payload through a warmed engine allocates nothing per event.
+func TestPayloadNoAlloc(t *testing.T) {
+	e := NewEngine(1)
+	type job struct{ n int }
+	j := &job{}
+	var fire PayloadEvent
+	count := 0
+	fire = func(en *Engine, p any) {
+		count++
+		if count < 100 {
+			en.AfterPayload(0.001, fire, p)
+		}
+	}
+	// Warm the node pool.
+	e.AfterPayload(0.001, fire, j)
+	e.Run()
+
+	count = 0
+	allocs := testing.AllocsPerRun(10, func() {
+		count = 0
+		e.AfterPayload(0.001, fire, j)
+		e.Run()
+	})
+	if allocs > 0.5 {
+		t.Errorf("steady-state payload scheduling allocates %.1f/run, want ~0", allocs)
+	}
+}

@@ -1,0 +1,294 @@
+package stats
+
+import "fmt"
+
+// Mode selects how a Digest stores its observations.
+type Mode int
+
+const (
+	// Exact retains every observation in a Sample: exact quantiles,
+	// O(N) memory. The right choice for small runs and for figures that
+	// need full distributions (box-plot outliers, violin curves).
+	Exact Mode = iota
+	// Bounded keeps O(1) state: running moments via Stream plus P²
+	// streaming estimators at fixed probe quantiles. The right choice
+	// for long trace replays where retaining millions of latencies
+	// would dominate memory.
+	Bounded
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == Bounded {
+		return "bounded"
+	}
+	return "exact"
+}
+
+// digestProbes are the quantiles tracked in Bounded mode. P95 and P99
+// are the paper's tail metrics; the quartiles feed box plots.
+var digestProbes = [...]float64{0.25, 0.5, 0.75, 0.9, 0.95, 0.99}
+
+// Digest is a latency collector with a selectable memory model: Exact
+// mode wraps a Sample (every observation retained), Bounded mode keeps
+// running moments and P² quantile estimates in constant space. The zero
+// value is an empty Exact digest, ready to use.
+//
+// A Digest is a value type but shares internal state with its copies;
+// copy one only after the run that fills it has finished.
+type Digest struct {
+	mode   Mode
+	stream Stream  // moments, min/max, count — maintained in both modes
+	sample *Sample // Exact mode, lazily allocated
+	p2     *[len(digestProbes)]*P2Quantile
+
+	// Merging two bounded digests cannot replay observations through
+	// the P² estimators, so foreign data folds into a count-weighted
+	// overlay of probe estimates instead.
+	mergedQ [len(digestProbes)]float64
+	mergedN int64
+}
+
+// NewDigest returns a digest in the given mode. In Exact mode sizeHint
+// pre-allocates the retained sample (0 is fine); Bounded ignores it.
+func NewDigest(mode Mode, sizeHint int) Digest {
+	d := Digest{mode: mode}
+	if mode == Exact && sizeHint > 0 {
+		d.sample = NewSample(sizeHint)
+	}
+	if mode == Bounded {
+		d.initP2()
+	}
+	return d
+}
+
+func (d *Digest) initP2() {
+	var bank [len(digestProbes)]*P2Quantile
+	for i, p := range digestProbes {
+		bank[i] = NewP2Quantile(p)
+	}
+	d.p2 = &bank
+}
+
+// SetBounded switches an empty digest to Bounded mode. Switching after
+// observations have been recorded panics: the retained data cannot be
+// replayed through the streaming estimators.
+func (d *Digest) SetBounded() {
+	if d.mode == Bounded {
+		return
+	}
+	if d.stream.N() > 0 {
+		panic(fmt.Sprintf("stats: SetBounded on a digest holding %d observations", d.stream.N()))
+	}
+	d.mode = Bounded
+	d.sample = nil
+	d.initP2()
+}
+
+// Mode reports the digest's memory model.
+func (d *Digest) Mode() Mode { return d.mode }
+
+// Add records one observation.
+func (d *Digest) Add(x float64) {
+	d.stream.Add(x)
+	if d.mode == Bounded {
+		for _, est := range d.p2 {
+			est.Add(x)
+		}
+		return
+	}
+	if d.sample == nil {
+		d.sample = &Sample{}
+	}
+	d.sample.Add(x)
+}
+
+// Merge folds other into d. Two Exact digests merge exactly. When either
+// side is Bounded the moments (mean, variance, min, max, count) still
+// merge exactly, but quantiles become a count-weighted combination of
+// the two sides' probe estimates — an approximation adequate for the
+// aggregate wait summaries it serves.
+func (d *Digest) Merge(other *Digest) {
+	if other.stream.N() == 0 {
+		return
+	}
+	if d.mode == Exact && other.mode == Exact {
+		d.stream.Merge(&other.stream)
+		if other.sample != nil {
+			if d.sample == nil {
+				d.sample = &Sample{}
+			}
+			d.sample.Merge(other.sample)
+		}
+		return
+	}
+	// At least one side is bounded: snapshot both sides' probe
+	// estimates, rebuild the overlay as their count-weighted average,
+	// and reset the live estimators (their information now lives in the
+	// overlay).
+	dN, oN := d.stream.N(), other.stream.N()
+	for i, p := range digestProbes {
+		ov := other.Quantile(p)
+		if dN == 0 {
+			d.mergedQ[i] = ov
+			continue
+		}
+		dv := d.Quantile(p)
+		d.mergedQ[i] = (dv*float64(dN) + ov*float64(oN)) / float64(dN+oN)
+	}
+	d.mergedN = dN + oN
+	d.mode = Bounded
+	d.sample = nil
+	d.initP2()
+	d.stream.Merge(&other.stream)
+}
+
+// N returns the number of observations recorded.
+func (d *Digest) N() int { return int(d.stream.N()) }
+
+// Mean returns the arithmetic mean, or 0 when empty.
+func (d *Digest) Mean() float64 { return d.stream.Mean() }
+
+// StdDev returns the sample standard deviation.
+func (d *Digest) StdDev() float64 { return d.stream.StdDev() }
+
+// Variance returns the unbiased sample variance.
+func (d *Digest) Variance() float64 { return d.stream.Variance() }
+
+// Min returns the smallest observation, or 0 when empty.
+func (d *Digest) Min() float64 { return d.stream.Min() }
+
+// Max returns the largest observation, or 0 when empty.
+func (d *Digest) Max() float64 { return d.stream.Max() }
+
+// Quantile returns the q-th quantile. Exact mode computes it from the
+// retained sample; Bounded mode interpolates between the tracked probe
+// estimates, anchored at the true min and max.
+func (d *Digest) Quantile(q float64) float64 {
+	if d.mode == Exact {
+		if d.sample == nil {
+			return 0
+		}
+		return d.sample.Quantile(q)
+	}
+	if d.stream.N() == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return d.stream.Min()
+	}
+	if q >= 1 {
+		return d.stream.Max()
+	}
+	// Piecewise-linear through (0, min), (probe_i, est_i)..., (1, max).
+	prevQ, prevV := 0.0, d.stream.Min()
+	for i, p := range digestProbes {
+		v := d.probeValue(i)
+		if q <= p {
+			return interp(q, prevQ, prevV, p, v)
+		}
+		prevQ, prevV = p, v
+	}
+	return interp(q, prevQ, prevV, 1, d.stream.Max())
+}
+
+// probeValue returns the digest's estimate at digestProbes[i], blending
+// the live P² estimator with the merge overlay when both hold data.
+func (d *Digest) probeValue(i int) float64 {
+	own := int64(d.p2[i].N())
+	switch {
+	case d.mergedN == 0:
+		return d.p2[i].Value()
+	case own == 0:
+		return d.mergedQ[i]
+	default:
+		return (d.p2[i].Value()*float64(own) + d.mergedQ[i]*float64(d.mergedN)) /
+			float64(own+d.mergedN)
+	}
+}
+
+func interp(q, q0, v0, q1, v1 float64) float64 {
+	if q1 <= q0 {
+		return v1
+	}
+	return v0 + (q-q0)/(q1-q0)*(v1-v0)
+}
+
+// Median returns the 50th percentile.
+func (d *Digest) Median() float64 { return d.Quantile(0.5) }
+
+// P95 returns the 95th percentile, the paper's tail-latency metric.
+func (d *Digest) P95() float64 { return d.Quantile(0.95) }
+
+// P99 returns the 99th percentile.
+func (d *Digest) P99() float64 { return d.Quantile(0.99) }
+
+// Values returns the retained observations in Exact mode (sorted,
+// owned by the digest) and nil in Bounded mode.
+func (d *Digest) Values() []float64 {
+	if d.mode == Exact && d.sample != nil {
+		return d.sample.Values()
+	}
+	return nil
+}
+
+// ExactSample exposes the retained sample in Exact mode, or nil in
+// Bounded mode. Callers must not modify it.
+func (d *Digest) ExactSample() *Sample {
+	if d.mode == Exact {
+		return d.sample
+	}
+	return nil
+}
+
+// Box computes the box-plot summary. Exact mode delegates to BoxPlotOf
+// (including outlier counting); Bounded mode builds the five-number
+// summary from the probe estimates with no outlier count.
+func (d *Digest) Box(label string) BoxPlot {
+	if d.mode == Exact {
+		if d.sample == nil {
+			return BoxPlot{Label: label}
+		}
+		return BoxPlotOf(label, d.sample)
+	}
+	bp := BoxPlot{Label: label, N: d.N()}
+	if bp.N == 0 {
+		return bp
+	}
+	bp.Min = d.stream.Min()
+	bp.Q1 = d.Quantile(0.25)
+	bp.Median = d.Quantile(0.5)
+	bp.Q3 = d.Quantile(0.75)
+	bp.Max = d.stream.Max()
+	bp.Mean = d.Mean()
+	iqr := bp.Q3 - bp.Q1
+	bp.LowerFence = max(bp.Min, bp.Q1-1.5*iqr)
+	bp.UpperFence = min(bp.Max, bp.Q3+1.5*iqr)
+	return bp
+}
+
+// Summarize computes a DistSummary at the given probes (nil = 1%..99%).
+// Bounded mode interpolates each probe from the digest's estimates.
+func (d *Digest) Summarize(label string, probes []float64) DistSummary {
+	if d.mode == Exact {
+		s := d.sample
+		if s == nil {
+			s = &Sample{}
+		}
+		return SummarizeDist(label, s, probes)
+	}
+	if probes == nil {
+		probes = make([]float64, 0, 99)
+		for i := 1; i <= 99; i++ {
+			probes = append(probes, float64(i)/100)
+		}
+	}
+	out := DistSummary{Label: label, N: d.N(), Mean: d.Mean(), StdDev: d.StdDev()}
+	if out.Mean != 0 {
+		out.CoV = out.StdDev / out.Mean
+	}
+	for _, q := range probes {
+		out.Quantiles = append(out.Quantiles, QuantilePoint{Q: q, Value: d.Quantile(q)})
+	}
+	return out
+}
