@@ -45,7 +45,10 @@ func BenchmarkFig2TaxiCellLoad(b *testing.B) {
 func BenchmarkFig3MeanLatencyTypicalCloud(b *testing.B) {
 	var rate float64
 	for i := 0; i < b.N; i++ {
-		res := experiments.RunFig3("typical-25ms", benchDuration, 42)
+		res, err := experiments.RunFig3("typical-25ms", benchDuration, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if r, _, ok := res.OneServer.Crossover(experiments.Mean); ok {
 			rate = r
 		}
@@ -58,7 +61,10 @@ func BenchmarkFig3MeanLatencyTypicalCloud(b *testing.B) {
 func BenchmarkFig4MeanLatencyDistantCloud(b *testing.B) {
 	var rate float64
 	for i := 0; i < b.N; i++ {
-		res := experiments.RunFig3("distant-54ms", benchDuration, 42)
+		res, err := experiments.RunFig3("distant-54ms", benchDuration, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if r, _, ok := res.OneServer.Crossover(experiments.Mean); ok {
 			rate = r
 		} else {
@@ -73,7 +79,10 @@ func BenchmarkFig4MeanLatencyDistantCloud(b *testing.B) {
 func BenchmarkFig5TailLatencyDistantCloud(b *testing.B) {
 	var rate float64
 	for i := 0; i < b.N; i++ {
-		res := experiments.RunFig3("distant-54ms", benchDuration, 42)
+		res, err := experiments.RunFig3("distant-54ms", benchDuration, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if r, _, ok := res.OneServer.Crossover(experiments.P95); ok {
 			rate = r
 		} else {

@@ -7,6 +7,15 @@
 // Example (the paper's Figure 3 point at 9 req/s):
 //
 //	edgesim -sites 5 -servers 1 -rate 9 -scenario typical-25ms -duration 600
+//
+// With -topology the run replays the workload through an arbitrary
+// deployment graph instead of the fixed edge/cloud pair, printing
+// per-tier latency, spill and drop metrics. The flag accepts a preset
+// name, @file.json, or an inline JSON topology spec:
+//
+//	edgesim -topology edge-regional-cloud -rate 11
+//	edgesim -topology @three-tier.json -rate 11
+//	edgesim -topology '{"tiers":[{"name":"edge","sites":5,"servers":1,"rttMs":1}]}'
 package main
 
 import (
@@ -21,10 +30,30 @@ import (
 	"repro/internal/autoscale"
 	"repro/internal/cluster"
 	"repro/internal/dist"
+	"repro/internal/lb"
 	"repro/internal/netem"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
+
+// fail prints the error followed by the flag usage and exits with
+// status 2, so bad flag values surface immediately instead of
+// panicking deep inside a run.
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "edgesim: "+format+"\n", args...)
+	fmt.Fprintln(os.Stderr)
+	flag.Usage()
+	os.Exit(2)
+}
+
+// scenarioNames lists the -scenario presets for usage messages.
+func scenarioNames() []string {
+	var names []string
+	for _, sc := range netem.PaperScenarios() {
+		names = append(names, sc.Name)
+	}
+	return names
+}
 
 func main() {
 	sites := flag.Int("sites", 5, "number of edge sites")
@@ -45,12 +74,13 @@ func main() {
 	summary := flag.String("summary", "exact", "latency summary memory model: exact (retain every sample) | bounded (O(1) streaming moments + P2 quantiles, for huge replays)")
 	autoscaleMax := flag.Int("autoscale-max", 0, "also run an autoscaled edge growing each site up to this many servers (0=off)")
 	overflowAt := flag.Int("overflow-at", 0, "also run a hierarchical edge overflowing to the cloud at this site load (0=off)")
+	topology := flag.String("topology", "", "replay through a deployment graph instead: preset name ("+
+		strings.Join(cluster.TopologyPresets(), "|")+"), @file.json, or inline JSON spec")
 	flag.Parse()
 
 	sc, ok := netem.ScenarioByName(*scenario)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "edgesim: unknown scenario %q\n", *scenario)
-		os.Exit(1)
+		fail("unknown -scenario %q (want one of %v)", *scenario, scenarioNames())
 	}
 	var mode stats.Mode
 	switch *summary {
@@ -59,10 +89,19 @@ func main() {
 	case "bounded":
 		mode = stats.Bounded
 	default:
-		fmt.Fprintf(os.Stderr, "edgesim: unknown -summary %q (want exact|bounded)\n", *summary)
-		os.Exit(1)
+		fail("unknown -summary %q (want exact|bounded)", *summary)
+	}
+	if *policy != string(cluster.CentralQueue) && !lb.Known(*policy) {
+		fail("unknown -policy %q (want %s or one of %v)",
+			*policy, cluster.CentralQueue, lb.Policies())
 	}
 	model := app.NewInferenceModelWith(1/app.SaturationRate, *serviceSCV)
+
+	if *topology != "" {
+		runTopology(*topology, *sites, *servers, *rate, *duration, *warmup,
+			*arrivalSCV, *seed, model, mode)
+		return
+	}
 
 	spec := cluster.GenSpec{
 		Sites:       *sites,
@@ -171,6 +210,127 @@ func main() {
 	default:
 		fmt.Println("verdict: the edge wins on both mean and p95.")
 	}
+}
+
+// loadTopology resolves the -topology flag: a shipped preset name, an
+// @file reference, or an inline JSON spec.
+func loadTopology(arg string) (cluster.Topology, error) {
+	if topo, ok := cluster.PresetTopology(arg); ok {
+		return topo, nil
+	}
+	if strings.HasPrefix(arg, "@") {
+		data, err := os.ReadFile(strings.TrimPrefix(arg, "@"))
+		if err != nil {
+			return cluster.Topology{}, err
+		}
+		return cluster.ParseTopology(data)
+	}
+	if strings.HasPrefix(strings.TrimSpace(arg), "{") {
+		return cluster.ParseTopology([]byte(arg))
+	}
+	return cluster.Topology{}, fmt.Errorf("not a preset (%v), @file, or inline JSON: %q",
+		cluster.TopologyPresets(), arg)
+}
+
+// runTopology replays a generated workload through the deployment
+// graph and prints aggregate and per-tier latency/spill/drop metrics.
+func runTopology(arg string, sites, servers int, rate, duration, warmup,
+	arrivalSCV float64, seed int64, model app.InferenceModel, mode stats.Mode) {
+	topo, err := loadTopology(arg)
+	if err != nil {
+		fail("-topology: %v", err)
+	}
+	// Home-routed ingress fixes the trace's site count; a dispatcher
+	// ingress (a pure-cloud graph) uses the -sites flag.
+	ingress := topo.Tiers[0]
+	genSites := sites
+	perSite := servers
+	if ingress.Dispatch == "" {
+		genSites = ingress.Sites
+		if ingress.ServersPerSite > 0 {
+			perSite = ingress.ServersPerSite
+		}
+	}
+	tr := cluster.Generate(cluster.GenSpec{
+		Sites:       genSites,
+		Duration:    duration,
+		PerSiteRate: rate * float64(perSite),
+		ArrivalSCV:  arrivalSCV,
+		Model:       model,
+		Seed:        seed,
+	})
+	res, err := cluster.Run(tr.Source(), topo, cluster.Options{
+		Warmup:   warmup,
+		Seed:     seed + 1,
+		Summary:  mode,
+		SizeHint: tr.Len(),
+	})
+	if err != nil {
+		fail("-topology: %v", err)
+	}
+
+	fmt.Printf("topology %s: %d tiers, %d spill edges, %d classes\n",
+		res.Label, len(topo.Tiers), len(topo.Spills), len(topo.Classes))
+	fmt.Printf("workload: %d requests over %.0fs (%.1f req/s aggregate), mean service %.1fms\n\n",
+		tr.Len(), tr.Duration(), tr.TotalRate(), tr.MeanServiceTime()*1000)
+
+	rows := [][]interface{}{latencyRow(res.Label, &res.Result)}
+	asciiplot.Table(os.Stdout, []string{"deployment", "util", "mean (ms)", "median", "p95", "p99", "max", "n"}, rows)
+
+	fmt.Println()
+	var tierRows [][]interface{}
+	for _, tier := range res.Tiers {
+		tierRows = append(tierRows, []interface{}{
+			tier.Name, tier.Utilization,
+			tier.EndToEnd.Mean() * 1000, tier.EndToEnd.P95() * 1000,
+			int(tier.Served), int(tier.Spilled), int(tier.Dropped),
+		})
+	}
+	asciiplot.Table(os.Stdout,
+		[]string{"tier", "util", "mean (ms)", "p95 (ms)", "served", "spilled", "dropped"}, tierRows)
+
+	for _, tier := range res.Tiers {
+		if len(tier.Sites) < 2 {
+			continue
+		}
+		// The entry tier carries per-site client latency; deeper tiers
+		// report per-station queueing instead.
+		e2e := tier.Sites[0].EndToEnd.N() > 0
+		header := []string{"site", "req/s", "util", "wait mean (ms)", "wait p95 (ms)", "n"}
+		if e2e {
+			header = []string{"site", "req/s", "util", "mean (ms)", "p95 (ms)", "n"}
+		}
+		fmt.Println()
+		var siteRows [][]interface{}
+		for _, s := range tier.Sites {
+			d := s.Wait
+			if e2e {
+				d = s.EndToEnd
+			}
+			siteRows = append(siteRows, []interface{}{
+				fmt.Sprintf("%s-%d", tier.Name, s.Site), s.MeanRate, s.Utilization,
+				d.Mean() * 1000, d.P95() * 1000, d.N(),
+			})
+		}
+		asciiplot.Table(os.Stdout, header, siteRows)
+	}
+
+	fmt.Println()
+	if res.Redirected > 0 {
+		fmt.Printf("geographic LB redirected %d requests\n", res.Redirected)
+	}
+	if res.Dropped > 0 {
+		fmt.Printf("bounded queues dropped %d requests\n", res.Dropped)
+	}
+	for _, tier := range res.Tiers {
+		if tier.PeakServers > 0 {
+			fmt.Printf("autoscaler[%s]: %d scale-ups, %d scale-downs, peak %d servers\n",
+				tier.Name, tier.ScaleUps, tier.ScaleDowns, tier.PeakServers)
+		}
+	}
+	fmt.Printf("conservation: offered %d = served %d + dropped %d + warmup-discarded %d\n",
+		res.Offered, res.Completed, res.Dropped,
+		res.Consumed-res.Completed-res.Dropped)
 }
 
 func latencyRow(name string, r *cluster.Result) []interface{} {

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	figures [-fig all|2|3|4|5|6|7|8|9|10|validation|capacity|tail|cost]
+//	figures [-fig all|2|3|4|5|6|7|8|9|10|three-tier|validation|capacity|tail|cost]
 //	        [-duration seconds] [-seed n] [-csv dir]
 //
 // Output is an ASCII rendering of each figure plus the underlying data
@@ -28,7 +28,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate (2..10, validation, capacity, tail, cost, all)")
+	fig := flag.String("fig", "all", "figure to regenerate (2..10, three-tier, validation, capacity, tail, cost, all)")
 	duration := flag.Float64("duration", 600, "simulated seconds per sweep point")
 	seed := flag.Int64("seed", 42, "random seed")
 	csvDir := flag.String("csv", "", "directory to write CSV series into (optional)")
@@ -62,6 +62,7 @@ func main() {
 	run("8", func() { fig8(*seed, *csvDir) })
 	run("9", func() { fig910(*seed, true) })
 	run("10", func() { fig910(*seed, false) })
+	run("three-tier", func() { threeTier(*duration, *seed, *csvDir) })
 	run("validation", func() { validation(*duration, *seed) })
 	run("capacity", func() { capacity() })
 	run("tail", func() { tailAnalytic() })
@@ -174,7 +175,11 @@ func loadSkew(loads []trace.CellLoad) (meanSkew, maxSkew float64) {
 
 // fig345 renders the rate-sweep latency comparisons (Figures 3, 4, 5).
 func fig345(name, scenario string, metric experiments.Metric, duration float64, seed int64, csvDir string) {
-	res := experiments.RunFig3(scenario, duration, seed)
+	res, err := experiments.RunFig3(scenario, duration, seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
 	pick := func(p experiments.SweepPoint, edge bool) float64 {
 		if metric == experiments.P95 {
 			if edge {
@@ -232,6 +237,52 @@ func fig345(name, scenario string, metric experiments.Metric, duration float64, 
 
 	if csvDir != "" {
 		f, err := os.Create(filepath.Join(csvDir, "fig"+name+".csv"))
+		if err == nil {
+			defer f.Close()
+			_ = asciiplot.WriteSeriesCSV(f, series)
+		}
+	}
+}
+
+// threeTier renders the new hierarchy figure: four capacity-matched
+// deployment shapes (pure edge, pure cloud, two-tier overflow, and the
+// edge→regional→cloud chain) across the paper's rate axis.
+func threeTier(duration float64, seed int64, csvDir string) {
+	res, err := experiments.RunFigThreeTier(duration, seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+	series := []asciiplot.Series{
+		{Name: "edge (5x2)"}, {Name: "cloud (10)"},
+		{Name: "edge+overflow (5+5)"}, {Name: "edge+regional+cloud (5+2+3)"},
+	}
+	for _, p := range res.Points {
+		for i, v := range []float64{p.EdgeMean, p.CloudMean, p.OverflowMean, p.ChainMean} {
+			series[i].X = append(series[i].X, p.RatePerServer)
+			series[i].Y = append(series[i].Y, v*1000)
+		}
+	}
+	asciiplot.LineChart(os.Stdout,
+		"Three-tier hierarchy: mean response time (ms) vs req/server/s, 10 servers per shape",
+		series, 72, 20)
+
+	var rows [][]interface{}
+	for _, p := range res.Points {
+		rows = append(rows, []interface{}{
+			p.RatePerServer,
+			p.EdgeMean * 1000, p.CloudMean * 1000, p.OverflowMean * 1000, p.ChainMean * 1000,
+			p.EdgeP95 * 1000, p.ChainP95 * 1000,
+			100 * p.OverflowSpill, 100 * p.ChainSpillReg, 100 * p.ChainSpillCld,
+		})
+	}
+	asciiplot.Table(os.Stdout, []string{
+		"req/s/srv", "edge", "cloud", "overflow", "chain",
+		"edge p95", "chain p95", "ovfl %", "chain->reg %", "reg->cld %",
+	}, rows)
+
+	if csvDir != "" {
+		f, err := os.Create(filepath.Join(csvDir, "figthreetier.csv"))
 		if err == nil {
 			defer f.Close()
 			_ = asciiplot.WriteSeriesCSV(f, series)

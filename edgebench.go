@@ -172,6 +172,50 @@ const (
 	SJF  = queue.SJF
 )
 
+// ---- Declarative topology layer (internal/cluster) ----
+
+// Topology is a declarative deployment graph: tiers connected by spill
+// edges with optional class pinning, executed by RunTopology. The
+// legacy RunEdge/RunCloud/RunEdgeWithOverflow/RunEdgeAutoscaled
+// entry points are thin constructors over this layer.
+type Topology = cluster.Topology
+
+// Tier is one layer of a deployment graph.
+type Tier = cluster.Tier
+
+// SpillEdge forwards overloaded requests between tiers.
+type SpillEdge = cluster.SpillEdge
+
+// ClassRule pins a traffic class to an entry tier.
+type ClassRule = cluster.ClassRule
+
+// TopologyOptions configures one topology run.
+type TopologyOptions = cluster.Options
+
+// TopologyResult is a topology run: aggregate Result plus per-tier
+// breakdowns and request-conservation counters.
+type TopologyResult = cluster.TopologyResult
+
+// TierResult is one tier's share of a topology run.
+type TierResult = cluster.TierResult
+
+// TopologySpec is the serializable (JSON) form of a Topology.
+type TopologySpec = cluster.TopologySpec
+
+// Topology entry points: the generic executor, the JSON codec, the
+// shipped multi-tier presets, and the legacy-shape constructors.
+var (
+	RunTopology            = cluster.Run
+	ParseTopology          = cluster.ParseTopology
+	ParseTopologySpec      = cluster.ParseTopologySpec
+	TopologyPresets        = cluster.TopologyPresets
+	PresetTopology         = cluster.PresetTopology
+	EdgeTopology           = cluster.EdgeTopology
+	CloudTopology          = cluster.CloudTopology
+	OverflowTopology       = cluster.OverflowTopology
+	AutoscaledEdgeTopology = cluster.AutoscaledEdgeTopology
+)
+
 // OverflowConfig configures a hierarchical edge deployment in which
 // overloaded sites forward requests to a cloud backstop.
 type OverflowConfig = cluster.OverflowConfig
@@ -267,6 +311,23 @@ var (
 	CrossoverCI        = experiments.CrossoverCI
 	DetectInversions   = experiments.DetectInversions
 	InversionFraction  = experiments.InversionFraction
+)
+
+// TopologySweepConfig describes a request-rate sweep over an arbitrary
+// deployment topology.
+type TopologySweepConfig = experiments.TopologySweepConfig
+
+// TopologySweepResult is a completed topology sweep.
+type TopologySweepResult = experiments.TopologySweepResult
+
+// ThreeTierResult is the hierarchy figure comparing four
+// capacity-matched deployment shapes.
+type ThreeTierResult = experiments.ThreeTierResult
+
+// Topology experiment runners.
+var (
+	RunTopologySweep = experiments.RunTopologySweep
+	RunFigThreeTier  = experiments.RunFigThreeTier
 )
 
 // ---- Extensions: tail analysis, economics, forecasting ----

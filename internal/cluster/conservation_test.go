@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/autoscale"
+	"repro/internal/netem"
+	"repro/internal/stats"
+)
+
+// conservationTopologies enumerates one topology per routing feature:
+// plain home routing, jockeying, bounded queues that drop, a pooled
+// central queue, every registry dispatcher, a two-hop spill chain, a
+// pinned class, heterogeneous paths, and an autoscaled tier behind a
+// spill edge.
+func conservationTopologies() map[string]Topology {
+	regional := netem.Jittered("regional-13ms", 0.013, 0.002)
+	cloud := cloudPath()
+	topos := map[string]Topology{
+		"edge-plain": {Tiers: []Tier{
+			{Name: "edge", Sites: 5, ServersPerSite: 1, Path: edgePath()},
+		}},
+		"edge-jockey": {Tiers: []Tier{
+			{Name: "edge", Sites: 5, ServersPerSite: 1, Path: edgePath(),
+				JockeyThreshold: 2, DetourRTT: 0.005},
+		}},
+		"edge-bounded": {Tiers: []Tier{
+			{Name: "edge", Sites: 5, ServersPerSite: 1, Path: edgePath(), QueueCap: 1},
+		}},
+		"cloud-central": {Tiers: []Tier{
+			{Name: "cloud", Sites: 1, ServersPerSite: 5, Path: cloud,
+				Dispatch: CentralQueueDispatch},
+		}},
+		"chain": chainTopology(),
+		"hybrid-class": {
+			Tiers: []Tier{
+				{Name: "edge", Sites: 5, ServersPerSite: 1, Path: edgePath(), QueueCap: 2},
+				{Name: "cloud", Sites: 1, ServersPerSite: 5, Path: cloud,
+					Dispatch: CentralQueueDispatch},
+			},
+			Spills:  []SpillEdge{{From: "edge", To: "cloud", Threshold: 2, DetourPath: &cloud}},
+			Classes: []ClassRule{{Name: "pinned", Sites: []int{4}, Tier: "cloud"}},
+		},
+		"spill-into-autoscale": {
+			Tiers: []Tier{
+				{Name: "edge", Sites: 5, ServersPerSite: 1, Path: edgePath()},
+				{Name: "regional", Sites: 1, ServersPerSite: 1, Path: regional,
+					Dispatch: CentralQueueDispatch,
+					Autoscale: &autoscale.Config{Interval: 2, Min: 1, Max: 5,
+						UpThreshold: 1.5, DownThreshold: 0.2, Cooldown: 4}},
+			},
+			Spills: []SpillEdge{{From: "edge", To: "regional", Threshold: 2, DetourPath: &regional}},
+		},
+	}
+	for _, pol := range []string{"round-robin", "least-connections", "power-of-two", "random"} {
+		topos["cloud-"+pol] = Topology{Tiers: []Tier{
+			{Name: "cloud", Sites: 5, ServersPerSite: 1, Path: cloud, Dispatch: pol},
+		}}
+	}
+	return topos
+}
+
+// checkConservation asserts the request-conservation invariants of one
+// run against its trace.
+func checkConservation(t *testing.T, name string, tr *WorkloadTrace, res *TopologyResult, warmup float64) {
+	t.Helper()
+	if res.Offered != uint64(tr.Len()) {
+		t.Errorf("%s: offered %d != trace length %d", name, res.Offered, tr.Len())
+	}
+	if res.Consumed != res.Offered {
+		t.Errorf("%s: consumed %d != offered %d (requests leaked in flight)",
+			name, res.Consumed, res.Offered)
+	}
+	measured := res.Completed + res.Dropped
+	if warmup == 0 {
+		if measured != res.Consumed {
+			t.Errorf("%s: completed %d + dropped %d != consumed %d",
+				name, res.Completed, res.Dropped, res.Consumed)
+		}
+	} else if measured > res.Consumed {
+		t.Errorf("%s: measured %d exceeds consumed %d", name, measured, res.Consumed)
+	}
+	var served, dropped, arrivals uint64
+	for _, tier := range res.Tiers {
+		served += tier.Served
+		dropped += tier.Dropped
+		if got := tier.EndToEnd.N(); uint64(got) != tier.Served {
+			t.Errorf("%s: tier %s digest holds %d, served %d", name, tier.Name, got, tier.Served)
+		}
+		for _, s := range tier.Sites {
+			arrivals += s.Arrivals
+		}
+	}
+	if served != res.Completed {
+		t.Errorf("%s: per-tier served %d != completed %d", name, served, res.Completed)
+	}
+	if dropped != res.Dropped {
+		t.Errorf("%s: per-tier dropped %d != dropped %d", name, dropped, res.Dropped)
+	}
+	if got := res.EndToEnd.N(); uint64(got) != res.Completed {
+		t.Errorf("%s: aggregate digest holds %d, completed %d", name, got, res.Completed)
+	}
+	// Every offered request is admitted at exactly one station (spill
+	// decisions happen before admission), warmup included.
+	if arrivals != res.Offered {
+		t.Errorf("%s: station arrivals %d != offered %d", name, arrivals, res.Offered)
+	}
+}
+
+// TestRequestConservation: for every topology shape and several seeds,
+// offered == completed + dropped + nothing — no request is lost or
+// double-counted anywhere in the graph — and the per-tier digests
+// aggregate exactly to the end-to-end Result counts.
+func TestRequestConservation(t *testing.T) {
+	procs := siteProcs([]float64{26, 12, 8, 5, 3})
+	for _, seed := range []int64{1, 7, 1299827} {
+		tr := Generate(GenSpec{Sites: 5, Duration: 200, Seed: seed, Arrivals: procs})
+		for name, topo := range conservationTopologies() {
+			res, err := Run(tr.Source(), topo, Options{Seed: seed + 101})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			checkConservation(t, name, tr, res, 0)
+		}
+	}
+}
+
+// TestRequestConservationWarmupAndBounded: the invariants survive a
+// warmup prefix and the bounded summary mode.
+func TestRequestConservationWarmupAndBounded(t *testing.T) {
+	procs := siteProcs([]float64{26, 12, 8, 5, 3})
+	tr := Generate(GenSpec{Sites: 5, Duration: 200, Seed: 271, Arrivals: procs})
+	for name, topo := range conservationTopologies() {
+		res, err := Run(tr.Source(), topo, Options{Seed: 11, Warmup: 30, Summary: stats.Bounded})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		checkConservation(t, name, tr, res, 30)
+	}
+}

@@ -5,8 +5,6 @@ import (
 
 	"repro/internal/autoscale"
 	"repro/internal/netem"
-	"repro/internal/queue"
-	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
@@ -16,7 +14,9 @@ import (
 // paying the cloud RTT. This is the "hierarchical edge cloud" design
 // from the paper's related work (Tong et al.) and a stronger form of the
 // §5.1 mitigation: instead of jockeying to a sibling site, overloaded
-// traffic falls back to the pooled cloud queue.
+// traffic falls back to the pooled cloud queue. Deeper hierarchies
+// (edge → regional → cloud chains) are expressed directly as a
+// Topology with multiple spill edges.
 type OverflowConfig struct {
 	Sites             int
 	ServersPerSite    int
@@ -41,13 +41,11 @@ type OverflowResult struct {
 	CloudOnly   stats.Digest // latency of overflowed requests
 }
 
-// overflowTag marks a request forwarded to the cloud backstop.
-const overflowTag = 1
-
 // RunEdgeWithOverflow replays the trace through the hierarchical
-// deployment on the shared streaming core: the home site's load is
-// inspected at the request's arrival instant, and overflowed requests
-// cross to the cloud on the secondary RTT sampled at generation time.
+// deployment: the home site's load is inspected at the request's
+// arrival instant, and overflowed requests cross to the cloud on the
+// secondary RTT sampled at generation time. It is a thin wrapper over
+// Run with OverflowTopology (edge tier, spill edge, cloud backstop).
 func RunEdgeWithOverflow(tr *WorkloadTrace, cfg OverflowConfig) *OverflowResult {
 	if cfg.Sites <= 0 {
 		cfg.Sites = tr.Sites
@@ -64,85 +62,31 @@ func RunEdgeWithOverflow(tr *WorkloadTrace, cfg OverflowConfig) *OverflowResult 
 	if cfg.OverflowThreshold <= 0 {
 		panic("cluster: OverflowThreshold must be positive")
 	}
-	eng := sim.NewEngine(cfg.Seed)
-	netRng := eng.NewStream()
-	pool := &queue.FreeList{}
-
-	sites := make([]*queue.Station, cfg.Sites)
-	for i := range sites {
-		sites[i] = newStation(eng, fmt.Sprintf("edge-%d", i), cfg.ServersPerSite,
-			queue.FCFS, 0, cfg.Warmup, cfg.Summary, pool)
-	}
-	cloud := newStation(eng, "cloud-backstop", cfg.CloudServers,
-		queue.FCFS, 0, cfg.Warmup, cfg.Summary, pool)
-
-	res := &OverflowResult{Result: *newResult("edge+overflow", cfg.Summary, tr.Len())}
-	res.EdgeOnly = stats.NewDigest(cfg.Summary, 0)
-	res.CloudOnly = stats.NewDigest(cfg.Summary, 0)
-
-	sink := &resultSink{
-		res:    &res.Result,
-		warmup: cfg.Warmup,
-		post: func(r *queue.Request, e2e float64) {
-			if r.Tag == overflowTag {
-				res.CloudServed++
-				res.CloudOnly.Add(e2e)
-			} else {
-				res.EdgeServed++
-				res.EdgeOnly.Add(e2e)
-			}
-		},
-	}
-
-	// An overflowed request re-enters the network for cloudRTT/2 before
-	// arriving at the pooled queue.
-	cloudAdmit := sim.PayloadEvent(func(e *sim.Engine, p any) {
-		cloud.Arrive(p.(*queue.Request))
+	topo := mustRun(tr.Source(), OverflowTopology(cfg), Options{
+		Warmup:   cfg.Warmup,
+		Seed:     cfg.Seed,
+		Summary:  cfg.Summary,
+		SizeHint: tr.Len(),
+		// Per-site rows report queueing only, as the pre-topology
+		// runner did: a site's client-observed latency mixes
+		// home-served and overflowed requests, which
+		// EdgeOnly/CloudOnly split instead.
+		NoPerSiteLatency: true,
 	})
-
-	f := &feeder{
-		src:  tr.Source(),
-		pool: pool,
-		sampleRTT: func() (float64, float64) {
-			// The client always reaches its local site first (edge RTT);
-			// the cloud leg rides along for the overflow decision.
-			return cfg.EdgePath.Sample(netRng), cfg.CloudPath.Sample(netRng)
-		},
-		sink: sink,
-		slow: 1,
-		admit: func(e *sim.Engine, p any) {
-			req := p.(*queue.Request)
-			home := sites[req.Site]
-			if home.Load() >= cfg.OverflowThreshold {
-				req.Tag = overflowTag
-				res.Overflowed++
-				req.NetworkRTT += req.AuxRTT
-				e.AfterPayload(req.AuxRTT/2, cloudAdmit, req)
-				return
-			}
-			home.Arrive(req)
-		},
+	edge, cloud := &topo.Tiers[0], &topo.Tiers[1]
+	res := &OverflowResult{
+		Result:      topo.Result,
+		EdgeServed:  edge.Served,
+		CloudServed: cloud.Served,
+		Overflowed:  edge.Spilled,
+		EdgeOnly:    edge.EndToEnd,
+		CloudOnly:   cloud.EndToEnd,
 	}
-	runDeployment(eng, f, &res.Result, append(append([]*queue.Station(nil), sites...), cloud))
-
-	var busySum, capSum float64
-	for i, s := range sites {
-		m := s.Metrics()
-		res.Wait.Merge(&m.Wait)
-		res.Sites = append(res.Sites, SiteResult{
-			Site:        i,
-			Wait:        m.Wait,
-			Utilization: m.Utilization(s.Servers),
-			Arrivals:    s.TotalArrivals(),
-			MeanRate:    m.Arrivals.Rate(),
-		})
-		busySum += m.Busy.Average()
-		capSum += float64(s.Servers)
-	}
-	res.Wait.Merge(&cloud.Metrics().Wait)
-	if capSum > 0 {
-		res.Utilization = busySum / capSum
-	}
+	res.Label = "edge+overflow"
+	res.Sites = edge.Sites
+	// The backstop absorbs overflow; utilization reports the edge
+	// investment only.
+	res.Utilization = edge.Utilization
 	return res
 }
 
@@ -159,7 +103,7 @@ type AutoscaleResult struct {
 // RunEdgeAutoscaled replays the trace through an edge deployment whose
 // per-site server counts are managed by the reactive autoscaler. Sites
 // start at EdgeConfig.ServersPerSite (bounded by the controller's
-// Min/Max).
+// Min/Max). It is a thin wrapper over Run with AutoscaledEdgeTopology.
 func RunEdgeAutoscaled(tr *WorkloadTrace, cfg EdgeConfig, asCfg autoscale.Config) *AutoscaleResult {
 	if cfg.Sites <= 0 {
 		cfg.Sites = tr.Sites
@@ -170,82 +114,26 @@ func RunEdgeAutoscaled(tr *WorkloadTrace, cfg EdgeConfig, asCfg autoscale.Config
 	if cfg.ServersPerSite <= 0 {
 		cfg.ServersPerSite = 1
 	}
-	eng := sim.NewEngine(cfg.Seed)
-	netRng := eng.NewStream()
-	pool := &queue.FreeList{}
-
-	stations := make([]*queue.Station, cfg.Sites)
-	for i := range stations {
-		stations[i] = newStation(eng, fmt.Sprintf("edge-%d", i), cfg.ServersPerSite,
-			cfg.Discipline, 0, cfg.Warmup, cfg.Summary, pool)
+	topo := mustRun(tr.Source(), AutoscaledEdgeTopology(cfg, asCfg), Options{
+		Warmup:      cfg.Warmup,
+		Seed:        cfg.Seed,
+		Summary:     cfg.Summary,
+		TimelineBin: cfg.TimelineBin,
+		SizeHint:    tr.Len(),
+		// Matching the pre-topology runner, per-site rows carry
+		// queueing metrics only.
+		NoPerSiteLatency: true,
+	})
+	edge := &topo.Tiers[0]
+	res := &AutoscaleResult{
+		Result:       topo.Result,
+		ScaleUps:     edge.ScaleUps,
+		ScaleDowns:   edge.ScaleDowns,
+		PeakServers:  edge.PeakServers,
+		FinalPerSite: edge.FinalServers,
+		Events:       edge.Events,
 	}
-	ctrl := autoscale.New(eng, stations, asCfg)
-
-	res := &AutoscaleResult{Result: *newResult("edge+autoscale", cfg.Summary, tr.Len())}
-	if cfg.TimelineBin > 0 {
-		res.Timeline = stats.NewTimeSeries(0, cfg.TimelineBin)
-	}
-
-	// The controller's ticker keeps the calendar non-empty forever, so
-	// stop it once the source is drained and the last emitted request
-	// has been consumed, letting the engine drain naturally.
-	var drained bool
-	var consumed uint64
-	var f *feeder
-	maybeStop := func() {
-		if drained && consumed == f.count {
-			ctrl.Stop()
-		}
-	}
-	sink := &resultSink{
-		res:    &res.Result,
-		warmup: cfg.Warmup,
-		pre: func(*queue.Request) {
-			consumed++
-			maybeStop()
-		},
-	}
-	f = &feeder{
-		src:  tr.Source(),
-		pool: pool,
-		sampleRTT: func() (float64, float64) {
-			return cfg.Path.Sample(netRng), 0
-		},
-		sink: sink,
-		slow: 1,
-		admit: func(e *sim.Engine, p any) {
-			req := p.(*queue.Request)
-			stations[req.Site].Arrive(req)
-		},
-		onDrained: func() {
-			drained = true
-			maybeStop()
-		},
-	}
-	runDeployment(eng, f, &res.Result, stations)
-	ctrl.Stop()
-
-	var busySum, capSum float64
-	for i, s := range stations {
-		m := s.Metrics()
-		res.Wait.Merge(&m.Wait)
-		res.Sites = append(res.Sites, SiteResult{
-			Site:        i,
-			Wait:        m.Wait,
-			Utilization: m.Utilization(s.Servers),
-			Arrivals:    s.TotalArrivals(),
-			MeanRate:    m.Arrivals.Rate(),
-		})
-		res.FinalPerSite = append(res.FinalPerSite, s.Servers)
-		busySum += m.Busy.Average()
-		capSum += float64(s.Servers)
-	}
-	if capSum > 0 {
-		res.Utilization = busySum / capSum
-	}
-	res.ScaleUps = ctrl.ScaleUps()
-	res.ScaleDowns = ctrl.ScaleDowns()
-	res.PeakServers = ctrl.PeakServers()
-	res.Events = ctrl.Events
+	res.Label = "edge+autoscale"
+	res.Sites = edge.Sites
 	return res
 }

@@ -14,13 +14,14 @@ import (
 // DispatchPolicy selects the cloud load-balancing policy.
 type DispatchPolicy string
 
-// Supported cloud dispatch policies.
+// Supported cloud dispatch policies. All but CentralQueue resolve
+// through the lb.New registry.
 const (
-	CentralQueue DispatchPolicy = "central-queue"     // one station, k·m servers (M/M/k semantics)
-	RoundRobin   DispatchPolicy = "round-robin"       // HAProxy default
-	LeastConn    DispatchPolicy = "least-connections" // HAProxy leastconn
-	PowerOfTwo   DispatchPolicy = "power-of-two"
-	RandomSplit  DispatchPolicy = "random"
+	CentralQueue DispatchPolicy = CentralQueueDispatch // one station, k·m servers (M/M/k semantics)
+	RoundRobin   DispatchPolicy = lb.PolicyRoundRobin  // HAProxy default
+	LeastConn    DispatchPolicy = lb.PolicyLeastConn   // HAProxy leastconn
+	PowerOfTwo   DispatchPolicy = lb.PolicyPowerOfTwo
+	RandomSplit  DispatchPolicy = lb.PolicyRandom
 )
 
 // EdgeConfig configures an edge deployment run.
@@ -136,63 +137,26 @@ func newDigests(mode stats.Mode, n int) []stats.Digest {
 	return out
 }
 
-// resultSink is the shared queue.Sink of a deployment run: every request
-// carries a pointer to it instead of a per-request closure. pre runs for
-// every consumed request (even dropped or warmup ones); post runs for
-// each measured completion. Requests are recycled right after Consume
-// returns, so the hooks must not retain them.
-type resultSink struct {
-	res     *Result
-	warmup  float64
-	perSite []stats.Digest // per-site end-to-end, when collected
-	pre     func(r *queue.Request)
-	post    func(r *queue.Request, e2e float64)
-}
-
-// Consume records one finished request into the run's result.
-func (s *resultSink) Consume(e *sim.Engine, r *queue.Request) {
-	if s.pre != nil {
-		s.pre(r)
-	}
-	if r.Departure < s.warmup {
-		return
-	}
-	if r.Dropped {
-		s.res.Dropped++
-		return
-	}
-	e2e := r.EndToEnd()
-	s.res.EndToEnd.Add(e2e)
-	if s.perSite != nil {
-		s.perSite[r.Site].Add(e2e)
-	}
-	s.res.Completed++
-	if s.res.Timeline != nil {
-		s.res.Timeline.Add(r.Generated, e2e)
-	}
-	if s.post != nil {
-		s.post(r, e2e)
-	}
-}
-
-// feeder is the streaming heart of runDeployment: it holds exactly one
-// pending trace record and re-arms a single "generate next arrival"
-// event as records are consumed, so the event calendar never holds more
-// than one future arrival regardless of trace length. Network RTTs are
-// sampled at generation time in record order, and pump/arrival events
-// are scheduled front-priority (sim.AtFront) so they win exact-time
-// ties against completions just as pre-scheduled arrivals would. Both
-// together keep the random sequence and the event order — and therefore
-// every result — identical to a run that materializes all arrivals up
-// front.
+// feeder is the streaming heart of the topology executor: it holds
+// exactly one pending trace record and re-arms a single "generate next
+// arrival" event as records are consumed, so the event calendar never
+// holds more than one future arrival regardless of trace length. The
+// prep hook fills each request (network RTTs sampled at generation
+// time in record order, service demand, entry tier), and pump/arrival
+// events are scheduled front-priority (sim.AtFront) so they win
+// exact-time ties against completions just as pre-scheduled arrivals
+// would. Both together keep the random sequence and the event order —
+// and therefore every result — identical to a run that materializes
+// all arrivals up front.
 type feeder struct {
-	src       Source
-	pool      *queue.FreeList
-	sampleRTT func() (rtt, aux float64) // draws per record, in record order
+	src  Source
+	pool *queue.FreeList
+	// prep fills the request's NetworkRTT, AuxRTT, ServiceTime and Tag
+	// (entry tier) from the record; any sampling must draw in record
+	// order.
+	prep      func(rec RequestRecord, req *queue.Request)
 	sink      queue.Sink
 	admit     sim.PayloadEvent // routes a request at its arrival instant
-	slow      float64          // service-time multiplier (edge slowdown)
-	cloudSite bool             // stamp Site=-1 (cloud) instead of rec.Site
 	onDrained func()           // source exhausted (may fire before start returns)
 	probe     func(pending int)
 
@@ -218,22 +182,15 @@ func (f *feeder) start(e *sim.Engine) {
 // re-arms the pump for the next record.
 func (f *feeder) emit(e *sim.Engine) {
 	rec := f.pending
-	rtt, aux := f.sampleRTT()
 	req := f.pool.Get()
 	f.nextID++
 	f.count++
 	req.ID = f.nextID
-	if f.cloudSite {
-		req.Site = -1
-	} else {
-		req.Site = rec.Site
-	}
-	req.ServiceTime = rec.ServiceTime * f.slow
-	req.NetworkRTT = rtt
-	req.AuxRTT = aux
+	req.Site = rec.Site
 	req.Generated = rec.Time
 	req.Done = f.sink
-	e.AtPayloadFront(rec.Time+rtt/2, f.admit, req)
+	f.prep(rec, req)
+	e.AtPayloadFront(rec.Time+req.NetworkRTT/2, f.admit, req)
 	if f.probe != nil {
 		f.probe(e.Pending())
 	}
@@ -248,10 +205,9 @@ func (f *feeder) emit(e *sim.Engine) {
 	}
 }
 
-// runDeployment is the topology-independent replay core shared by the
-// edge, cloud, overflow, and autoscaled runners: stream the source
-// through the feeder, run the calendar dry, and close the stations'
-// time-weighted metrics.
+// runDeployment is the topology-independent replay core: stream the
+// source through the feeder, run the calendar dry, and close the
+// stations' time-weighted metrics.
 func runDeployment(eng *sim.Engine, f *feeder, res *Result, stations []*queue.Station) {
 	f.start(eng)
 	res.Duration = eng.Run()
@@ -272,8 +228,20 @@ func newStation(eng *sim.Engine, name string, servers int, disc queue.Discipline
 	return st
 }
 
+// mustRun executes a wrapper-built topology; construction errors there
+// indicate invalid legacy configs, which the pre-topology runners
+// reported by panicking.
+func mustRun(src Source, topo Topology, opts Options) *TopologyResult {
+	res, err := Run(src, topo, opts)
+	if err != nil {
+		panic(err.Error())
+	}
+	return res
+}
+
 // RunEdge replays the trace through an edge deployment: each request
-// incurs the edge network RTT and queues at its home site.
+// incurs the edge network RTT and queues at its home site. It is a
+// thin wrapper over Run with EdgeTopology.
 func RunEdge(tr *WorkloadTrace, cfg EdgeConfig) *Result {
 	if cfg.Sites <= 0 {
 		cfg.Sites = tr.Sites
@@ -284,82 +252,18 @@ func RunEdge(tr *WorkloadTrace, cfg EdgeConfig) *Result {
 	if cfg.ServersPerSite <= 0 {
 		cfg.ServersPerSite = 1
 	}
-	eng := sim.NewEngine(cfg.Seed)
-	netRng := eng.NewStream()
-	pool := &queue.FreeList{}
-
-	stations := make([]*queue.Station, cfg.Sites)
-	servers := make([]queue.Server, cfg.Sites)
-	for i := range stations {
-		c := cfg.ServersPerSite
-		if cfg.PerSiteServers != nil {
-			c = cfg.PerSiteServers[i]
-		}
-		stations[i] = newStation(eng, fmt.Sprintf("edge-%d", i), c, cfg.Discipline,
-			cfg.QueueCap, cfg.Warmup, cfg.Summary, pool)
-		servers[i] = stations[i]
-	}
-
-	var geo *lb.Geographic
-	if cfg.JockeyThreshold > 0 {
-		geo = lb.NewGeographic(servers, cfg.JockeyThreshold, cfg.DetourRTT, eng.NewStream())
-	}
-
-	res := newResult("edge", cfg.Summary, tr.Len())
-	if cfg.TimelineBin > 0 {
-		res.Timeline = stats.NewTimeSeries(0, cfg.TimelineBin)
-	}
-	perSite := newDigests(cfg.Summary, cfg.Sites)
-	sink := &resultSink{res: res, warmup: cfg.Warmup, perSite: perSite}
-
-	slow := cfg.SlowdownFactor
-	if slow <= 0 {
-		slow = 1
-	}
-	f := &feeder{
-		src:  tr.Source(),
-		pool: pool,
-		sampleRTT: func() (float64, float64) {
-			return cfg.Path.Sample(netRng), 0
-		},
-		sink: sink,
-		slow: slow,
-		admit: func(e *sim.Engine, p any) {
-			req := p.(*queue.Request)
-			if geo != nil {
-				geo.Dispatch(req)
-			} else {
-				stations[req.Site].Arrive(req)
-			}
-		},
-		probe: cfg.probe,
-	}
-	runDeployment(eng, f, res, stations)
-
-	if geo != nil {
-		res.Redirected = geo.Redirected
-	}
-
-	var busySum, capSum float64
-	for i, s := range stations {
-		m := s.Metrics()
-		res.Wait.Merge(&m.Wait)
-		sr := SiteResult{
-			Site:        i,
-			EndToEnd:    perSite[i],
-			Wait:        m.Wait,
-			Utilization: m.Utilization(s.Servers),
-			Arrivals:    s.TotalArrivals(),
-			MeanRate:    m.Arrivals.Rate(),
-		}
-		res.Sites = append(res.Sites, sr)
-		busySum += m.Busy.Average()
-		capSum += float64(s.Servers)
-	}
-	if capSum > 0 {
-		res.Utilization = busySum / capSum
-	}
-	return res
+	res := mustRun(tr.Source(), EdgeTopology(cfg), Options{
+		Warmup:      cfg.Warmup,
+		Seed:        cfg.Seed,
+		Summary:     cfg.Summary,
+		TimelineBin: cfg.TimelineBin,
+		SizeHint:    tr.Len(),
+		Probe:       cfg.probe,
+	})
+	out := res.Result
+	out.Label = "edge"
+	out.Sites = res.Tiers[0].Sites
+	return &out
 }
 
 // RunPaired replays the same trace through an edge and a cloud
@@ -382,7 +286,7 @@ func RunPaired(tr *WorkloadTrace, ecfg EdgeConfig, ccfg CloudConfig) (edge, clou
 
 // RunCloud replays the trace through a cloud deployment: every request
 // incurs the cloud RTT and is served by k·m servers behind the chosen
-// dispatch policy.
+// dispatch policy. It is a thin wrapper over Run with CloudTopology.
 func RunCloud(tr *WorkloadTrace, cfg CloudConfig) *Result {
 	if cfg.Servers <= 0 {
 		panic("cluster: cloud needs at least one server")
@@ -390,74 +294,19 @@ func RunCloud(tr *WorkloadTrace, cfg CloudConfig) *Result {
 	if cfg.Policy == "" {
 		cfg.Policy = CentralQueue
 	}
-	eng := sim.NewEngine(cfg.Seed)
-	netRng := eng.NewStream()
-	pool := &queue.FreeList{}
-
-	var stations []*queue.Station
-	var dispatch func(r *queue.Request)
-	switch cfg.Policy {
-	case CentralQueue:
-		st := newStation(eng, "cloud", cfg.Servers, cfg.Discipline,
-			cfg.QueueCap, cfg.Warmup, cfg.Summary, pool)
-		stations = []*queue.Station{st}
-		dispatch = st.Arrive
-	default:
-		stations = make([]*queue.Station, cfg.Servers)
-		servers := make([]queue.Server, cfg.Servers)
-		for i := range stations {
-			stations[i] = newStation(eng, fmt.Sprintf("cloud-%d", i), 1, cfg.Discipline,
-				cfg.QueueCap, cfg.Warmup, cfg.Summary, pool)
-			servers[i] = stations[i]
-		}
-		var d lb.Dispatcher
-		switch cfg.Policy {
-		case RoundRobin:
-			d = lb.NewRoundRobin(servers)
-		case LeastConn:
-			d = lb.NewLeastConnections(servers, eng.NewStream())
-		case PowerOfTwo:
-			d = lb.NewPowerOfTwo(servers, eng.NewStream())
-		case RandomSplit:
-			d = lb.NewRandom(servers, eng.NewStream())
-		default:
-			panic(fmt.Sprintf("cluster: unknown dispatch policy %q", cfg.Policy))
-		}
-		dispatch = d.Dispatch
+	if cfg.Policy != CentralQueue && !lb.Known(string(cfg.Policy)) {
+		panic(fmt.Sprintf("cluster: unknown dispatch policy %q", cfg.Policy))
 	}
-
-	res := newResult("cloud", cfg.Summary, tr.Len())
-	if cfg.TimelineBin > 0 {
-		res.Timeline = stats.NewTimeSeries(0, cfg.TimelineBin)
-	}
-	sink := &resultSink{res: res, warmup: cfg.Warmup}
-
-	f := &feeder{
-		src:  tr.Source(),
-		pool: pool,
-		sampleRTT: func() (float64, float64) {
-			return cfg.Path.Sample(netRng), 0
-		},
-		sink:      sink,
-		slow:      1,
-		cloudSite: true,
-		admit: func(e *sim.Engine, p any) {
-			dispatch(p.(*queue.Request))
-		},
-		probe: cfg.probe,
-	}
-	runDeployment(eng, f, res, stations)
-
-	var busySum, capSum float64
-	for _, s := range stations {
-		m := s.Metrics()
-		res.Wait.Merge(&m.Wait)
-		busySum += m.Busy.Average()
-		capSum += float64(s.Servers)
-	}
-	if capSum > 0 {
-		res.Utilization = busySum / capSum
-	}
-	res.Sites = []SiteResult{{Site: -1, EndToEnd: res.EndToEnd, Wait: res.Wait, Utilization: res.Utilization}}
-	return res
+	res := mustRun(tr.Source(), CloudTopology(cfg), Options{
+		Warmup:      cfg.Warmup,
+		Seed:        cfg.Seed,
+		Summary:     cfg.Summary,
+		TimelineBin: cfg.TimelineBin,
+		SizeHint:    tr.Len(),
+		Probe:       cfg.probe,
+	})
+	out := res.Result
+	out.Label = "cloud"
+	out.Sites = []SiteResult{{Site: -1, EndToEnd: out.EndToEnd, Wait: out.Wait, Utilization: out.Utilization}}
+	return &out
 }

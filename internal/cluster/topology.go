@@ -1,0 +1,330 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/autoscale"
+	"repro/internal/lb"
+	"repro/internal/netem"
+	"repro/internal/queue"
+)
+
+// CentralQueueDispatch is the Tier.Dispatch value for a pooled central
+// queue: the tier's first station receives every request (M/M/k
+// semantics when the tier has one station with k servers).
+const CentralQueueDispatch = "central-queue"
+
+// Tier is one layer of a deployment graph: a set of stations sharing a
+// network path, a routing rule, and optional per-tier behaviors
+// (bounded queues, geographic jockeying, an autoscaler). The paper's
+// "edge" is a home-routed tier with one station per site; its "cloud"
+// is a single central-queue tier with pooled servers. A Topology
+// composes any number of tiers into hierarchies the four legacy
+// runners could not express.
+type Tier struct {
+	// Name identifies the tier; spill edges and class rules refer to it.
+	Name string
+	// Sites is the tier's station count. A home-routed tier needs one
+	// station per trace site; dispatcher tiers may have any count.
+	Sites int
+	// ServersPerSite is each station's server count (default 1).
+	ServersPerSite int
+	// PerSiteServers optionally overrides ServersPerSite per station.
+	PerSiteServers []int
+	// Path is the client→tier network path; its RTT is sampled per
+	// request entering the topology at this tier.
+	Path netem.Path
+	// PerSitePaths optionally gives each home site its own client
+	// path (heterogeneous last-mile links). Home-routed tiers only.
+	PerSitePaths []netem.Path
+	// Discipline selects the stations' service order.
+	Discipline queue.Discipline
+	// QueueCap bounds each station's waiting queue (0 = unbounded).
+	QueueCap int
+	// Dispatch selects routing into the tier: "" routes each request
+	// to its home site's station, CentralQueueDispatch sends everything
+	// to the first station, and any lb.Policies() name load-balances
+	// across the tier's stations.
+	Dispatch string
+	// SlowdownFactor > 1 inflates service times at this tier relative
+	// to the trace's reference server (resource-constrained hardware,
+	// §3.1.1). 0 or 1 means identical hardware.
+	SlowdownFactor float64
+	// JockeyThreshold enables §5.1 geographic balancing within the
+	// tier: requests arriving at a station at or beyond the threshold
+	// are redirected to the least-loaded sibling at DetourRTT extra
+	// latency. Home-routed tiers only.
+	JockeyThreshold int
+	DetourRTT       float64
+	// Autoscale, when set, attaches the reactive capacity controller
+	// to the tier's stations.
+	Autoscale *autoscale.Config
+}
+
+// homeRouted reports whether requests route to their home station.
+func (t Tier) homeRouted() bool { return t.Dispatch == "" }
+
+// SpillEdge forwards overloaded requests from one tier to another: a
+// request arriving at a saturated From tier crosses to To instead,
+// paying the sampled DetourPath RTT plus the fixed DetourRTT. This is
+// the hierarchical edge cloud of the paper's related work (Tong et
+// al.) generalized to chains of any depth.
+type SpillEdge struct {
+	From, To string
+	// Threshold saturates the From tier: a home-routed tier spills
+	// when the request's home station has Load() >= Threshold; other
+	// tiers spill when every station is at or beyond it.
+	Threshold int
+	// DetourPath, when non-nil, is sampled for the crossing's network
+	// cost. The edge out of the topology's first tier samples it at
+	// generation time in record order (bit-compatible with the legacy
+	// overflow runner); deeper edges sample a dedicated stream at
+	// crossing time.
+	DetourPath *netem.Path
+	// DetourRTT is a fixed extra round trip added to every crossing.
+	DetourRTT float64
+}
+
+// ClassRule pins a traffic class to an entry tier, overriding the
+// default entry at the topology's first tier — e.g. a compliance
+// class that must be served from the cloud in an otherwise
+// edge-first deployment. Rules are evaluated in order; the first
+// match wins.
+type ClassRule struct {
+	Name string
+	// Sites restricts the rule to requests whose home site is in the
+	// set (nil matches every site).
+	Sites []int
+	// Fraction, when in (0,1), matches that share of the otherwise
+	// eligible requests via an independent Bernoulli stream.
+	Fraction float64
+	// Tier is the entry tier for matched requests.
+	Tier string
+}
+
+// Topology is a declarative deployment graph: tiers connected by spill
+// edges, with optional class pinning. The first tier is the default
+// entry point for client requests. Execute with Run.
+type Topology struct {
+	Name    string
+	Tiers   []Tier
+	Spills  []SpillEdge
+	Classes []ClassRule
+}
+
+// tierIndex resolves a tier name, or -1.
+func (tp *Topology) tierIndex(name string) int {
+	for i, t := range tp.Tiers {
+		if t.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// normalized returns a copy with defaults applied: ServersPerSite and
+// SlowdownFactor floor at 1, empty topology names become "topology".
+func (tp Topology) normalized() Topology {
+	out := tp
+	out.Tiers = append([]Tier(nil), tp.Tiers...)
+	if out.Name == "" {
+		out.Name = "topology"
+	}
+	for i := range out.Tiers {
+		t := &out.Tiers[i]
+		if t.ServersPerSite <= 0 {
+			t.ServersPerSite = 1
+		}
+		if t.SlowdownFactor <= 0 {
+			t.SlowdownFactor = 1
+		}
+	}
+	return out
+}
+
+// Validate checks the graph's static shape: unique tier names, known
+// dispatch policies, consistent per-site overrides, resolvable and
+// acyclic spill edges (at most one out-edge per tier), and resolvable
+// class rules. Run validates implicitly.
+func (tp Topology) Validate() error {
+	if len(tp.Tiers) == 0 {
+		return fmt.Errorf("cluster: topology %q has no tiers", tp.Name)
+	}
+	seen := map[string]bool{}
+	homeSites := -1
+	for i, t := range tp.Tiers {
+		if t.Name == "" {
+			return fmt.Errorf("cluster: tier %d has no name", i)
+		}
+		if seen[t.Name] {
+			return fmt.Errorf("cluster: duplicate tier name %q", t.Name)
+		}
+		seen[t.Name] = true
+		if t.Sites <= 0 {
+			return fmt.Errorf("cluster: tier %q needs at least one site", t.Name)
+		}
+		if t.Dispatch != "" && t.Dispatch != CentralQueueDispatch && !lb.Known(t.Dispatch) {
+			return fmt.Errorf("cluster: tier %q has unknown dispatch %q (want %q, %v, or empty for home routing)",
+				t.Name, t.Dispatch, CentralQueueDispatch, lb.Policies())
+		}
+		if t.PerSiteServers != nil && len(t.PerSiteServers) != t.Sites {
+			return fmt.Errorf("cluster: tier %q has %d per-site server overrides for %d sites",
+				t.Name, len(t.PerSiteServers), t.Sites)
+		}
+		if t.PerSitePaths != nil {
+			if !t.homeRouted() {
+				return fmt.Errorf("cluster: tier %q sets per-site paths but is not home-routed", t.Name)
+			}
+			if len(t.PerSitePaths) != t.Sites {
+				return fmt.Errorf("cluster: tier %q has %d per-site paths for %d sites",
+					t.Name, len(t.PerSitePaths), t.Sites)
+			}
+		}
+		if t.JockeyThreshold > 0 && !t.homeRouted() {
+			return fmt.Errorf("cluster: tier %q sets a jockey threshold but is not home-routed", t.Name)
+		}
+		if t.homeRouted() {
+			if homeSites >= 0 && t.Sites != homeSites {
+				return fmt.Errorf("cluster: home-routed tiers disagree on site count (%d vs %d)",
+					homeSites, t.Sites)
+			}
+			homeSites = t.Sites
+		}
+	}
+	outEdge := map[string]bool{}
+	next := map[string]string{}
+	for _, sp := range tp.Spills {
+		if tp.tierIndex(sp.From) < 0 {
+			return fmt.Errorf("cluster: spill edge from unknown tier %q", sp.From)
+		}
+		if tp.tierIndex(sp.To) < 0 {
+			return fmt.Errorf("cluster: spill edge to unknown tier %q", sp.To)
+		}
+		if sp.From == sp.To {
+			return fmt.Errorf("cluster: tier %q spills to itself", sp.From)
+		}
+		if sp.Threshold <= 0 {
+			return fmt.Errorf("cluster: spill %s->%s needs a positive threshold", sp.From, sp.To)
+		}
+		if outEdge[sp.From] {
+			return fmt.Errorf("cluster: tier %q has more than one spill edge", sp.From)
+		}
+		outEdge[sp.From] = true
+		next[sp.From] = sp.To
+	}
+	// Follow each spill chain at most len(Tiers) hops to reject cycles.
+	for from := range next {
+		at, hops := from, 0
+		for {
+			to, ok := next[at]
+			if !ok {
+				break
+			}
+			at = to
+			if hops++; hops >= len(tp.Tiers) {
+				return fmt.Errorf("cluster: spill edges form a cycle through %q", from)
+			}
+		}
+	}
+	for _, c := range tp.Classes {
+		if tp.tierIndex(c.Tier) < 0 {
+			return fmt.Errorf("cluster: class %q pins to unknown tier %q", c.Name, c.Tier)
+		}
+		if c.Fraction < 0 || c.Fraction > 1 {
+			return fmt.Errorf("cluster: class %q fraction %v outside [0,1]", c.Name, c.Fraction)
+		}
+	}
+	return nil
+}
+
+// EdgeTopology builds the single-tier topology equivalent to RunEdge:
+// home-routed sites, optional geographic jockeying, bounded queues,
+// per-site capacity and a service-time slowdown.
+func EdgeTopology(cfg EdgeConfig) Topology {
+	return Topology{
+		Name: "edge",
+		Tiers: []Tier{{
+			Name:            "edge",
+			Sites:           cfg.Sites,
+			ServersPerSite:  cfg.ServersPerSite,
+			PerSiteServers:  cfg.PerSiteServers,
+			Path:            cfg.Path,
+			Discipline:      cfg.Discipline,
+			QueueCap:        cfg.QueueCap,
+			SlowdownFactor:  cfg.SlowdownFactor,
+			JockeyThreshold: cfg.JockeyThreshold,
+			DetourRTT:       cfg.DetourRTT,
+		}},
+	}
+}
+
+// CloudTopology builds the single-tier topology equivalent to
+// RunCloud: one central queue of pooled servers, or per-server
+// stations behind the configured load-balancing policy.
+func CloudTopology(cfg CloudConfig) Topology {
+	t := Tier{
+		Name:       "cloud",
+		Path:       cfg.Path,
+		Discipline: cfg.Discipline,
+		QueueCap:   cfg.QueueCap,
+	}
+	if cfg.Policy == CentralQueue {
+		t.Sites = 1
+		t.ServersPerSite = cfg.Servers
+		t.Dispatch = CentralQueueDispatch
+	} else {
+		t.Sites = cfg.Servers
+		t.ServersPerSite = 1
+		t.Dispatch = string(cfg.Policy)
+	}
+	return Topology{Name: "cloud", Tiers: []Tier{t}}
+}
+
+// OverflowTopology builds the two-tier topology equivalent to
+// RunEdgeWithOverflow: home-routed edge sites spilling to a pooled
+// cloud backstop on the cloud path's sampled RTT.
+func OverflowTopology(cfg OverflowConfig) Topology {
+	cloudPath := cfg.CloudPath
+	return Topology{
+		Name: "edge+overflow",
+		Tiers: []Tier{
+			{
+				Name:           "edge",
+				Sites:          cfg.Sites,
+				ServersPerSite: cfg.ServersPerSite,
+				Path:           cfg.EdgePath,
+			},
+			{
+				Name:           "cloud-backstop",
+				Sites:          1,
+				ServersPerSite: cfg.CloudServers,
+				Path:           cfg.CloudPath,
+				Dispatch:       CentralQueueDispatch,
+			},
+		},
+		Spills: []SpillEdge{{
+			From:       "edge",
+			To:         "cloud-backstop",
+			Threshold:  cfg.OverflowThreshold,
+			DetourPath: &cloudPath,
+		}},
+	}
+}
+
+// AutoscaledEdgeTopology builds the single-tier topology equivalent to
+// RunEdgeAutoscaled: home-routed sites whose server counts are managed
+// by the reactive controller. Matching the legacy runner, jockeying,
+// queue bounds, per-site overrides and slowdown are not applied.
+func AutoscaledEdgeTopology(cfg EdgeConfig, asCfg autoscale.Config) Topology {
+	return Topology{
+		Name: "edge+autoscale",
+		Tiers: []Tier{{
+			Name:           "edge",
+			Sites:          cfg.Sites,
+			ServersPerSite: cfg.ServersPerSite,
+			Path:           cfg.Path,
+			Discipline:     cfg.Discipline,
+			Autoscale:      &asCfg,
+		}},
+	}
+}

@@ -1,0 +1,453 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/autoscale"
+	"repro/internal/lb"
+	"repro/internal/queue"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Options configures one topology run. The zero value replays with no
+// warmup, seed 0, exact latency summaries and no timeline.
+type Options struct {
+	// Warmup discards measurements for requests departing before this
+	// simulated time.
+	Warmup float64
+	// Seed derives every random stream of the run.
+	Seed int64
+	// Summary selects the latency-collection memory model (see
+	// EdgeConfig.Summary).
+	Summary stats.Mode
+	// TimelineBin > 0 additionally collects a latency timeline with
+	// the given bin width.
+	TimelineBin float64
+	// SizeHint pre-allocates exact-mode digests to the expected
+	// completion count (the trace length), so retained samples do not
+	// regrow from nil.
+	SizeHint int
+	// NoPerSiteLatency skips the per-home-site end-to-end digests a
+	// home-routed entry tier otherwise collects, for long exact-mode
+	// replays whose caller only needs tier-level latency.
+	NoPerSiteLatency bool
+	// Probe, when set, observes the event-calendar size at every
+	// generated arrival (a diagnostic for the O(1)-memory property).
+	Probe func(pending int)
+}
+
+// TierResult is one tier's share of a topology run.
+type TierResult struct {
+	Name string
+	// Served counts measured completions at the tier; Spilled counts
+	// requests the tier forwarded across its spill edge (counted at
+	// the arrival instant, warmup included, matching the legacy
+	// overflow runner); Dropped counts measured queue rejections.
+	Served  uint64
+	Spilled uint64
+	Dropped uint64
+	// EndToEnd collects client-observed latency of requests served at
+	// this tier; Wait merges queueing delay across the tier's
+	// stations.
+	EndToEnd    stats.Digest
+	Wait        stats.Digest
+	Utilization float64
+	Sites       []SiteResult
+	// FinalServers is each station's server count at the end of the
+	// run (differs from the configured counts under autoscaling).
+	FinalServers []int
+	// Autoscaler telemetry, populated when the tier has a controller.
+	ScaleUps    int
+	ScaleDowns  int
+	PeakServers int
+	Events      []autoscale.Event
+}
+
+// TopologyResult is a full topology run: the aggregate Result plus
+// per-tier breakdowns and the request-conservation counters
+// (Offered == Consumed == measured + warmup-discarded requests).
+type TopologyResult struct {
+	Result
+	Tiers []TierResult
+	// Offered counts records pulled from the source; Consumed counts
+	// requests that finished (served or dropped, warmup included).
+	// Every offered request is eventually consumed.
+	Offered  uint64
+	Consumed uint64
+}
+
+// Tier returns the named tier's result, or nil.
+func (r *TopologyResult) Tier(name string) *TierResult {
+	for i := range r.Tiers {
+		if r.Tiers[i].Name == name {
+			return &r.Tiers[i]
+		}
+	}
+	return nil
+}
+
+// tierRuntime is one tier's live state during a run.
+type tierRuntime struct {
+	spec       Tier
+	stations   []*queue.Station
+	servers    []queue.Server
+	geo        *lb.Geographic
+	dispatcher lb.Dispatcher
+	home       bool
+	central    bool
+	ctrl       *autoscale.Controller
+	spill      *spillRuntime
+	slow       float64
+}
+
+// spillRuntime is one spill edge's live state.
+type spillRuntime struct {
+	spec SpillEdge
+	to   int
+	// atGen marks the edge out of the entry tier whose detour RTT is
+	// pre-sampled at generation time (rides in Request.AuxRTT).
+	atGen bool
+	rng   *rand.Rand // lazy stream for deeper edges
+}
+
+// topoExec executes one topology run.
+type topoExec struct {
+	eng     *sim.Engine
+	tiers   []*tierRuntime
+	res     *TopologyResult
+	admitEv sim.PayloadEvent
+}
+
+// wouldSpill reports whether the tier is saturated for this request: a
+// home-routed tier checks the request's home station, any other tier
+// spills only when every station it could route to is at or beyond
+// the threshold.
+func (x *topoExec) wouldSpill(t *tierRuntime, req *queue.Request) bool {
+	thr := t.spill.spec.Threshold
+	if t.home {
+		return t.stations[req.Site].Load() >= thr
+	}
+	for _, s := range t.stations {
+		if s.Load() < thr {
+			return false
+		}
+	}
+	return true
+}
+
+// admit routes a request at its arrival instant at tier ti: spill
+// across the tier's edge if saturated, otherwise dispatch into the
+// tier's stations.
+func (x *topoExec) admit(ti int, req *queue.Request) {
+	t := x.tiers[ti]
+	if t.spill != nil && x.wouldSpill(t, req) {
+		sp := t.spill
+		x.res.Tiers[ti].Spilled++
+		extra := sp.spec.DetourRTT
+		if sp.atGen {
+			extra += req.AuxRTT
+		} else if sp.rng != nil {
+			extra += sp.spec.DetourPath.Sample(sp.rng)
+		}
+		if to := x.tiers[sp.to]; to.slow != t.slow {
+			req.ServiceTime = req.ServiceTime / t.slow * to.slow
+		}
+		req.Tag = uint64(sp.to)
+		req.NetworkRTT += extra
+		x.eng.AfterPayload(extra/2, x.admitEv, req)
+		return
+	}
+	switch {
+	case t.geo != nil:
+		t.geo.Dispatch(req)
+	case t.home:
+		if req.Site < 0 || req.Site >= len(t.stations) {
+			panic(fmt.Sprintf("cluster: request home site %d outside tier %q (%d sites)",
+				req.Site, t.spec.Name, len(t.stations)))
+		}
+		t.stations[req.Site].Arrive(req)
+	case t.central:
+		t.stations[0].Arrive(req)
+	default:
+		t.dispatcher.Dispatch(req)
+	}
+}
+
+// topoSink records every finished request of a topology run. One sink
+// is shared by all requests; requests are recycled right after Consume
+// returns, so nothing here may retain them.
+type topoSink struct {
+	res     *TopologyResult
+	warmup  float64
+	perSite []stats.Digest // per home-site end-to-end, home-routed entry tier
+	pre     func()         // runs for every consumed request (autoscale drain)
+}
+
+// Consume implements queue.Sink.
+func (s *topoSink) Consume(e *sim.Engine, r *queue.Request) {
+	s.res.Consumed++
+	if s.pre != nil {
+		s.pre()
+	}
+	if r.Departure < s.warmup {
+		return
+	}
+	tier := &s.res.Tiers[r.Tag]
+	if r.Dropped {
+		s.res.Dropped++
+		tier.Dropped++
+		return
+	}
+	e2e := r.EndToEnd()
+	s.res.EndToEnd.Add(e2e)
+	if s.perSite != nil && r.Site >= 0 && r.Site < len(s.perSite) {
+		s.perSite[r.Site].Add(e2e)
+	}
+	s.res.Completed++
+	tier.Served++
+	tier.EndToEnd.Add(e2e)
+	if s.res.Timeline != nil {
+		s.res.Timeline.Add(r.Generated, e2e)
+	}
+}
+
+// Run replays the source through the deployment graph on the streaming
+// core: one pending arrival in the calendar, a shared sink, recycled
+// requests. It returns per-tier breakdowns alongside the aggregate
+// Result. The four legacy runners are thin wrappers over Run and stay
+// bit-identical to their pre-topology implementations (see the
+// equivalence suite).
+func Run(src Source, topo Topology, opts Options) (*TopologyResult, error) {
+	topo = topo.normalized()
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+
+	eng := sim.NewEngine(opts.Seed)
+	netRng := eng.NewStream()
+	pool := &queue.FreeList{}
+
+	// Build tiers in declaration order. Stream creation order is part
+	// of the reproducibility contract: the network stream first, then
+	// each tier's jockey/dispatcher stream, then lazy spill streams,
+	// then the class stream — so every legacy topology consumes
+	// streams exactly as its pre-topology runner did.
+	x := &topoExec{eng: eng, tiers: make([]*tierRuntime, len(topo.Tiers))}
+	for ti := range topo.Tiers {
+		t := topo.Tiers[ti]
+		rt := &tierRuntime{
+			spec:    t,
+			home:    t.homeRouted(),
+			central: t.Dispatch == CentralQueueDispatch,
+			slow:    t.SlowdownFactor,
+		}
+		rt.stations = make([]*queue.Station, t.Sites)
+		rt.servers = make([]queue.Server, t.Sites)
+		for i := range rt.stations {
+			c := t.ServersPerSite
+			if t.PerSiteServers != nil {
+				c = t.PerSiteServers[i]
+			}
+			name := fmt.Sprintf("%s-%d", t.Name, i)
+			if rt.central && t.Sites == 1 {
+				name = t.Name
+			}
+			rt.stations[i] = newStation(eng, name, c, t.Discipline,
+				t.QueueCap, opts.Warmup, opts.Summary, pool)
+			rt.servers[i] = rt.stations[i]
+		}
+		if t.JockeyThreshold > 0 {
+			rt.geo = lb.NewGeographic(rt.servers, t.JockeyThreshold, t.DetourRTT, eng.NewStream())
+		} else if !rt.home && !rt.central {
+			d, err := lb.New(t.Dispatch, rt.servers, eng.NewStream())
+			if err != nil {
+				return nil, fmt.Errorf("cluster: tier %q: %w", t.Name, err)
+			}
+			rt.dispatcher = d
+		}
+		x.tiers[ti] = rt
+	}
+
+	// Attach spill edges; the entry tier's sampled detour is drawn at
+	// generation time from the network stream (legacy-overflow
+	// compatible), deeper sampled edges get their own streams.
+	var genSpill *spillRuntime
+	for _, sp := range topo.Spills {
+		from, to := topo.tierIndex(sp.From), topo.tierIndex(sp.To)
+		rt := &spillRuntime{spec: sp, to: to}
+		if sp.DetourPath != nil {
+			if from == 0 {
+				rt.atGen = true
+				genSpill = rt
+			} else {
+				rt.rng = eng.NewStream()
+			}
+		}
+		x.tiers[from].spill = rt
+	}
+	var classRng *rand.Rand
+	for _, c := range topo.Classes {
+		if c.Fraction > 0 && c.Fraction < 1 {
+			classRng = eng.NewStream()
+			break
+		}
+	}
+
+	// Controllers tick from the moment the calendar starts, exactly as
+	// in the legacy autoscaled runner.
+	var ctrls []*autoscale.Controller
+	for _, rt := range x.tiers {
+		if rt.spec.Autoscale != nil {
+			rt.ctrl = autoscale.New(eng, rt.stations, *rt.spec.Autoscale)
+			ctrls = append(ctrls, rt.ctrl)
+		}
+	}
+
+	res := &TopologyResult{Result: *newResult(topo.Name, opts.Summary, opts.SizeHint)}
+	if opts.TimelineBin > 0 {
+		res.Timeline = stats.NewTimeSeries(0, opts.TimelineBin)
+	}
+	res.Tiers = make([]TierResult, len(topo.Tiers))
+	for i := range res.Tiers {
+		res.Tiers[i].Name = topo.Tiers[i].Name
+		res.Tiers[i].EndToEnd = stats.NewDigest(opts.Summary, 0)
+		res.Tiers[i].Wait = stats.NewDigest(opts.Summary, 0)
+	}
+	x.res = res
+
+	entry0 := x.tiers[0]
+	var perSite []stats.Digest
+	if entry0.home && !opts.NoPerSiteLatency {
+		perSite = newDigests(opts.Summary, entry0.spec.Sites)
+	}
+	sink := &topoSink{res: res, warmup: opts.Warmup, perSite: perSite}
+	x.admitEv = func(e *sim.Engine, p any) {
+		req := p.(*queue.Request)
+		x.admit(int(req.Tag), req)
+	}
+
+	classify := func(rec RequestRecord) int {
+		for _, c := range topo.Classes {
+			if c.Sites != nil && !containsInt(c.Sites, rec.Site) {
+				continue
+			}
+			if c.Fraction > 0 && c.Fraction < 1 && classRng.Float64() >= c.Fraction {
+				continue
+			}
+			return topo.tierIndex(c.Tier)
+		}
+		return 0
+	}
+
+	f := &feeder{
+		src:  src,
+		pool: pool,
+		sink: sink,
+		prep: func(rec RequestRecord, req *queue.Request) {
+			entry := 0
+			if len(topo.Classes) > 0 {
+				entry = classify(rec)
+			}
+			et := x.tiers[entry]
+			path := et.spec.Path
+			if et.spec.PerSitePaths != nil {
+				path = et.spec.PerSitePaths[rec.Site]
+			}
+			req.NetworkRTT = path.Sample(netRng)
+			if genSpill != nil {
+				// Drawn for every record in record order so the random
+				// sequence is independent of routing decisions.
+				req.AuxRTT = genSpill.spec.DetourPath.Sample(netRng)
+			}
+			req.ServiceTime = rec.ServiceTime * et.slow
+			req.Tag = uint64(entry)
+		},
+		admit: x.admitEv,
+		probe: opts.Probe,
+	}
+	if len(ctrls) > 0 {
+		// The controllers' tickers keep the calendar non-empty forever;
+		// stop them once the source is drained and every emitted
+		// request has been consumed, letting the engine drain.
+		var drained bool
+		stopAll := func() {
+			if drained && res.Consumed == f.count {
+				for _, c := range ctrls {
+					c.Stop()
+				}
+			}
+		}
+		sink.pre = stopAll
+		f.onDrained = func() {
+			drained = true
+			stopAll()
+		}
+	}
+
+	var stations []*queue.Station
+	for _, rt := range x.tiers {
+		stations = append(stations, rt.stations...)
+	}
+	runDeployment(eng, f, &res.Result, stations)
+	for _, c := range ctrls {
+		c.Stop()
+	}
+	res.Offered = f.count
+
+	// Assemble per-tier and aggregate measurements. The aggregate wait
+	// digest merges station by station in global order, matching the
+	// legacy runners' merge sequence exactly.
+	var busyAll, capAll float64
+	for ti, rt := range x.tiers {
+		tr := &res.Tiers[ti]
+		var busy, capacity float64
+		for i, s := range rt.stations {
+			m := s.Metrics()
+			res.Wait.Merge(&m.Wait)
+			tr.Wait.Merge(&m.Wait)
+			sr := SiteResult{
+				Site:        i,
+				Wait:        m.Wait,
+				Utilization: m.Utilization(s.Servers),
+				Arrivals:    s.TotalArrivals(),
+				MeanRate:    m.Arrivals.Rate(),
+			}
+			if ti == 0 && perSite != nil {
+				sr.EndToEnd = perSite[i]
+			}
+			tr.Sites = append(tr.Sites, sr)
+			tr.FinalServers = append(tr.FinalServers, s.Servers)
+			busy += m.Busy.Average()
+			capacity += float64(s.Servers)
+		}
+		if capacity > 0 {
+			tr.Utilization = busy / capacity
+		}
+		if rt.geo != nil {
+			res.Redirected += rt.geo.Redirected
+		}
+		if rt.ctrl != nil {
+			tr.ScaleUps = rt.ctrl.ScaleUps()
+			tr.ScaleDowns = rt.ctrl.ScaleDowns()
+			tr.PeakServers = rt.ctrl.PeakServers()
+			tr.Events = rt.ctrl.Events
+		}
+		busyAll += busy
+		capAll += capacity
+	}
+	if capAll > 0 {
+		res.Utilization = busyAll / capAll
+	}
+	return res, nil
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -10,7 +10,11 @@ import (
 // shortSweep returns a reduced-duration sweep for test speed.
 func shortSweep(scenario string, rates []float64, m int, seed int64) SweepResult {
 	cfg := DefaultSweepConfig()
-	cfg.Scenario = mustScenario(scenario)
+	sc, err := scenarioByName(scenario)
+	if err != nil {
+		panic(err)
+	}
+	cfg.Scenario = sc
 	cfg.Rates = rates
 	cfg.ServersPerSite = m
 	cfg.Duration = 250

@@ -22,8 +22,12 @@ type Fig3Result struct {
 // RunFig3 reproduces the Figure 3/4/5 experiment for the given scenario:
 // request rate per server varied 6–12, 5 sites, both the {1 server/site,
 // 5 cloud servers} and {2 servers/site, 10 cloud servers} deployments.
-func RunFig3(scenarioName string, duration float64, seed int64) Fig3Result {
-	sc := mustScenario(scenarioName)
+// Unknown scenario names return an error listing the presets.
+func RunFig3(scenarioName string, duration float64, seed int64) (Fig3Result, error) {
+	sc, err := scenarioByName(scenarioName)
+	if err != nil {
+		return Fig3Result{}, err
+	}
 	base := DefaultSweepConfig()
 	base.Scenario = sc
 	base.Duration = duration
@@ -40,7 +44,7 @@ func RunFig3(scenarioName string, duration float64, seed int64) Fig3Result {
 		Rates:     base.Rates,
 		OneServer: RunSweep(one),
 		TwoServer: RunSweep(two),
-	}
+	}, nil
 }
 
 // Fig6Scenario is one violin of Figure 6.
@@ -53,7 +57,7 @@ type Fig6Scenario struct {
 // RunFig6 reproduces Figure 6: the full response-time distributions of
 // the four deployments at 10 req/server/s with the distant (54 ms) cloud.
 func RunFig6(duration float64, seed int64) []Fig6Scenario {
-	sc := mustScenario("distant-54ms")
+	sc, _ := netem.ScenarioByName("distant-54ms")
 	model := app.NewInferenceModel()
 	const rate = 10.0
 
@@ -183,7 +187,7 @@ func RunAzureReplay(spec trace.AzureSpec, scale float64, seed int64) AzureReplay
 			}
 		}
 	}
-	sc := mustScenario("typical-25ms")
+	sc, _ := netem.ScenarioByName("typical-25ms")
 	model := app.NewInferenceModel()
 
 	tr := cluster.Generate(cluster.GenSpec{

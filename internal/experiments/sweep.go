@@ -45,8 +45,10 @@ type SweepConfig struct {
 // DefaultSweepConfig returns the Figure 3 setup: 5 edge sites, 1 server
 // each, typical 25 ms cloud, rates 6–12 req/s/server.
 func DefaultSweepConfig() SweepConfig {
+	// The preset name is compile-time known, so the lookup cannot miss.
+	sc, _ := netem.ScenarioByName("typical-25ms")
 	return SweepConfig{
-		Scenario:       mustScenario("typical-25ms"),
+		Scenario:       sc,
 		Sites:          5,
 		ServersPerSite: 1,
 		Rates:          []float64{6, 7, 8, 9, 10, 11, 12},
@@ -59,12 +61,19 @@ func DefaultSweepConfig() SweepConfig {
 	}
 }
 
-func mustScenario(name string) netem.Scenario {
+// scenarioByName resolves a paper scenario preset, listing the valid
+// names on failure so callers can surface a usable error instead of a
+// panic deep inside a run.
+func scenarioByName(name string) (netem.Scenario, error) {
 	s, ok := netem.ScenarioByName(name)
 	if !ok {
-		panic(fmt.Sprintf("experiments: unknown scenario %q", name))
+		var names []string
+		for _, sc := range netem.PaperScenarios() {
+			names = append(names, sc.Name)
+		}
+		return netem.Scenario{}, fmt.Errorf("experiments: unknown scenario %q (want one of %v)", name, names)
 	}
-	return s
+	return s, nil
 }
 
 // SweepPoint is one measured point of a rate sweep.

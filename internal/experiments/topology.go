@@ -1,0 +1,258 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/app"
+	"repro/internal/cluster"
+	"repro/internal/netem"
+	"repro/internal/stats"
+)
+
+// TopologySweepConfig describes a request-rate sweep over an arbitrary
+// deployment topology: the generalization of SweepConfig from the
+// paper's two fixed shapes to any tier graph. Rates are per ingress
+// server per second, scaled by the entry tier's servers-per-site.
+type TopologySweepConfig struct {
+	Topology   cluster.Topology
+	Rates      []float64
+	Duration   float64
+	Warmup     float64
+	Seed       int64
+	Model      app.InferenceModel
+	ArrivalSCV float64
+	Summary    stats.Mode
+	// Workers bounds the worker pool (see SweepConfig.Workers).
+	Workers int
+}
+
+// TierPoint is one tier's share of a topology sweep point.
+type TierPoint struct {
+	Name        string
+	Served      uint64
+	Spilled     uint64
+	Dropped     uint64
+	Mean        float64 // seconds, requests served at this tier
+	P95         float64
+	Utilization float64
+}
+
+// TopologyPoint is one measured rate of a topology sweep.
+type TopologyPoint struct {
+	RatePerServer float64
+	Mean          float64
+	Median        float64
+	P95           float64
+	N             int
+	Dropped       uint64
+	Tiers         []TierPoint
+}
+
+// TopologySweepResult is a completed topology sweep.
+type TopologySweepResult struct {
+	Config TopologySweepConfig
+	Points []TopologyPoint
+}
+
+// RunTopologySweep sweeps request rates through the topology, one
+// generated trace per rate, points evaluated concurrently with
+// index-derived seeds (byte-identical at any pool size). The topology
+// is validated before any worker starts.
+func RunTopologySweep(cfg TopologySweepConfig) (TopologySweepResult, error) {
+	if len(cfg.Topology.Tiers) == 0 {
+		return TopologySweepResult{}, fmt.Errorf("experiments: topology sweep needs a topology")
+	}
+	if err := cfg.Topology.Validate(); err != nil {
+		return TopologySweepResult{}, err
+	}
+	if len(cfg.Rates) == 0 {
+		return TopologySweepResult{}, fmt.Errorf("experiments: topology sweep needs rates")
+	}
+	if cfg.Model.D == nil {
+		cfg.Model = app.NewInferenceModel()
+	}
+	ingress := cfg.Topology.Tiers[0]
+	perSite := ingress.ServersPerSite
+	if perSite <= 0 {
+		perSite = 1
+	}
+	res := TopologySweepResult{Config: cfg, Points: make([]TopologyPoint, len(cfg.Rates))}
+	var mu sync.Mutex
+	var firstErr error
+	forEach(len(cfg.Rates), cfg.Workers, func(i int) {
+		tr := cluster.Generate(cluster.GenSpec{
+			Sites:       ingress.Sites,
+			Duration:    cfg.Duration,
+			PerSiteRate: cfg.Rates[i] * float64(perSite),
+			ArrivalSCV:  cfg.ArrivalSCV,
+			Model:       cfg.Model,
+			Seed:        cfg.Seed + int64(i)*7919,
+		})
+		run, err := cluster.Run(tr.Source(), cfg.Topology, cluster.Options{
+			Warmup:   cfg.Warmup,
+			Seed:     cfg.Seed + int64(i)*104729,
+			Summary:  cfg.Summary,
+			SizeHint: tr.Len(),
+		})
+		if err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+			return
+		}
+		res.Points[i] = topologyPoint(cfg.Rates[i], run)
+	})
+	if firstErr != nil {
+		return TopologySweepResult{}, firstErr
+	}
+	return res, nil
+}
+
+// topologyPoint flattens one run into a sweep point.
+func topologyPoint(rate float64, run *cluster.TopologyResult) TopologyPoint {
+	p := TopologyPoint{
+		RatePerServer: rate,
+		Mean:          run.EndToEnd.Mean(),
+		Median:        run.EndToEnd.Median(),
+		P95:           run.EndToEnd.P95(),
+		N:             run.EndToEnd.N(),
+		Dropped:       run.Dropped,
+	}
+	for _, tier := range run.Tiers {
+		p.Tiers = append(p.Tiers, TierPoint{
+			Name:        tier.Name,
+			Served:      tier.Served,
+			Spilled:     tier.Spilled,
+			Dropped:     tier.Dropped,
+			Mean:        tier.EndToEnd.Mean(),
+			P95:         tier.EndToEnd.P95(),
+			Utilization: tier.Utilization,
+		})
+	}
+	return p
+}
+
+// ThreeTierPoint compares four capacity-matched deployment shapes at
+// one request rate: the paper's pure edge and pure cloud, the two-tier
+// overflow hierarchy, and the three-tier edge→regional→cloud chain.
+type ThreeTierPoint struct {
+	RatePerServer float64
+	EdgeMean      float64
+	EdgeP95       float64
+	CloudMean     float64
+	CloudP95      float64
+	OverflowMean  float64
+	OverflowP95   float64
+	ChainMean     float64
+	ChainP95      float64
+	// Escalation fractions: share of requests leaving their home site.
+	OverflowSpill float64
+	ChainSpillReg float64 // edge → regional
+	ChainSpillCld float64 // regional → cloud
+}
+
+// ThreeTierResult is the new hierarchy figure: the latency trajectory
+// of the four shapes across the paper's rate axis.
+type ThreeTierResult struct {
+	Rates  []float64
+	Points []ThreeTierPoint
+}
+
+// threeTierChain is the capacity-matched chain used by the figure:
+// 5 edge servers, a 2-server regional cluster at 13 ms, and a
+// 3-server cloud at 25 ms — 10 servers total, the same as the other
+// three shapes.
+func threeTierChain() cluster.Topology {
+	regional := netem.Jittered("regional-13ms", 0.013, 0.002)
+	cloud := netem.CloudTypical
+	return cluster.Topology{
+		Name: "edge-regional-cloud",
+		Tiers: []cluster.Tier{
+			{Name: "edge", Sites: 5, ServersPerSite: 1, Path: netem.EdgePath},
+			{Name: "regional", Sites: 1, ServersPerSite: 2, Path: regional,
+				Dispatch: cluster.CentralQueueDispatch},
+			{Name: "cloud", Sites: 1, ServersPerSite: 3, Path: cloud,
+				Dispatch: cluster.CentralQueueDispatch},
+		},
+		Spills: []cluster.SpillEdge{
+			{From: "edge", To: "regional", Threshold: 3, DetourPath: &regional},
+			{From: "regional", To: "cloud", Threshold: 4, DetourPath: &cloud},
+		},
+	}
+}
+
+// RunFigThreeTier evaluates the hierarchy figure: every shape deploys
+// 10 servers and replays the same per-rate trace (5 sites, 2× the
+// per-server rate each), so differences are purely deployment shape —
+// pooled far capacity, partitioned near capacity, or hierarchies in
+// between. Points are evaluated concurrently with index-derived seeds.
+func RunFigThreeTier(duration float64, seed int64) (ThreeTierResult, error) {
+	chain := threeTierChain()
+	if err := chain.Validate(); err != nil {
+		return ThreeTierResult{}, err
+	}
+	model := app.NewInferenceModel()
+	rates := []float64{6, 7, 8, 9, 10, 11, 12}
+	res := ThreeTierResult{Rates: rates, Points: make([]ThreeTierPoint, len(rates))}
+	var mu sync.Mutex
+	var firstErr error
+	forEach(len(rates), 0, func(i int) {
+		rate := rates[i]
+		tr := cluster.Generate(cluster.GenSpec{
+			Sites:       5,
+			Duration:    duration,
+			PerSiteRate: rate * 2, // 10 servers over 5 sites
+			Model:       model,
+			Seed:        seed + int64(i)*7919,
+		})
+		warmup := duration / 10
+		edge, cloud := cluster.RunPaired(tr, cluster.EdgeConfig{
+			Sites: 5, ServersPerSite: 2, Path: netem.EdgePath,
+			Warmup: warmup, Seed: seed + int64(i)*104729,
+		}, cluster.CloudConfig{
+			Servers: 10, Path: netem.CloudTypical,
+			Warmup: warmup, Seed: seed + int64(i)*1299709,
+		})
+		over := cluster.RunEdgeWithOverflow(tr, cluster.OverflowConfig{
+			Sites: 5, ServersPerSite: 1,
+			EdgePath: netem.EdgePath, CloudPath: netem.CloudTypical,
+			CloudServers: 5, OverflowThreshold: 3,
+			Warmup: warmup, Seed: seed + int64(i)*15485863,
+		})
+		chained, err := cluster.Run(tr.Source(), chain, cluster.Options{
+			Warmup:   warmup,
+			Seed:     seed + int64(i)*32452843,
+			SizeHint: tr.Len(),
+		})
+		if err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+			return
+		}
+		n := float64(tr.Len())
+		res.Points[i] = ThreeTierPoint{
+			RatePerServer: rate,
+			EdgeMean:      edge.MeanLatency(),
+			EdgeP95:       edge.P95Latency(),
+			CloudMean:     cloud.MeanLatency(),
+			CloudP95:      cloud.P95Latency(),
+			OverflowMean:  over.MeanLatency(),
+			OverflowP95:   over.P95Latency(),
+			ChainMean:     chained.MeanLatency(),
+			ChainP95:      chained.P95Latency(),
+			OverflowSpill: float64(over.Overflowed) / n,
+			ChainSpillReg: float64(chained.Tier("edge").Spilled) / n,
+			ChainSpillCld: float64(chained.Tier("regional").Spilled) / n,
+		}
+	})
+	if firstErr != nil {
+		return ThreeTierResult{}, firstErr
+	}
+	return res, nil
+}

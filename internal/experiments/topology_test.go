@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/netem"
+)
+
+func TestRunTopologySweep(t *testing.T) {
+	cloud := netem.CloudTypical
+	topo := cluster.Topology{
+		Name: "two-tier",
+		Tiers: []cluster.Tier{
+			{Name: "edge", Sites: 3, ServersPerSite: 1, Path: netem.EdgePath},
+			{Name: "cloud", Sites: 1, ServersPerSite: 3, Path: cloud,
+				Dispatch: cluster.CentralQueueDispatch},
+		},
+		Spills: []cluster.SpillEdge{{From: "edge", To: "cloud", Threshold: 3, DetourPath: &cloud}},
+	}
+	res, err := RunTopologySweep(TopologySweepConfig{
+		Topology: topo,
+		Rates:    []float64{6, 10, 12},
+		Duration: 150,
+		Warmup:   15,
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.N == 0 || p.Mean <= 0 {
+			t.Errorf("rate %v: empty point %+v", p.RatePerServer, p)
+		}
+		if len(p.Tiers) != 2 {
+			t.Fatalf("rate %v: %d tier points", p.RatePerServer, len(p.Tiers))
+		}
+		var served uint64
+		for _, tier := range p.Tiers {
+			served += tier.Served
+		}
+		if served != uint64(p.N) {
+			t.Errorf("rate %v: tier served %d != N %d", p.RatePerServer, served, p.N)
+		}
+	}
+	if last := res.Points[2].Tiers[0]; last.Spilled == 0 {
+		t.Error("highest rate never spilled; sweep should stress the hierarchy")
+	}
+	// Serial and parallel evaluation agree byte for byte.
+	serial, err := RunTopologySweep(TopologySweepConfig{
+		Topology: topo, Rates: []float64{6, 10, 12},
+		Duration: 150, Warmup: 15, Seed: 3, Workers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Points {
+		if res.Points[i].Mean != serial.Points[i].Mean || res.Points[i].N != serial.Points[i].N {
+			t.Errorf("point %d: parallel %+v != serial %+v", i, res.Points[i], serial.Points[i])
+		}
+	}
+}
+
+func TestRunTopologySweepRejectsInvalid(t *testing.T) {
+	if _, err := RunTopologySweep(TopologySweepConfig{Rates: []float64{6}}); err == nil {
+		t.Error("empty topology accepted")
+	}
+	bad := cluster.Topology{Tiers: []cluster.Tier{{Name: "x", Sites: 1, Dispatch: "nope"}}}
+	if _, err := RunTopologySweep(TopologySweepConfig{Topology: bad, Rates: []float64{6}}); err == nil {
+		t.Error("invalid dispatch accepted")
+	}
+	ok := cluster.Topology{Tiers: []cluster.Tier{{Name: "x", Sites: 2, Path: netem.EdgePath}}}
+	if _, err := RunTopologySweep(TopologySweepConfig{Topology: ok}); err == nil {
+		t.Error("missing rates accepted")
+	}
+}
+
+func TestRunFigThreeTier(t *testing.T) {
+	res, err := RunFigThreeTier(120, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != len(res.Rates) {
+		t.Fatalf("points %d != rates %d", len(res.Points), len(res.Rates))
+	}
+	for _, p := range res.Points {
+		if p.EdgeMean <= 0 || p.CloudMean <= 0 || p.OverflowMean <= 0 || p.ChainMean <= 0 {
+			t.Errorf("rate %v: empty shape %+v", p.RatePerServer, p)
+		}
+	}
+	top := res.Points[len(res.Points)-1]
+	if top.ChainSpillReg == 0 {
+		t.Error("chain never escalated at the top rate; figure is vacuous")
+	}
+	if top.OverflowSpill == 0 {
+		t.Error("overflow never escalated at the top rate")
+	}
+}

@@ -36,7 +36,12 @@ const PaperMuConvention = 1000.0 / 13.0
 // RunValidation executes the Figure 3 sweeps and tabulates measured
 // crossovers against the analytic predictions.
 func RunValidation(duration float64, seed int64) []ValidationRow {
-	fig3 := RunFig3("typical-25ms", duration, seed)
+	fig3, err := RunFig3("typical-25ms", duration, seed)
+	if err != nil {
+		// The preset is compile-time known; failure here is a programming
+		// error, not a user input problem.
+		panic(err)
+	}
 	model := app.NewInferenceModel()
 	mu := model.Mu()
 	dn := fig3.Scenario.DeltaN()

@@ -23,6 +23,51 @@ type Dispatcher interface {
 	Name() string
 }
 
+// Policy names accepted by New, in the order they are listed by
+// Policies. These are the single source of truth for dispatcher
+// construction; the cluster topology builder and cmd/edgesim both
+// resolve policy flags through this registry instead of maintaining
+// their own switches.
+const (
+	PolicyRoundRobin = "round-robin"
+	PolicyLeastConn  = "least-connections"
+	PolicyPowerOfTwo = "power-of-two"
+	PolicyRandom     = "random"
+)
+
+// Policies returns the registry's dispatcher names.
+func Policies() []string {
+	return []string{PolicyRoundRobin, PolicyLeastConn, PolicyPowerOfTwo, PolicyRandom}
+}
+
+// Known reports whether name is a registered dispatcher policy.
+func Known(name string) bool {
+	for _, p := range Policies() {
+		if p == name {
+			return true
+		}
+	}
+	return false
+}
+
+// New constructs the named dispatcher over the stations. rng feeds the
+// policies that randomize (tie-breaks, sampling); round-robin ignores
+// it. Unknown names return an error listing the registry.
+func New(name string, stations []queue.Server, rng *rand.Rand) (Dispatcher, error) {
+	switch name {
+	case PolicyRoundRobin:
+		return NewRoundRobin(stations), nil
+	case PolicyLeastConn:
+		return NewLeastConnections(stations, rng), nil
+	case PolicyPowerOfTwo:
+		return NewPowerOfTwo(stations, rng), nil
+	case PolicyRandom:
+		return NewRandom(stations, rng), nil
+	default:
+		return nil, fmt.Errorf("lb: unknown dispatch policy %q (want one of %v)", name, Policies())
+	}
+}
+
 // RoundRobin cycles through stations in order, HAProxy's default policy.
 type RoundRobin struct {
 	stations []queue.Server
