@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -30,6 +31,8 @@ import (
 	"repro/internal/autoscale"
 	"repro/internal/cluster"
 	"repro/internal/dist"
+	"repro/internal/experiments"
+	"repro/internal/forecast"
 	"repro/internal/lb"
 	"repro/internal/netem"
 	"repro/internal/stats"
@@ -76,6 +79,11 @@ func main() {
 	overflowAt := flag.Int("overflow-at", 0, "also run a hierarchical edge overflowing to the cloud at this site load (0=off)")
 	topology := flag.String("topology", "", "replay through a deployment graph instead: preset name ("+
 		strings.Join(cluster.TopologyPresets(), "|")+"), @file.json, or inline JSON spec")
+	scaler := flag.String("scaler", "", "attach a capacity scaler to the edge (entry) tier: "+
+		"reactive | predictive[:forecaster] (forecasters: "+strings.Join(forecast.Names(), "|")+"); "+
+		"bounds are servers..4x servers, or -autoscale-max when set")
+	sweep := flag.String("sweep", "", "with -topology: comma-separated req/s-per-server rates to sweep, "+
+		"printing per-tier metrics and the inversion crossover vs an equal-capacity pooled cloud")
 	flag.Parse()
 
 	sc, ok := netem.ScenarioByName(*scenario)
@@ -97,10 +105,29 @@ func main() {
 	}
 	model := app.NewInferenceModelWith(1/app.SaturationRate, *serviceSCV)
 
-	if *topology != "" {
-		runTopology(*topology, *sites, *servers, *rate, *duration, *warmup,
-			*arrivalSCV, *seed, model, mode)
+	if *sweep != "" {
+		if *topology == "" {
+			fail("-sweep requires -topology (the deployment graph to sweep)")
+		}
+		runTopologySweepCLI(*topology, *sweep, *scaler, *autoscaleMax, sc,
+			*duration, *warmup, *arrivalSCV, *seed, model, mode)
 		return
+	}
+	if *topology != "" {
+		runTopology(*topology, *scaler, *autoscaleMax, *sites, *servers, *rate,
+			*duration, *warmup, *arrivalSCV, *seed, model, mode)
+		return
+	}
+
+	// Validate -scaler before the expensive paired replay so a typo'd
+	// policy fails in milliseconds, not after the runs.
+	var scalerSpec *autoscale.Spec
+	if *scaler != "" {
+		s, err := parseScalerSpec(*scaler, *servers, *autoscaleMax, model.Mu())
+		if err != nil {
+			fail("-scaler: %v", err)
+		}
+		scalerSpec = &s
 	}
 
 	spec := cluster.GenSpec{
@@ -158,7 +185,10 @@ func main() {
 		latencyRow("edge", edge),
 		latencyRow("cloud", cloud),
 	}
-	if *autoscaleMax > 0 {
+	// With -scaler set, -autoscale-max only supplies the scaler's upper
+	// bound; the legacy edge+autoscale row would duplicate the scaled
+	// row under different hardcoded parameters.
+	if *autoscaleMax > 0 && *scaler == "" {
 		scaled := cluster.RunEdgeAutoscaled(tr, cluster.EdgeConfig{
 			Sites: *sites, ServersPerSite: *servers, Path: sc.Edge,
 			Warmup: *warmup, Seed: *seed + 1, Summary: mode,
@@ -180,6 +210,29 @@ func main() {
 		rows = append(rows, latencyRow("edge+overflow", &over.Result))
 		defer fmt.Printf("overflow: %d requests (%.1f%%) served by the cloud backstop\n",
 			over.Overflowed, 100*float64(over.Overflowed)/float64(tr.Len()))
+	}
+	if scalerSpec != nil {
+		// Carry every edge-shaping flag the baseline row uses, so the
+		// scaled row differs from "edge" by the controller alone.
+		topo := cluster.EdgeTopology(cluster.EdgeConfig{
+			Sites: *sites, ServersPerSite: *servers, Path: sc.Edge, Summary: mode,
+			SlowdownFactor: *slowdown, QueueCap: *queueCap,
+			JockeyThreshold: *jockey, DetourRTT: *detour / 1000,
+		})
+		topo.Name = "edge+" + scalerSpec.Label()
+		topo.Tiers[0].Scaler = scalerSpec
+		scaled, err := cluster.Run(tr.Source(), topo, cluster.Options{
+			Warmup: *warmup, Seed: *seed + 1, Summary: mode,
+			SizeHint: tr.Len(), NoPerSiteLatency: true,
+		})
+		if err != nil {
+			fail("-scaler: %v", err)
+		}
+		rows = append(rows, latencyRow(topo.Name, &scaled.Result))
+		tier := scaled.Tiers[0]
+		defer fmt.Printf("scaler[%s]: %d ups, %d downs, peak %d servers, %.0f server-sec, $%.4f total (%.4f $/kreq)\n",
+			tier.ScalerPolicy, tier.ScaleUps, tier.ScaleDowns, tier.PeakServers,
+			tier.ServerSeconds, tier.Cost, tier.CostPerReq*1000)
 	}
 	asciiplot.Table(os.Stdout, []string{"deployment", "util", "mean (ms)", "median", "p95", "p99", "max", "n"}, rows)
 	if edge.Dropped > 0 {
@@ -232,11 +285,65 @@ func loadTopology(arg string) (cluster.Topology, error) {
 		cluster.TopologyPresets(), arg)
 }
 
-// runTopology replays a generated workload through the deployment
-// graph and prints aggregate and per-tier latency/spill/drop metrics.
-func runTopology(arg string, sites, servers int, rate, duration, warmup,
-	arrivalSCV float64, seed int64, model app.InferenceModel, mode stats.Mode) {
+// parseScalerSpec resolves the -scaler flag: "reactive" or
+// "predictive[:forecaster]", with bounds minServers..max (max defaults
+// to 4× the starting servers when the -autoscale-max flag is unset).
+func parseScalerSpec(arg string, minServers, maxFlag int, mu float64) (autoscale.Spec, error) {
+	min := minServers
+	if min <= 0 {
+		min = 1
+	}
+	max := maxFlag
+	if max <= 0 {
+		max = 4 * min
+	}
+	policy, forecaster := arg, ""
+	if i := strings.IndexByte(arg, ':'); i >= 0 {
+		policy, forecaster = arg[:i], arg[i+1:]
+	}
+	var spec autoscale.Spec
+	switch policy {
+	case autoscale.PolicyReactive:
+		if forecaster != "" {
+			return autoscale.Spec{}, fmt.Errorf("reactive scalers take no forecaster (got %q)", forecaster)
+		}
+		spec = autoscale.ReactiveSpec(autoscale.DefaultConfig(min, max))
+	case autoscale.PolicyPredictive:
+		spec = autoscale.DefaultPredictiveSpec(min, max, mu, forecaster)
+	default:
+		return autoscale.Spec{}, fmt.Errorf("unknown policy %q (want one of %v)", policy, autoscale.Policies())
+	}
+	return spec, spec.Validate()
+}
+
+// loadTopologyWithScaler resolves -topology and, when -scaler is set,
+// attaches (or replaces) the entry tier's capacity controller.
+func loadTopologyWithScaler(arg, scalerArg string, maxFlag int, mu float64) (cluster.Topology, error) {
 	topo, err := loadTopology(arg)
+	if err != nil {
+		return cluster.Topology{}, err
+	}
+	if scalerArg != "" {
+		entry := &topo.Tiers[0]
+		servers := entry.ServersPerSite
+		if servers <= 0 {
+			servers = 1
+		}
+		spec, err := parseScalerSpec(scalerArg, servers, maxFlag, mu)
+		if err != nil {
+			return cluster.Topology{}, fmt.Errorf("-scaler: %w", err)
+		}
+		entry.Scaler = &spec
+	}
+	return topo, nil
+}
+
+// runTopology replays a generated workload through the deployment
+// graph and prints aggregate and per-tier latency/spill/drop/cost
+// metrics.
+func runTopology(arg, scalerArg string, maxFlag, sites, servers int, rate, duration, warmup,
+	arrivalSCV float64, seed int64, model app.InferenceModel, mode stats.Mode) {
+	topo, err := loadTopologyWithScaler(arg, scalerArg, maxFlag, model.Mu())
 	if err != nil {
 		fail("-topology: %v", err)
 	}
@@ -284,10 +391,12 @@ func runTopology(arg string, sites, servers int, rate, duration, warmup,
 			tier.Name, tier.Utilization,
 			tier.EndToEnd.Mean() * 1000, tier.EndToEnd.P95() * 1000,
 			int(tier.Served), int(tier.Spilled), int(tier.Dropped),
+			tier.CostPerHour, tier.CostPerReq * 1000,
 		})
 	}
 	asciiplot.Table(os.Stdout,
-		[]string{"tier", "util", "mean (ms)", "p95 (ms)", "served", "spilled", "dropped"}, tierRows)
+		[]string{"tier", "util", "mean (ms)", "p95 (ms)", "served", "spilled", "dropped",
+			"$/hr", "$/kreq"}, tierRows)
 
 	for _, tier := range res.Tiers {
 		if len(tier.Sites) < 2 {
@@ -323,14 +432,167 @@ func runTopology(arg string, sites, servers int, rate, duration, warmup,
 		fmt.Printf("bounded queues dropped %d requests\n", res.Dropped)
 	}
 	for _, tier := range res.Tiers {
-		if tier.PeakServers > 0 {
-			fmt.Printf("autoscaler[%s]: %d scale-ups, %d scale-downs, peak %d servers\n",
-				tier.Name, tier.ScaleUps, tier.ScaleDowns, tier.PeakServers)
+		if tier.ScalerPolicy != "" {
+			fmt.Printf("scaler[%s %s]: %d scale-ups, %d scale-downs, peak %d servers, %.0f server-sec\n",
+				tier.Name, tier.ScalerPolicy, tier.ScaleUps, tier.ScaleDowns,
+				tier.PeakServers, tier.ServerSeconds)
 		}
 	}
+	fmt.Printf("cost: $%.4f total capacity spend (%.4f $/kreq)\n",
+		res.TotalCost, res.CostPerRequest*1000)
 	fmt.Printf("conservation: offered %d = served %d + dropped %d + warmup-discarded %d\n",
 		res.Offered, res.Completed, res.Dropped,
 		res.Consumed-res.Completed-res.Dropped)
+}
+
+// runTopologySweepCLI sweeps request rates through the deployment
+// graph (the ROADMAP's topology-sweep CLI): per-rate aggregate and
+// per-tier tables, plus the inversion crossover against a pooled cloud
+// of equal total capacity on the -scenario's cloud path — the paper's
+// edge-vs-cloud question generalized to arbitrary hierarchies.
+func runTopologySweepCLI(arg, sweepArg, scalerArg string, maxFlag int, sc netem.Scenario,
+	duration, warmup, arrivalSCV float64, seed int64, model app.InferenceModel, mode stats.Mode) {
+	topo, err := loadTopologyWithScaler(arg, scalerArg, maxFlag, model.Mu())
+	if err != nil {
+		fail("-topology: %v", err)
+	}
+	rates, err := parseRates(sweepArg)
+	if err != nil {
+		fail("-sweep: %v", err)
+	}
+	// The capacity-matched baseline: every server the hierarchy may
+	// deploy, pooled behind one central queue at the scenario's cloud
+	// distance, replaying the identical per-rate traces (paired, so the
+	// crossover carries no unpaired sampling noise). Scaled tiers count
+	// at their scaler's Max — the capacity budget the elastic tier can
+	// reach — so attaching a scaler does not let the hierarchy quietly
+	// outgrow its "equal-capacity" rival.
+	total := 0
+	for _, t := range topo.Tiers {
+		per := t.ServersPerSite
+		if per <= 0 {
+			per = 1
+		}
+		switch {
+		case t.Scaler != nil:
+			total += t.Sites * t.Scaler.Max
+		case t.PerSiteServers != nil:
+			for _, s := range t.PerSiteServers {
+				total += s
+			}
+		default:
+			total += t.Sites * per
+		}
+	}
+	baseline := cluster.CloudTopology(cluster.CloudConfig{
+		Servers: total, Path: sc.Cloud, Policy: cluster.CentralQueue,
+	})
+	res, err := experiments.RunTopologySweep(experiments.TopologySweepConfig{
+		Topology:   topo,
+		Rates:      rates,
+		Duration:   duration,
+		Warmup:     warmup,
+		Seed:       seed,
+		Model:      model,
+		ArrivalSCV: arrivalSCV,
+		Summary:    mode,
+		Baseline:   &baseline,
+	})
+	if err != nil {
+		fail("-sweep: %v", err)
+	}
+	cloud := res.Baseline
+
+	fmt.Printf("topology sweep %s: %d tiers, %d servers max capacity; cloud baseline %d pooled servers at %.0fms\n\n",
+		topo.Name, len(topo.Tiers), total, total, sc.Cloud.MeanRTT()*1000)
+	var rows [][]interface{}
+	for i, p := range res.Points {
+		c := cloud[i]
+		rows = append(rows, []interface{}{
+			p.RatePerServer,
+			p.Mean * 1000, c.Mean * 1000, p.P95 * 1000, c.P95 * 1000,
+			int(p.Dropped),
+		})
+	}
+	asciiplot.Table(os.Stdout, []string{
+		"req/s/srv", "topo mean", "cloud mean", "topo p95", "cloud p95", "dropped",
+	}, rows)
+
+	fmt.Println()
+	var tierRows [][]interface{}
+	for i, p := range res.Points {
+		for _, t := range p.Tiers {
+			tierRows = append(tierRows, []interface{}{
+				res.Points[i].RatePerServer, t.Name, t.Utilization,
+				t.Mean * 1000, t.P95 * 1000, int(t.Served), int(t.Spilled),
+				t.PeakServers, t.CostPerReq * 1000,
+			})
+		}
+	}
+	asciiplot.Table(os.Stdout, []string{
+		"req/s/srv", "tier", "util", "mean (ms)", "p95 (ms)", "served", "spilled",
+		"peak srv", "$/kreq",
+	}, tierRows)
+
+	fmt.Println()
+	for _, m := range []struct {
+		name string
+		pick func(experiments.TopologyPoint) float64
+	}{
+		{"mean", func(p experiments.TopologyPoint) float64 { return p.Mean }},
+		{"p95", func(p experiments.TopologyPoint) float64 { return p.P95 }},
+	} {
+		switch rate, atFloor, ok := sweepCrossover(res.Points, cloud, rates, m.pick); {
+		case ok && atFloor:
+			fmt.Printf("crossover (%s): hierarchy already loses to the pooled cloud at %.1f req/s/srv (sweep lower rates to bracket it)\n", m.name, rate)
+		case ok:
+			fmt.Printf("crossover (%s): hierarchy loses to the pooled cloud above ~%.1f req/s/srv\n", m.name, rate)
+		default:
+			fmt.Printf("crossover (%s): hierarchy beats the pooled cloud across the swept rates\n", m.name)
+		}
+	}
+}
+
+// sweepCrossover finds the rate where the topology's metric first
+// exceeds the cloud baseline's, linearly interpolating the sign
+// change. atFloor reports that the hierarchy already loses at the
+// lowest swept rate — the true crossover lies below the swept range.
+func sweepCrossover(topo, cloud []experiments.TopologyPoint, rates []float64,
+	pick func(experiments.TopologyPoint) float64) (rate float64, atFloor, found bool) {
+	prev := 0.0
+	for i := range topo {
+		d := pick(topo[i]) - pick(cloud[i])
+		if d > 0 {
+			if i == 0 {
+				return rates[0], true, true
+			}
+			// Interpolate between the bracketing rates on the gap
+			// (prev <= 0 < d, so the denominator is positive).
+			frac := -prev / (d - prev)
+			return rates[i-1] + frac*(rates[i]-rates[i-1]), false, true
+		}
+		prev = d
+	}
+	return 0, false, false
+}
+
+func parseRates(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad rate %q: %w", p, err)
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("rate %v must be positive", v)
+		}
+		out = append(out, v)
+	}
+	// The crossover scan interpolates the first sign change, which only
+	// means anything on a monotone rate axis.
+	sort.Float64s(out)
+	return out, nil
 }
 
 func latencyRow(name string, r *cluster.Result) []interface{} {

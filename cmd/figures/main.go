@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	figures [-fig all|2|3|4|5|6|7|8|9|10|three-tier|validation|capacity|tail|cost]
+//	figures [-fig all|2|3|4|5|6|7|8|9|10|three-tier|scaler|validation|capacity|tail|cost]
 //	        [-duration seconds] [-seed n] [-csv dir]
 //
 // Output is an ASCII rendering of each figure plus the underlying data
@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/app"
@@ -28,7 +29,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate (2..10, three-tier, validation, capacity, tail, cost, all)")
+	fig := flag.String("fig", "all", "figure to regenerate (2..10, three-tier, scaler, validation, capacity, tail, cost, all)")
 	duration := flag.Float64("duration", 600, "simulated seconds per sweep point")
 	seed := flag.Int64("seed", 42, "random seed")
 	csvDir := flag.String("csv", "", "directory to write CSV series into (optional)")
@@ -63,6 +64,7 @@ func main() {
 	run("9", func() { fig910(*seed, true) })
 	run("10", func() { fig910(*seed, false) })
 	run("three-tier", func() { threeTier(*duration, *seed, *csvDir) })
+	run("scaler", func() { scalerFrontier(*duration, *seed, *csvDir) })
 	run("validation", func() { validation(*duration, *seed) })
 	run("capacity", func() { capacity() })
 	run("tail", func() { tailAnalytic() })
@@ -286,6 +288,75 @@ func threeTier(duration float64, seed int64, csvDir string) {
 		if err == nil {
 			defer f.Close()
 			_ = asciiplot.WriteSeriesCSV(f, series)
+		}
+	}
+}
+
+// scalerFrontier renders the latency-vs-cost frontier of the scaler
+// policy comparison: every policy (reactive thresholds, predictive ×
+// forecaster) drives the same NHPP diurnal workload through the same
+// edge+cloud deployment, and each lands at one (cost, latency) point.
+// Pareto-optimal policies — no rival is both cheaper and faster — are
+// marked; the rest pay more, wait longer, or both.
+func scalerFrontier(duration float64, seed int64, csvDir string) {
+	res, err := experiments.RunScalerComparison(experiments.ScalerComparisonConfig{
+		Workload: experiments.ScalerWorkloadNHPP,
+		Duration: duration,
+		Seed:     seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+	rows := append([]experiments.ScalerComparisonRow(nil), res.Rows...)
+	sort.Slice(rows, func(i, j int) bool { return rows[i].CostPerRequest < rows[j].CostPerRequest })
+	// Weakly dominated = some rival is no worse on both axes and
+	// strictly better on at least one.
+	pareto := func(i int) bool {
+		for j := range rows {
+			if j == i {
+				continue
+			}
+			if rows[j].CostPerRequest <= rows[i].CostPerRequest &&
+				rows[j].Mean <= rows[i].Mean &&
+				(rows[j].CostPerRequest < rows[i].CostPerRequest ||
+					rows[j].Mean < rows[i].Mean) {
+				return false
+			}
+		}
+		return true
+	}
+
+	frontier := asciiplot.Series{Name: "policies (cost asc)"}
+	var out [][]interface{}
+	for i, r := range rows {
+		edge := r.Tiers[0]
+		mark := ""
+		if pareto(i) {
+			mark = "*"
+		}
+		frontier.X = append(frontier.X, r.CostPerRequest*1000)
+		frontier.Y = append(frontier.Y, r.Mean*1000)
+		out = append(out, []interface{}{
+			r.Policy + mark, r.Mean * 1000, r.P95 * 1000,
+			edge.PeakServers, edge.ScaleUps + edge.ScaleDowns,
+			edge.ServerSeconds, r.TotalCost, r.CostPerRequest * 1000,
+		})
+	}
+	asciiplot.LineChart(os.Stdout,
+		"Scaler frontier: mean latency (ms) vs cost per 1000 requests ($), NHPP diurnal workload",
+		[]asciiplot.Series{frontier}, 72, 18)
+	asciiplot.Table(os.Stdout, []string{
+		"policy", "mean (ms)", "p95 (ms)", "peak srv", "actions",
+		"server-sec", "total $", "$/kreq",
+	}, out)
+	fmt.Println("* = on the latency-cost frontier (no policy is both cheaper and faster)")
+
+	if csvDir != "" {
+		f, err := os.Create(filepath.Join(csvDir, "figscaler.csv"))
+		if err == nil {
+			defer f.Close()
+			_ = asciiplot.WriteSeriesCSV(f, []asciiplot.Series{frontier})
 		}
 	}
 }

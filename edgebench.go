@@ -230,6 +230,27 @@ type AutoscaleConfig = autoscale.Config
 // AutoscaleResult is an autoscaled edge run's measurements.
 type AutoscaleResult = cluster.AutoscaleResult
 
+// Scaler is the policy-pluggable capacity controller a Tier attaches
+// via ScalerSpec: reactive thresholds or forecast-driven predictive
+// provisioning behind one interface.
+type Scaler = autoscale.Scaler
+
+// ScalerSpec declaratively selects and parameterizes a scaler policy.
+type ScalerSpec = autoscale.Spec
+
+// ScalerTelemetry summarizes a scaler's activity over a run.
+type ScalerTelemetry = autoscale.Telemetry
+
+// Scaler construction: the policy registry (mirroring the lb registry)
+// and the legacy-config converter.
+var (
+	NewScaler         = autoscale.New
+	ScalerPolicies    = autoscale.Policies
+	ReactiveScaler    = autoscale.ReactiveSpec
+	NewPredictive     = autoscale.NewPredictive
+	NewReactiveScaler = autoscale.NewReactive
+)
+
 // Simulation entry points.
 var (
 	Generate               = cluster.Generate
@@ -324,10 +345,20 @@ type TopologySweepResult = experiments.TopologySweepResult
 // capacity-matched deployment shapes.
 type ThreeTierResult = experiments.ThreeTierResult
 
+// ScalerComparisonConfig sweeps scaler policies (reactive vs
+// predictive × forecaster) over one time-varying workload.
+type ScalerComparisonConfig = experiments.ScalerComparisonConfig
+
+// ScalerComparisonResult is a completed scaler policy sweep with
+// latency, telemetry, and per-tier cost rows.
+type ScalerComparisonResult = experiments.ScalerComparisonResult
+
 // Topology experiment runners.
 var (
-	RunTopologySweep = experiments.RunTopologySweep
-	RunFigThreeTier  = experiments.RunFigThreeTier
+	RunTopologySweep    = experiments.RunTopologySweep
+	RunFigThreeTier     = experiments.RunFigThreeTier
+	RunScalerComparison = experiments.RunScalerComparison
+	DefaultScalerSpecs  = experiments.DefaultScalerSpecs
 )
 
 // ---- Extensions: tail analysis, economics, forecasting ----
@@ -358,12 +389,18 @@ var (
 // Forecaster predicts the next value of a sampled workload series.
 type Forecaster = forecast.Forecaster
 
-// Workload forecasters for predictive capacity allocation.
+// ForecastOptions parameterizes registry construction of forecasters.
+type ForecastOptions = forecast.Options
+
+// Workload forecasters for predictive capacity allocation, plus the
+// by-name registry the declarative scaler specs resolve through.
 var (
 	NewEWMAForecaster = forecast.NewEWMA
 	NewHoltForecaster = forecast.NewHolt
 	NewSMAForecaster  = forecast.NewSMA
 	EvaluateForecast  = forecast.Evaluate
+	ForecasterNames   = forecast.Names
+	NewForecaster     = forecast.New
 )
 
 // ---- Statistics ----

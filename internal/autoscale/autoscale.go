@@ -76,14 +76,17 @@ type Controller struct {
 	cfg      Config
 	engine   *sim.Engine
 	stations []*queue.Station
+	start    []int // server counts at construction
 	lastAct  []float64
 	ticker   *sim.Ticker
 
 	Events []Event
 }
 
-// New attaches a controller to the stations and starts its ticker.
-func New(e *sim.Engine, stations []*queue.Station, cfg Config) *Controller {
+// NewReactive attaches a reactive threshold controller to the stations.
+// The controller is idle until Start arms its ticker; use autoscale.New
+// to construct by declarative Spec instead.
+func NewReactive(e *sim.Engine, stations []*queue.Station, cfg Config) *Controller {
 	cfg.validate()
 	if cfg.Step <= 0 {
 		cfg.Step = 1
@@ -95,17 +98,30 @@ func New(e *sim.Engine, stations []*queue.Station, cfg Config) *Controller {
 		cfg:      cfg,
 		engine:   e,
 		stations: stations,
+		start:    startLevels(stations),
 		lastAct:  make([]float64, len(stations)),
 	}
 	for i := range c.lastAct {
 		c.lastAct[i] = -cfg.Cooldown // allow an immediate first action
 	}
-	c.ticker = e.Every(cfg.Interval, func(en *sim.Engine) { c.tick(en.Now()) })
 	return c
 }
 
+// Start arms the controller's ticker: the first decision fires one
+// interval after the engine's current time. Starting twice is a no-op.
+func (c *Controller) Start() {
+	if c.ticker != nil {
+		return
+	}
+	c.ticker = c.engine.Every(c.cfg.Interval, func(en *sim.Engine) { c.tick(en.Now()) })
+}
+
 // Stop halts the controller.
-func (c *Controller) Stop() { c.ticker.Stop() }
+func (c *Controller) Stop() {
+	if c.ticker != nil {
+		c.ticker.Stop()
+	}
+}
 
 func (c *Controller) tick(now float64) {
 	for i, st := range c.stations {
@@ -139,39 +155,31 @@ func (c *Controller) tick(now float64) {
 
 // ScaleUps and ScaleDowns summarize the recorded actions.
 func (c *Controller) ScaleUps() int {
-	n := 0
-	for _, e := range c.Events {
-		if e.To > e.From {
-			n++
-		}
-	}
-	return n
+	ups, _ := countActions(c.Events)
+	return ups
 }
 
 // ScaleDowns counts shrink actions.
 func (c *Controller) ScaleDowns() int {
-	n := 0
-	for _, e := range c.Events {
-		if e.To < e.From {
-			n++
-		}
-	}
-	return n
+	_, downs := countActions(c.Events)
+	return downs
 }
 
 // PeakServers returns the largest server count reached at any station,
 // the provisioning headroom the controller actually used.
-func (c *Controller) PeakServers() int {
-	peak := 0
-	for _, st := range c.stations {
-		if st.Servers > peak {
-			peak = st.Servers
-		}
+func (c *Controller) PeakServers() int { return peakServers(c.stations, c.Events) }
+
+// EventLog returns the recorded scale actions.
+func (c *Controller) EventLog() []Event { return c.Events }
+
+// Telemetry summarizes the controller's activity through end.
+func (c *Controller) Telemetry(end float64) Telemetry {
+	ups, downs := countActions(c.Events)
+	return Telemetry{
+		Policy:        PolicyReactive,
+		ScaleUps:      ups,
+		ScaleDowns:    downs,
+		PeakServers:   c.PeakServers(),
+		ServerSeconds: serverSeconds(c.stations, c.start, c.Events, 0, end),
 	}
-	for _, e := range c.Events {
-		if e.To > peak {
-			peak = e.To
-		}
-	}
-	return peak
 }

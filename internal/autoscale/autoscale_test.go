@@ -7,6 +7,22 @@ import (
 	"repro/internal/sim"
 )
 
+// startReactive constructs and immediately starts a reactive
+// controller (most tests want the ticker armed from t=0).
+func startReactive(e *sim.Engine, sts []*queue.Station, cfg Config) *Controller {
+	c := NewReactive(e, sts, cfg)
+	c.Start()
+	return c
+}
+
+// startPredictive constructs and immediately starts a predictive
+// controller.
+func startPredictive(e *sim.Engine, sts []*queue.Station, cfg PredictiveConfig) *PredictiveController {
+	c := NewPredictive(e, sts, cfg)
+	c.Start()
+	return c
+}
+
 // loadStation drives Poisson arrivals at the given rate into a station
 // for the duration.
 func loadStation(eng *sim.Engine, st *queue.Station, rate, mu, duration float64) {
@@ -26,7 +42,7 @@ func loadStation(eng *sim.Engine, st *queue.Station, rate, mu, duration float64)
 func TestScalesUpUnderOverload(t *testing.T) {
 	eng := sim.NewEngine(1)
 	st := queue.NewStation(eng, "hot", 1, queue.FCFS)
-	ctrl := New(eng, []*queue.Station{st}, Config{
+	ctrl := startReactive(eng, []*queue.Station{st}, Config{
 		Interval: 2, Min: 1, Max: 8, UpThreshold: 1.5, DownThreshold: 0.2, Cooldown: 4,
 	})
 	loadStation(eng, st, 30, 13, 300) // 230% of one server
@@ -47,7 +63,7 @@ func TestScalesUpUnderOverload(t *testing.T) {
 func TestScalesDownWhenIdle(t *testing.T) {
 	eng := sim.NewEngine(2)
 	st := queue.NewStation(eng, "cool", 6, queue.FCFS)
-	ctrl := New(eng, []*queue.Station{st}, Config{
+	ctrl := startReactive(eng, []*queue.Station{st}, Config{
 		Interval: 2, Min: 1, Max: 8, UpThreshold: 1.5, DownThreshold: 0.4, Cooldown: 4,
 	})
 	loadStation(eng, st, 2, 13, 300) // ~3% utilization of 6 servers
@@ -63,7 +79,7 @@ func TestScalesDownWhenIdle(t *testing.T) {
 func TestRespectsBounds(t *testing.T) {
 	eng := sim.NewEngine(3)
 	st := queue.NewStation(eng, "bounded", 2, queue.FCFS)
-	New(eng, []*queue.Station{st}, Config{
+	startReactive(eng, []*queue.Station{st}, Config{
 		Interval: 1, Min: 2, Max: 3, UpThreshold: 1.2, DownThreshold: 0.1, Cooldown: 1,
 	})
 	loadStation(eng, st, 100, 13, 200) // hopeless overload
@@ -76,7 +92,7 @@ func TestRespectsBounds(t *testing.T) {
 func TestCooldownLimitsActionRate(t *testing.T) {
 	eng := sim.NewEngine(4)
 	st := queue.NewStation(eng, "cool-down", 1, queue.FCFS)
-	ctrl := New(eng, []*queue.Station{st}, Config{
+	ctrl := startReactive(eng, []*queue.Station{st}, Config{
 		Interval: 1, Min: 1, Max: 100, UpThreshold: 1.1, DownThreshold: 0.01, Cooldown: 10,
 	})
 	loadStation(eng, st, 120, 13, 100)
@@ -95,7 +111,7 @@ func TestCooldownLimitsActionRate(t *testing.T) {
 func TestEventTelemetry(t *testing.T) {
 	eng := sim.NewEngine(5)
 	st := queue.NewStation(eng, "telemetry", 1, queue.FCFS)
-	ctrl := New(eng, []*queue.Station{st}, DefaultConfig(1, 4))
+	ctrl := startReactive(eng, []*queue.Station{st}, DefaultConfig(1, 4))
 	loadStation(eng, st, 40, 13, 200)
 	eng.RunUntil(250)
 	if len(ctrl.Events) == 0 {
@@ -111,7 +127,7 @@ func TestEventTelemetry(t *testing.T) {
 func TestStopHaltsController(t *testing.T) {
 	eng := sim.NewEngine(6)
 	st := queue.NewStation(eng, "halt", 1, queue.FCFS)
-	ctrl := New(eng, []*queue.Station{st}, Config{
+	ctrl := startReactive(eng, []*queue.Station{st}, Config{
 		Interval: 1, Min: 1, Max: 50, UpThreshold: 1.1, DownThreshold: 0.01, Cooldown: 1,
 	})
 	loadStation(eng, st, 100, 13, 100)
@@ -140,7 +156,7 @@ func TestConfigValidation(t *testing.T) {
 					t.Errorf("config %d should panic", i)
 				}
 			}()
-			New(eng, []*queue.Station{st}, cfg)
+			startReactive(eng, []*queue.Station{st}, cfg)
 		}()
 	}
 	func() {
@@ -149,7 +165,7 @@ func TestConfigValidation(t *testing.T) {
 				t.Error("empty station list should panic")
 			}
 		}()
-		New(eng, nil, DefaultConfig(1, 2))
+		startReactive(eng, nil, DefaultConfig(1, 2))
 	}()
 }
 
@@ -162,7 +178,7 @@ func TestAutoscaleReducesLatencyUnderBurst(t *testing.T) {
 		st := queue.NewStation(eng, "burst", 1, queue.FCFS)
 		st.SetWarmup(30)
 		if enable {
-			New(eng, []*queue.Station{st}, Config{
+			startReactive(eng, []*queue.Station{st}, Config{
 				Interval: 2, Min: 1, Max: 6, UpThreshold: 1.5, DownThreshold: 0.2, Cooldown: 4,
 			})
 		}

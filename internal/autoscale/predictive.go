@@ -38,6 +38,7 @@ type PredictiveController struct {
 	cfg         PredictiveConfig
 	engine      *sim.Engine
 	stations    []*queue.Station
+	start       []int // server counts at construction
 	forecasters []forecast.Forecaster
 	lastCount   []uint64
 	ticker      *sim.Ticker
@@ -45,7 +46,9 @@ type PredictiveController struct {
 	Events []Event
 }
 
-// NewPredictive attaches a predictive controller and starts its ticker.
+// NewPredictive attaches a predictive controller to the stations. The
+// controller is idle until Start arms its ticker; use autoscale.New to
+// construct by declarative Spec instead.
 func NewPredictive(e *sim.Engine, stations []*queue.Station, cfg PredictiveConfig) *PredictiveController {
 	cfg.validate()
 	if len(stations) == 0 {
@@ -59,6 +62,7 @@ func NewPredictive(e *sim.Engine, stations []*queue.Station, cfg PredictiveConfi
 		cfg:         cfg,
 		engine:      e,
 		stations:    stations,
+		start:       startLevels(stations),
 		forecasters: make([]forecast.Forecaster, len(stations)),
 		lastCount:   make([]uint64, len(stations)),
 	}
@@ -66,12 +70,24 @@ func NewPredictive(e *sim.Engine, stations []*queue.Station, cfg PredictiveConfi
 		c.forecasters[i] = mk()
 		c.lastCount[i] = stations[i].TotalArrivals()
 	}
-	c.ticker = e.Every(cfg.Interval, func(en *sim.Engine) { c.tick(en.Now()) })
 	return c
 }
 
+// Start arms the controller's ticker: the first decision fires one
+// interval after the engine's current time. Starting twice is a no-op.
+func (c *PredictiveController) Start() {
+	if c.ticker != nil {
+		return
+	}
+	c.ticker = c.engine.Every(c.cfg.Interval, func(en *sim.Engine) { c.tick(en.Now()) })
+}
+
 // Stop halts the controller.
-func (c *PredictiveController) Stop() { c.ticker.Stop() }
+func (c *PredictiveController) Stop() {
+	if c.ticker != nil {
+		c.ticker.Stop()
+	}
+}
 
 func (c *PredictiveController) tick(now float64) {
 	for i, st := range c.stations {
@@ -99,40 +115,45 @@ func (c *PredictiveController) tick(now float64) {
 }
 
 // PeakServers returns the largest server count reached.
-func (c *PredictiveController) PeakServers() int {
-	peak := 0
-	for _, st := range c.stations {
-		if st.Servers > peak {
-			peak = st.Servers
-		}
-	}
-	for _, e := range c.Events {
-		if e.To > peak {
-			peak = e.To
-		}
-	}
-	return peak
+func (c *PredictiveController) PeakServers() int { return peakServers(c.stations, c.Events) }
+
+// ScaleUps counts grow actions.
+func (c *PredictiveController) ScaleUps() int {
+	ups, _ := countActions(c.Events)
+	return ups
 }
 
-// TotalServerSeconds integrates the provisioned capacity over the run
-// given the event log and a final time, for cost accounting. Assumes all
-// stations started at startServers.
+// ScaleDowns counts shrink actions.
+func (c *PredictiveController) ScaleDowns() int {
+	_, downs := countActions(c.Events)
+	return downs
+}
+
+// EventLog returns the recorded scale actions.
+func (c *PredictiveController) EventLog() []Event { return c.Events }
+
+// Telemetry summarizes the controller's activity through end.
+func (c *PredictiveController) Telemetry(end float64) Telemetry {
+	ups, downs := countActions(c.Events)
+	return Telemetry{
+		Policy:        PolicyPredictive,
+		ScaleUps:      ups,
+		ScaleDowns:    downs,
+		PeakServers:   c.PeakServers(),
+		ServerSeconds: serverSeconds(c.stations, c.start, c.Events, 0, end),
+	}
+}
+
+// TotalServerSeconds integrates the provisioned capacity over
+// [start, end] given the event log, for cost accounting. Assumes all
+// stations started at startServers. Event times are clamped into the
+// window, so degenerate windows — zero duration, or ending before the
+// first control tick — integrate the starting level over the window
+// span instead of producing negative terms.
 func (c *PredictiveController) TotalServerSeconds(startServers int, start, end float64) float64 {
-	// Track per-station piecewise-constant capacity.
-	level := make(map[string]int, len(c.stations))
-	lastT := make(map[string]float64, len(c.stations))
-	var total float64
-	for _, st := range c.stations {
-		level[st.Name] = startServers
-		lastT[st.Name] = start
+	levels := make([]int, len(c.stations))
+	for i := range levels {
+		levels[i] = startServers
 	}
-	for _, e := range c.Events {
-		total += float64(level[e.Station]) * (e.Time - lastT[e.Station])
-		level[e.Station] = e.To
-		lastT[e.Station] = e.Time
-	}
-	for _, st := range c.stations {
-		total += float64(level[st.Name]) * (end - lastT[st.Name])
-	}
-	return total
+	return serverSeconds(c.stations, levels, c.Events, start, end)
 }

@@ -11,7 +11,7 @@ import (
 func TestPredictiveProvisionsForRate(t *testing.T) {
 	eng := sim.NewEngine(11)
 	st := queue.NewStation(eng, "pred", 1, queue.FCFS)
-	ctrl := NewPredictive(eng, []*queue.Station{st}, PredictiveConfig{
+	ctrl := startPredictive(eng, []*queue.Station{st}, PredictiveConfig{
 		Interval: 5, Min: 1, Max: 8, Mu: 13, TargetUtil: 0.6,
 	})
 	loadStation(eng, st, 30, 13, 300)
@@ -30,7 +30,7 @@ func TestPredictiveProvisionsForRate(t *testing.T) {
 func TestPredictiveScalesBackDown(t *testing.T) {
 	eng := sim.NewEngine(12)
 	st := queue.NewStation(eng, "down", 4, queue.FCFS)
-	NewPredictive(eng, []*queue.Station{st}, PredictiveConfig{
+	startPredictive(eng, []*queue.Station{st}, PredictiveConfig{
 		Interval: 5, Min: 1, Max: 8, Mu: 13, TargetUtil: 0.6,
 		NewForecaster: func() forecast.Forecaster { return forecast.NewEWMA(0.8) },
 	})
@@ -44,7 +44,7 @@ func TestPredictiveScalesBackDown(t *testing.T) {
 func TestPredictiveRespectsBounds(t *testing.T) {
 	eng := sim.NewEngine(13)
 	st := queue.NewStation(eng, "bound", 1, queue.FCFS)
-	NewPredictive(eng, []*queue.Station{st}, PredictiveConfig{
+	startPredictive(eng, []*queue.Station{st}, PredictiveConfig{
 		Interval: 2, Min: 1, Max: 3, Mu: 13, TargetUtil: 0.5,
 	})
 	loadStation(eng, st, 200, 13, 100)
@@ -59,7 +59,7 @@ func TestPredictiveRespectsBounds(t *testing.T) {
 func TestPredictiveTracksRamp(t *testing.T) {
 	eng := sim.NewEngine(14)
 	st := queue.NewStation(eng, "ramp", 1, queue.FCFS)
-	ctrl := NewPredictive(eng, []*queue.Station{st}, PredictiveConfig{
+	ctrl := startPredictive(eng, []*queue.Station{st}, PredictiveConfig{
 		Interval: 5, Min: 1, Max: 10, Mu: 13, TargetUtil: 0.6,
 		NewForecaster: func() forecast.Forecaster { return forecast.NewHolt(0.6, 0.4) },
 	})
@@ -87,7 +87,7 @@ func TestPredictiveTracksRamp(t *testing.T) {
 func TestPredictiveServerSeconds(t *testing.T) {
 	eng := sim.NewEngine(15)
 	st := queue.NewStation(eng, "cost", 1, queue.FCFS)
-	ctrl := NewPredictive(eng, []*queue.Station{st}, PredictiveConfig{
+	ctrl := startPredictive(eng, []*queue.Station{st}, PredictiveConfig{
 		Interval: 10, Min: 1, Max: 8, Mu: 13, TargetUtil: 0.6,
 	})
 	loadStation(eng, st, 30, 13, 200)
@@ -121,7 +121,7 @@ func TestPredictiveConfigValidation(t *testing.T) {
 					t.Errorf("config %d should panic", i)
 				}
 			}()
-			NewPredictive(eng, []*queue.Station{st}, cfg)
+			startPredictive(eng, []*queue.Station{st}, cfg)
 		}()
 	}
 }
@@ -137,11 +137,11 @@ func TestPredictiveVsReactiveOnBurst(t *testing.T) {
 		st.SetWarmup(20)
 		switch mode {
 		case "reactive":
-			New(eng, []*queue.Station{st}, Config{
+			startReactive(eng, []*queue.Station{st}, Config{
 				Interval: 5, Min: 1, Max: 6, UpThreshold: 1.5, DownThreshold: 0.2, Cooldown: 10,
 			})
 		case "predictive":
-			NewPredictive(eng, []*queue.Station{st}, PredictiveConfig{
+			startPredictive(eng, []*queue.Station{st}, PredictiveConfig{
 				Interval: 5, Min: 1, Max: 6, Mu: 13, TargetUtil: 0.65,
 			})
 		}

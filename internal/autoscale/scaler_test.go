@@ -1,0 +1,206 @@
+package autoscale
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/forecast"
+	"repro/internal/queue"
+	"repro/internal/sim"
+)
+
+func TestNewRejectsUnknownPolicy(t *testing.T) {
+	eng := sim.NewEngine(21)
+	st := queue.NewStation(eng, "x", 1, queue.FCFS)
+	if _, err := New(Spec{Policy: "nope", Interval: 1, Min: 1, Max: 2},
+		eng, []*queue.Station{st}); err == nil {
+		t.Fatal("unknown policy accepted")
+	} else if !strings.Contains(err.Error(), "reactive") {
+		t.Errorf("error %q should list the registry", err)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	bad := []Spec{
+		{Policy: "nope", Interval: 1, Min: 1, Max: 2},
+		{Policy: PolicyReactive, Interval: 0, Min: 1, Max: 2, UpThreshold: 1, DownThreshold: 0.1},
+		{Policy: PolicyReactive, Interval: 1, Min: 2, Max: 1, UpThreshold: 1, DownThreshold: 0.1},
+		{Policy: PolicyReactive, Interval: 1, Min: 1, Max: 2, UpThreshold: 0.1, DownThreshold: 0.5},
+		{Policy: PolicyPredictive, Interval: 1, Min: 1, Max: 2, Mu: 0, TargetUtil: 0.5},
+		{Policy: PolicyPredictive, Interval: 1, Min: 1, Max: 2, Mu: 13, TargetUtil: 1.5},
+		{Policy: PolicyPredictive, Interval: 1, Min: 1, Max: 2, Mu: 13, TargetUtil: 0.5, Forecaster: "oracle"},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %d (%+v) should fail validation", i, s)
+		}
+	}
+	good := []Spec{
+		ReactiveSpec(DefaultConfig(1, 4)),
+		{Policy: PolicyPredictive, Interval: 5, Min: 1, Max: 4, Mu: 13, TargetUtil: 0.6},
+		{Policy: PolicyPredictive, Interval: 5, Min: 1, Max: 4, Mu: 13, TargetUtil: 0.6,
+			Forecaster: "holt", Alpha: 0.6, Beta: 0.4},
+	}
+	for i, s := range good {
+		if err := s.Validate(); err != nil {
+			t.Errorf("spec %d rejected: %v", i, err)
+		}
+	}
+}
+
+// TestReactiveSpecMatchesDirectController: the registry's reactive
+// scaler must be event-for-event identical to a directly constructed
+// Controller on the same load — the Spec path adds declaration, not
+// behavior.
+func TestReactiveSpecMatchesDirectController(t *testing.T) {
+	cfg := Config{Interval: 2, Min: 1, Max: 6, UpThreshold: 1.5, DownThreshold: 0.2, Cooldown: 4}
+	run := func(build func(e *sim.Engine, st *queue.Station) Scaler) []Event {
+		eng := sim.NewEngine(31)
+		st := queue.NewStation(eng, "s", 1, queue.FCFS)
+		s := build(eng, st)
+		s.Start()
+		loadStation(eng, st, 30, 13, 300)
+		eng.RunUntil(400)
+		return s.EventLog()
+	}
+	direct := run(func(e *sim.Engine, st *queue.Station) Scaler {
+		return NewReactive(e, []*queue.Station{st}, cfg)
+	})
+	viaSpec := run(func(e *sim.Engine, st *queue.Station) Scaler {
+		s, err := New(ReactiveSpec(cfg), e, []*queue.Station{st})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	})
+	if len(direct) == 0 {
+		t.Fatal("controller never acted; test is vacuous")
+	}
+	if len(direct) != len(viaSpec) {
+		t.Fatalf("event counts diverge: %d direct vs %d via spec", len(direct), len(viaSpec))
+	}
+	for i := range direct {
+		if direct[i] != viaSpec[i] {
+			t.Errorf("event %d diverges: %+v vs %+v", i, direct[i], viaSpec[i])
+		}
+	}
+}
+
+// TestPredictiveSpecUsesNamedForecaster: every registry forecaster
+// builds and drives the predictive controller.
+func TestPredictiveSpecUsesNamedForecaster(t *testing.T) {
+	for _, name := range forecast.Names() {
+		eng := sim.NewEngine(41)
+		st := queue.NewStation(eng, "s", 1, queue.FCFS)
+		s, err := New(Spec{
+			Policy: PolicyPredictive, Interval: 5, Min: 1, Max: 8,
+			Mu: 13, TargetUtil: 0.6, Forecaster: name,
+		}, eng, []*queue.Station{st})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		s.Start()
+		loadStation(eng, st, 30, 13, 200)
+		eng.RunUntil(250)
+		tel := s.Telemetry(250)
+		if tel.Policy != PolicyPredictive {
+			t.Errorf("%s: policy = %q", name, tel.Policy)
+		}
+		if tel.ScaleUps == 0 {
+			t.Errorf("%s: predictive controller never scaled up under overload", name)
+		}
+	}
+}
+
+func TestSpecLabel(t *testing.T) {
+	if got := ReactiveSpec(DefaultConfig(1, 2)).Label(); got != "reactive" {
+		t.Errorf("reactive label = %q", got)
+	}
+	s := Spec{Policy: PolicyPredictive, Interval: 5, Min: 1, Max: 2, Mu: 13,
+		TargetUtil: 0.6, Forecaster: "holt"}
+	if got := s.Label(); !strings.HasPrefix(got, "predictive/holt") {
+		t.Errorf("predictive label = %q", got)
+	}
+}
+
+// TestTelemetryServerSeconds: telemetry integration must agree with a
+// hand-computed piecewise-constant integral.
+func TestTelemetryServerSeconds(t *testing.T) {
+	eng := sim.NewEngine(51)
+	st := queue.NewStation(eng, "cap", 1, queue.FCFS)
+	c := NewReactive(eng, []*queue.Station{st}, Config{
+		Interval: 1, Min: 1, Max: 8, UpThreshold: 0.5, DownThreshold: 0.1, Cooldown: 1,
+	})
+	// Synthesize an exact event log instead of running a workload.
+	c.Events = []Event{
+		{Time: 10, Station: "cap", From: 1, To: 3},
+		{Time: 30, Station: "cap", From: 3, To: 2},
+	}
+	// 1×10 + 3×20 + 2×70 = 210 over [0, 100].
+	got := c.Telemetry(100).ServerSeconds
+	if math.Abs(got-210) > 1e-9 {
+		t.Errorf("server-seconds = %v, want 210", got)
+	}
+}
+
+// TestTotalServerSecondsWindows: the satellite fix — degenerate
+// windows (zero duration, ending before the first tick, starting after
+// the last event) must integrate cleanly, never negatively.
+func TestTotalServerSecondsWindows(t *testing.T) {
+	eng := sim.NewEngine(52)
+	st := queue.NewStation(eng, "w", 2, queue.FCFS)
+	c := NewPredictive(eng, []*queue.Station{st}, PredictiveConfig{
+		Interval: 10, Min: 1, Max: 8, Mu: 13, TargetUtil: 0.6,
+	})
+	c.Events = []Event{
+		{Time: 20, Station: "w", From: 2, To: 5},
+		{Time: 60, Station: "w", From: 5, To: 3},
+	}
+	cases := []struct {
+		name       string
+		start, end float64
+		want       float64
+	}{
+		{"zero duration", 50, 50, 0},
+		{"inverted window", 60, 40, 0},
+		{"pre-first-tick", 0, 10, 2 * 10},
+		{"ends exactly at first event", 0, 20, 2 * 20},
+		{"spans one event", 0, 40, 2*20 + 5*20},
+		{"full run", 0, 100, 2*20 + 5*40 + 3*40},
+		{"starts mid-log", 40, 100, 5*20 + 3*40},
+		{"starts after last event", 80, 100, 3 * 20},
+	}
+	for _, tc := range cases {
+		got := c.TotalServerSeconds(2, tc.start, tc.end)
+		if math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("%s: TotalServerSeconds(2, %v, %v) = %v, want %v",
+				tc.name, tc.start, tc.end, got, tc.want)
+		}
+		if got < 0 {
+			t.Errorf("%s: negative server-seconds %v", tc.name, got)
+		}
+	}
+}
+
+// TestScalerStartIdempotent: double Start must not double the tick
+// rate, and Stop before Start must not panic.
+func TestScalerStartIdempotent(t *testing.T) {
+	eng := sim.NewEngine(53)
+	st := queue.NewStation(eng, "idem", 1, queue.FCFS)
+	c := NewReactive(eng, []*queue.Station{st}, Config{
+		Interval: 1, Min: 1, Max: 50, UpThreshold: 1.1, DownThreshold: 0.01, Cooldown: 10,
+	})
+	c.Start()
+	c.Start()
+	loadStation(eng, st, 120, 13, 100)
+	eng.RunUntil(150)
+	for i := 1; i < len(c.Events); i++ {
+		if c.Events[i].Time-c.Events[i-1].Time < 10-1e-9 {
+			t.Fatalf("double Start broke the cooldown: events at %v and %v",
+				c.Events[i-1].Time, c.Events[i].Time)
+		}
+	}
+	unstarted := NewReactive(eng, []*queue.Station{st}, DefaultConfig(1, 2))
+	unstarted.Stop() // must not panic
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/autoscale"
 	"repro/internal/lb"
 	"repro/internal/netem"
 	"repro/internal/queue"
@@ -451,6 +452,77 @@ func TestStreamingTiedEventsMatchMaterialized(t *testing.T) {
 	ecfg := EdgeConfig{Sites: 1, ServersPerSite: 1, Path: netem.Constant("zero", 0),
 		Seed: 2, QueueCap: 1}
 	compareResults(t, "edge/tied", materializedRunEdge(dtr, ecfg), RunEdge(dtr, ecfg))
+}
+
+// TestScalerTierMatchesLegacyReactiveConfig: the unified Scaler
+// interface is a pure refactor for the reactive path — a Tier carrying
+// the legacy reactive config (as a converted Spec) must reproduce the
+// pre-Scaler direct runner bit for bit, telemetry included, whether the
+// spec arrives via Go construction or the legacy JSON autoscale block.
+func TestScalerTierMatchesLegacyReactiveConfig(t *testing.T) {
+	procs := siteProcs([]float64{24, 9, 7, 4, 4})
+	tr := Generate(GenSpec{Sites: 5, Duration: 400, Seed: 109, Arrivals: procs})
+	cfg := EdgeConfig{Sites: 5, ServersPerSite: 1, Path: netem.Jittered("edge-1ms", 0.001, 0.0002),
+		Warmup: 40, Seed: 19}
+	asCfg := autoscale.Config{Interval: 2, Min: 1, Max: 4, UpThreshold: 1.5,
+		DownThreshold: 0.2, Cooldown: 6}
+	want := directRunEdgeAutoscaled(tr, cfg, asCfg)
+	if want.ScaleUps == 0 {
+		t.Fatal("controller never scaled; test is vacuous")
+	}
+
+	topo := Topology{
+		Name: "edge+autoscale",
+		Tiers: []Tier{{
+			Name: "edge", Sites: 5, ServersPerSite: 1, Path: cfg.Path,
+			Scaler: reactiveSpec(asCfg),
+		}},
+	}
+	run := func(tp Topology) *TopologyResult {
+		res, err := Run(tr.Source(), tp, Options{
+			Warmup: cfg.Warmup, Seed: cfg.Seed, SizeHint: tr.Len(), NoPerSiteLatency: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	check := func(name string, res *TopologyResult) {
+		t.Helper()
+		got := res.Result
+		got.Label = want.Label
+		got.Sites = res.Tiers[0].Sites
+		compareResults(t, name, &want.Result, &got)
+		tier := res.Tiers[0]
+		if tier.ScalerPolicy != "reactive" {
+			t.Errorf("%s: scaler policy = %q, want reactive", name, tier.ScalerPolicy)
+		}
+		if tier.ScaleUps != want.ScaleUps || tier.ScaleDowns != want.ScaleDowns ||
+			tier.PeakServers != want.PeakServers {
+			t.Errorf("%s: telemetry diverges: ups %d/%d downs %d/%d peak %d/%d", name,
+				tier.ScaleUps, want.ScaleUps, tier.ScaleDowns, want.ScaleDowns,
+				tier.PeakServers, want.PeakServers)
+		}
+		if len(tier.Events) != len(want.Events) {
+			t.Fatalf("%s: %d events != direct %d", name, len(tier.Events), len(want.Events))
+		}
+		for i := range want.Events {
+			if tier.Events[i] != want.Events[i] {
+				t.Errorf("%s: event %d diverges: %+v vs %+v", name, i, tier.Events[i], want.Events[i])
+			}
+		}
+	}
+	check("scaler-spec", run(topo))
+
+	// The same tier declared through the legacy JSON autoscale block.
+	legacy := `{"name":"edge+autoscale","tiers":[{"name":"edge","sites":5,"servers":1,
+		"rttMs":1,"jitterMs":0.2,
+		"autoscale":{"intervalS":2,"min":1,"max":4,"up":1.5,"down":0.2,"cooldownS":6}}]}`
+	fromJSON, err := ParseTopology([]byte(legacy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("legacy-json", run(fromJSON))
 }
 
 // TestBoundedSummaryConsistent: the bounded memory model must agree with

@@ -56,9 +56,16 @@ type Tier struct {
 	// latency. Home-routed tiers only.
 	JockeyThreshold int
 	DetourRTT       float64
-	// Autoscale, when set, attaches the reactive capacity controller
-	// to the tier's stations.
-	Autoscale *autoscale.Config
+	// Scaler, when set, attaches a capacity controller to the tier's
+	// stations — reactive thresholds or forecast-driven predictive
+	// provisioning, selected by the spec's policy name (autoscale.New
+	// registry). Legacy reactive autoscale.Config values convert via
+	// autoscale.ReactiveSpec.
+	Scaler *autoscale.Spec
+	// PricePerServerHour prices this tier's capacity for the cost
+	// overlay (currency per server-hour). 0 selects the run pricing's
+	// edge price for home-routed tiers and its cloud price otherwise.
+	PricePerServerHour float64
 }
 
 // homeRouted reports whether requests route to their home station.
@@ -190,6 +197,14 @@ func (tp Topology) Validate() error {
 			}
 			homeSites = t.Sites
 		}
+		if t.Scaler != nil {
+			if err := t.Scaler.Validate(); err != nil {
+				return fmt.Errorf("cluster: tier %q scaler: %w", t.Name, err)
+			}
+		}
+		if t.PricePerServerHour < 0 {
+			return fmt.Errorf("cluster: tier %q has a negative server-hour price", t.Name)
+		}
 	}
 	outEdge := map[string]bool{}
 	next := map[string]string{}
@@ -316,6 +331,7 @@ func OverflowTopology(cfg OverflowConfig) Topology {
 // by the reactive controller. Matching the legacy runner, jockeying,
 // queue bounds, per-site overrides and slowdown are not applied.
 func AutoscaledEdgeTopology(cfg EdgeConfig, asCfg autoscale.Config) Topology {
+	spec := autoscale.ReactiveSpec(asCfg)
 	return Topology{
 		Name: "edge+autoscale",
 		Tiers: []Tier{{
@@ -324,7 +340,7 @@ func AutoscaledEdgeTopology(cfg EdgeConfig, asCfg autoscale.Config) Topology {
 			ServersPerSite: cfg.ServersPerSite,
 			Path:           cfg.Path,
 			Discipline:     cfg.Discipline,
-			Autoscale:      &asCfg,
+			Scaler:         &spec,
 		}},
 	}
 }

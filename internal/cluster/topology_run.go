@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"repro/internal/autoscale"
+	"repro/internal/econ"
 	"repro/internal/lb"
 	"repro/internal/queue"
 	"repro/internal/sim"
@@ -36,6 +37,10 @@ type Options struct {
 	// Probe, when set, observes the event-calendar size at every
 	// generated arrival (a diagnostic for the O(1)-memory property).
 	Probe func(pending int)
+	// Pricing prices each tier's integrated capacity for the cost
+	// overlay (nil = econ.DefaultPricing). Tiers may override their
+	// per-server-hour price via Tier.PricePerServerHour.
+	Pricing *econ.Pricing
 }
 
 // TierResult is one tier's share of a topology run.
@@ -58,11 +63,26 @@ type TierResult struct {
 	// FinalServers is each station's server count at the end of the
 	// run (differs from the configured counts under autoscaling).
 	FinalServers []int
-	// Autoscaler telemetry, populated when the tier has a controller.
-	ScaleUps    int
-	ScaleDowns  int
-	PeakServers int
-	Events      []autoscale.Event
+	// Scaler telemetry, populated when the tier has a controller.
+	// ScalerPolicy is the controller's registry label ("" for static
+	// tiers).
+	ScalerPolicy string
+	ScaleUps     int
+	ScaleDowns   int
+	PeakServers  int
+	Events       []autoscale.Event
+	// ServerSeconds integrates the tier's provisioned capacity over
+	// the run: servers × duration for static tiers, the controller's
+	// piecewise-constant integral for scaled ones.
+	ServerSeconds float64
+	// Cost overlay (§7 economics generalized to hierarchies): the
+	// tier's capacity priced at its per-server-hour rate. Cost is the
+	// whole-run spend; CostPerHour is the mean spend rate; CostPerReq
+	// divides the spend across the tier's measured completions (0 when
+	// the tier served nothing).
+	Cost        float64
+	CostPerHour float64
+	CostPerReq  float64
 }
 
 // TopologyResult is a full topology run: the aggregate Result plus
@@ -76,6 +96,12 @@ type TopologyResult struct {
 	// Every offered request is eventually consumed.
 	Offered  uint64
 	Consumed uint64
+	// TotalCost sums the per-tier cost overlay (capacity spend for the
+	// whole run, in the pricing's currency units); CostPerRequest
+	// divides it across all measured completions. Per-tier costs are
+	// conserved: TotalCost == Σ Tiers[i].Cost.
+	TotalCost      float64
+	CostPerRequest float64
 }
 
 // Tier returns the named tier's result, or nil.
@@ -97,7 +123,7 @@ type tierRuntime struct {
 	dispatcher lb.Dispatcher
 	home       bool
 	central    bool
-	ctrl       *autoscale.Controller
+	scaler     autoscale.Scaler
 	spill      *spillRuntime
 	slow       float64
 }
@@ -224,6 +250,11 @@ func Run(src Source, topo Topology, opts Options) (*TopologyResult, error) {
 	if err := topo.Validate(); err != nil {
 		return nil, err
 	}
+	if opts.Pricing != nil &&
+		(opts.Pricing.CloudPerServerHour <= 0 || opts.Pricing.EdgePerServerHour <= 0) {
+		return nil, fmt.Errorf("cluster: Options.Pricing needs positive cloud and edge rates, got %+v",
+			*opts.Pricing)
+	}
 
 	eng := sim.NewEngine(opts.Seed)
 	netRng := eng.NewStream()
@@ -296,12 +327,19 @@ func Run(src Source, topo Topology, opts Options) (*TopologyResult, error) {
 	}
 
 	// Controllers tick from the moment the calendar starts, exactly as
-	// in the legacy autoscaled runner.
-	var ctrls []*autoscale.Controller
+	// in the legacy autoscaled runner: construct-then-Start in tier
+	// order arms each ticker in the same calendar sequence the
+	// pre-Scaler code produced.
+	var ctrls []autoscale.Scaler
 	for _, rt := range x.tiers {
-		if rt.spec.Autoscale != nil {
-			rt.ctrl = autoscale.New(eng, rt.stations, *rt.spec.Autoscale)
-			ctrls = append(ctrls, rt.ctrl)
+		if rt.spec.Scaler != nil {
+			s, err := autoscale.New(*rt.spec.Scaler, eng, rt.stations)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: tier %q: %w", rt.spec.Name, err)
+			}
+			s.Start()
+			rt.scaler = s
+			ctrls = append(ctrls, s)
 		}
 	}
 
@@ -399,6 +437,10 @@ func Run(src Source, topo Topology, opts Options) (*TopologyResult, error) {
 	// Assemble per-tier and aggregate measurements. The aggregate wait
 	// digest merges station by station in global order, matching the
 	// legacy runners' merge sequence exactly.
+	pricing := econ.DefaultPricing()
+	if opts.Pricing != nil {
+		pricing = *opts.Pricing
+	}
 	var busyAll, capAll float64
 	for ti, rt := range x.tiers {
 		tr := &res.Tiers[ti]
@@ -428,17 +470,43 @@ func Run(src Source, topo Topology, opts Options) (*TopologyResult, error) {
 		if rt.geo != nil {
 			res.Redirected += rt.geo.Redirected
 		}
-		if rt.ctrl != nil {
-			tr.ScaleUps = rt.ctrl.ScaleUps()
-			tr.ScaleDowns = rt.ctrl.ScaleDowns()
-			tr.PeakServers = rt.ctrl.PeakServers()
-			tr.Events = rt.ctrl.Events
+		if rt.scaler != nil {
+			tel := rt.scaler.Telemetry(res.Duration)
+			tr.ScalerPolicy = rt.spec.Scaler.Label()
+			tr.ScaleUps = tel.ScaleUps
+			tr.ScaleDowns = tel.ScaleDowns
+			tr.PeakServers = tel.PeakServers
+			tr.ServerSeconds = tel.ServerSeconds
+			tr.Events = rt.scaler.EventLog()
+		} else {
+			// Static tiers hold their configured capacity for the whole
+			// run.
+			tr.ServerSeconds = capacity * res.Duration
 		}
+		price := rt.spec.PricePerServerHour
+		if price <= 0 {
+			if rt.home {
+				price = pricing.EdgePerServerHour
+			} else {
+				price = pricing.CloudPerServerHour
+			}
+		}
+		tr.Cost = tr.ServerSeconds / 3600 * price
+		if res.Duration > 0 {
+			tr.CostPerHour = tr.Cost / (res.Duration / 3600)
+		}
+		if tr.Served > 0 {
+			tr.CostPerReq = tr.Cost / float64(tr.Served)
+		}
+		res.TotalCost += tr.Cost
 		busyAll += busy
 		capAll += capacity
 	}
 	if capAll > 0 {
 		res.Utilization = busyAll / capAll
+	}
+	if res.Completed > 0 {
+		res.CostPerRequest = res.TotalCost / float64(res.Completed)
 	}
 	return res, nil
 }

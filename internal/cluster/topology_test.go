@@ -12,6 +12,12 @@ import (
 	"repro/internal/stats"
 )
 
+// reactiveSpec lifts a legacy reactive config into a tier scaler spec.
+func reactiveSpec(cfg autoscale.Config) *autoscale.Spec {
+	s := autoscale.ReactiveSpec(cfg)
+	return &s
+}
+
 // edgePath returns the 1 ms edge path used across topology tests.
 func edgePath() netem.Path { return netem.Jittered("edge-1ms", 0.001, 0.0002) }
 
@@ -115,7 +121,8 @@ func directRunEdgeAutoscaled(tr *WorkloadTrace, cfg EdgeConfig, asCfg autoscale.
 		stations[i] = newStation(eng, fmt.Sprintf("edge-%d", i), cfg.ServersPerSite,
 			cfg.Discipline, 0, cfg.Warmup, cfg.Summary, pool)
 	}
-	ctrl := autoscale.New(eng, stations, asCfg)
+	ctrl := autoscale.NewReactive(eng, stations, asCfg)
+	ctrl.Start()
 
 	res := &AutoscaleResult{Result: *newResult("edge+autoscale", cfg.Summary, tr.Len())}
 	if cfg.TimelineBin > 0 {
@@ -390,8 +397,8 @@ func TestAutoscaledTierBehindSpill(t *testing.T) {
 			{
 				Name: "regional", Sites: 1, ServersPerSite: 1, Path: regional,
 				Dispatch: CentralQueueDispatch,
-				Autoscale: &autoscale.Config{Interval: 2, Min: 1, Max: 6,
-					UpThreshold: 1.5, DownThreshold: 0.2, Cooldown: 4},
+				Scaler: reactiveSpec(autoscale.Config{Interval: 2, Min: 1, Max: 6,
+					UpThreshold: 1.5, DownThreshold: 0.2, Cooldown: 4}),
 			},
 		},
 		Spills: []SpillEdge{{From: "edge", To: "regional", Threshold: 3, DetourPath: &regional}},

@@ -49,11 +49,19 @@ type TierSpec struct {
 	// Jockey/DetourMs configure §5.1 geographic balancing.
 	Jockey   int     `json:"jockey,omitempty"`
 	DetourMs float64 `json:"detourMs,omitempty"`
-	// Autoscale attaches the reactive capacity controller.
+	// Scaler attaches a capacity controller by policy name (reactive
+	// or predictive; see autoscale.Policies).
+	Scaler *ScalerSpec `json:"scaler,omitempty"`
+	// Autoscale is the legacy reactive-only block, kept decoding for
+	// pre-scaler topology files; it is equivalent to a Scaler block
+	// with policy "reactive". Setting both is an error.
 	Autoscale *AutoscaleSpec `json:"autoscale,omitempty"`
+	// PricePerServerHour prices the tier's capacity for the cost
+	// overlay (0 = the run pricing's default for the tier's shape).
+	PricePerServerHour float64 `json:"pricePerServerHour,omitempty"`
 }
 
-// AutoscaleSpec serializes an autoscale.Config.
+// AutoscaleSpec serializes an autoscale.Config (legacy reactive block).
 type AutoscaleSpec struct {
 	IntervalS float64 `json:"intervalS"`
 	Min       int     `json:"min"`
@@ -62,6 +70,50 @@ type AutoscaleSpec struct {
 	Down      float64 `json:"down"`
 	CooldownS float64 `json:"cooldownS"`
 	Step      int     `json:"step,omitempty"`
+}
+
+// ScalerSpec serializes an autoscale.Spec: the policy name plus the
+// union of both policies' parameters (reactive threshold fields,
+// predictive forecast fields). Times are in seconds — control periods
+// are autoscaler-scale, not network-scale, so the codec keeps the
+// simulator's units here.
+type ScalerSpec struct {
+	Policy    string  `json:"policy"`
+	IntervalS float64 `json:"intervalS"`
+	Min       int     `json:"min"`
+	Max       int     `json:"max"`
+	// Reactive parameters.
+	Up        float64 `json:"up,omitempty"`
+	Down      float64 `json:"down,omitempty"`
+	CooldownS float64 `json:"cooldownS,omitempty"`
+	Step      int     `json:"step,omitempty"`
+	// Predictive parameters (see autoscale.Spec and forecast.Names).
+	Mu         float64 `json:"mu,omitempty"`
+	TargetUtil float64 `json:"targetUtil,omitempty"`
+	Forecaster string  `json:"forecaster,omitempty"`
+	Horizon    int     `json:"horizon,omitempty"`
+	Alpha      float64 `json:"alpha,omitempty"`
+	Beta       float64 `json:"beta,omitempty"`
+}
+
+// spec converts the JSON block to the autoscale layer's Spec.
+func (s ScalerSpec) spec() autoscale.Spec {
+	return autoscale.Spec{
+		Policy:        s.Policy,
+		Interval:      s.IntervalS,
+		Min:           s.Min,
+		Max:           s.Max,
+		UpThreshold:   s.Up,
+		DownThreshold: s.Down,
+		Cooldown:      s.CooldownS,
+		Step:          s.Step,
+		Mu:            s.Mu,
+		TargetUtil:    s.TargetUtil,
+		Forecaster:    s.Forecaster,
+		Horizon:       s.Horizon,
+		Alpha:         s.Alpha,
+		Beta:          s.Beta,
+	}
 }
 
 // SpillSpec describes one overflow edge.
@@ -133,8 +185,13 @@ func (s TopologySpec) Build() (Topology, error) {
 				t.PerSitePaths[i] = pathFrom(fmt.Sprintf("%s-%d", ts.Name, i), ms, ts.JitterMs, ts.TailSCV)
 			}
 		}
+		t.PricePerServerHour = ts.PricePerServerHour
+		if ts.Autoscale != nil && ts.Scaler != nil {
+			return Topology{}, fmt.Errorf("cluster: tier %q sets both the legacy %q and the %q block; use %q",
+				ts.Name, "autoscale", "scaler", "scaler")
+		}
 		if a := ts.Autoscale; a != nil {
-			cfg := autoscale.Config{
+			spec := autoscale.ReactiveSpec(autoscale.Config{
 				Interval:      a.IntervalS,
 				Min:           a.Min,
 				Max:           a.Max,
@@ -142,8 +199,12 @@ func (s TopologySpec) Build() (Topology, error) {
 				DownThreshold: a.Down,
 				Cooldown:      a.CooldownS,
 				Step:          a.Step,
-			}
-			t.Autoscale = &cfg
+			})
+			t.Scaler = &spec
+		}
+		if sc := ts.Scaler; sc != nil {
+			spec := sc.spec()
+			t.Scaler = &spec
 		}
 		topo.Tiers = append(topo.Tiers, t)
 	}
@@ -248,7 +309,8 @@ var presetSpecs = map[string]TopologySpec{
 			{
 				Name: "regional", Sites: 1, Servers: 2, RTTMs: 13, JitterMs: 2,
 				Dispatch: CentralQueueDispatch,
-				Autoscale: &AutoscaleSpec{
+				Scaler: &ScalerSpec{
+					Policy:    "reactive",
 					IntervalS: 5, Min: 2, Max: 8, Up: 1.5, Down: 0.3, CooldownS: 15,
 				},
 			},

@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/autoscale"
+)
+
+// scalerSpecJSON is a two-tier topology exercising the new scaler
+// block: a predictive edge tier and a reactive regional backstop.
+const scalerSpecJSON = `{
+	"name": "scaled",
+	"tiers": [
+		{
+			"name": "edge", "sites": 3, "servers": 1, "rttMs": 1, "jitterMs": 0.2,
+			"scaler": {
+				"policy": "predictive", "intervalS": 5, "min": 1, "max": 6,
+				"mu": 13, "targetUtil": 0.7, "forecaster": "holt",
+				"alpha": 0.6, "beta": 0.4
+			},
+			"pricePerServerHour": 0.25
+		},
+		{
+			"name": "regional", "sites": 1, "servers": 2, "rttMs": 13,
+			"dispatch": "central-queue",
+			"scaler": {
+				"policy": "reactive", "intervalS": 5, "min": 2, "max": 8,
+				"up": 1.5, "down": 0.3, "cooldownS": 15
+			}
+		}
+	],
+	"spills": [{"from": "edge", "to": "regional", "threshold": 3, "sampleToRtt": true}]
+}`
+
+func TestTopologySpecScalerBlockBuilds(t *testing.T) {
+	topo, err := ParseTopology([]byte(scalerSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	edge := topo.Tiers[0]
+	if edge.Scaler == nil || edge.Scaler.Policy != autoscale.PolicyPredictive {
+		t.Fatalf("edge scaler = %+v, want predictive", edge.Scaler)
+	}
+	if edge.Scaler.Forecaster != "holt" || edge.Scaler.Alpha != 0.6 || edge.Scaler.Beta != 0.4 {
+		t.Errorf("edge forecaster params lost: %+v", edge.Scaler)
+	}
+	if edge.PricePerServerHour != 0.25 {
+		t.Errorf("edge price = %v, want 0.25", edge.PricePerServerHour)
+	}
+	reg := topo.Tiers[1]
+	if reg.Scaler == nil || reg.Scaler.Policy != autoscale.PolicyReactive ||
+		reg.Scaler.UpThreshold != 1.5 {
+		t.Errorf("regional scaler = %+v, want reactive up=1.5", reg.Scaler)
+	}
+}
+
+// TestTopologySpecRoundTrip: marshal → parse must be lossless for every
+// preset and for the scaler exemplar — the codec is the file format.
+func TestTopologySpecRoundTrip(t *testing.T) {
+	specs := map[string]TopologySpec{}
+	for name, s := range presetSpecs {
+		specs[name] = s
+	}
+	parsed, err := ParseTopologySpec([]byte(scalerSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs["scaler-exemplar"] = parsed
+	for name, spec := range specs {
+		data, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", name, err)
+		}
+		back, err := ParseTopologySpec(data)
+		if err != nil {
+			t.Fatalf("%s: reparse: %v", name, err)
+		}
+		if !reflect.DeepEqual(spec, back) {
+			t.Errorf("%s: round trip diverges:\n  out:  %+v\n  back: %+v", name, spec, back)
+		}
+	}
+}
+
+func TestTopologySpecUnknownScalerPolicy(t *testing.T) {
+	spec := `{"name":"x","tiers":[{"name":"e","sites":1,"servers":1,"rttMs":1,
+		"scaler":{"policy":"oracle","intervalS":5,"min":1,"max":2}}]}`
+	if _, err := ParseTopology([]byte(spec)); err == nil {
+		t.Fatal("unknown scaler policy accepted")
+	} else if !strings.Contains(err.Error(), "oracle") || !strings.Contains(err.Error(), "reactive") {
+		t.Errorf("error %q should name the bad policy and list the registry", err)
+	}
+}
+
+func TestTopologySpecUnknownForecaster(t *testing.T) {
+	spec := `{"name":"x","tiers":[{"name":"e","sites":1,"servers":1,"rttMs":1,
+		"scaler":{"policy":"predictive","intervalS":5,"min":1,"max":2,
+		"mu":13,"targetUtil":0.7,"forecaster":"crystal-ball"}}]}`
+	if _, err := ParseTopology([]byte(spec)); err == nil {
+		t.Fatal("unknown forecaster accepted")
+	} else if !strings.Contains(err.Error(), "crystal-ball") {
+		t.Errorf("error %q should name the bad forecaster", err)
+	}
+}
+
+func TestTopologySpecRejectsBothScalerBlocks(t *testing.T) {
+	spec := `{"name":"x","tiers":[{"name":"e","sites":1,"servers":1,"rttMs":1,
+		"autoscale":{"intervalS":5,"min":1,"max":2,"up":1.5,"down":0.3,"cooldownS":15},
+		"scaler":{"policy":"reactive","intervalS":5,"min":1,"max":2,"up":1.5,"down":0.3}}]}`
+	if _, err := ParseTopology([]byte(spec)); err == nil {
+		t.Fatal("tier with both autoscale and scaler blocks accepted")
+	}
+}
+
+// TestLegacyAutoscaleBlockDecodes: pre-scaler topology files keep
+// working, and the legacy block builds the identical reactive Spec the
+// equivalent scaler block does.
+func TestLegacyAutoscaleBlockDecodes(t *testing.T) {
+	legacy := `{"name":"x","tiers":[{"name":"e","sites":2,"servers":1,"rttMs":1,
+		"autoscale":{"intervalS":2,"min":1,"max":5,"up":1.5,"down":0.2,"cooldownS":6,"step":2}}]}`
+	modern := `{"name":"x","tiers":[{"name":"e","sites":2,"servers":1,"rttMs":1,
+		"scaler":{"policy":"reactive","intervalS":2,"min":1,"max":5,"up":1.5,"down":0.2,"cooldownS":6,"step":2}}]}`
+	lt, err := ParseTopology([]byte(legacy))
+	if err != nil {
+		t.Fatalf("legacy autoscale block no longer decodes: %v", err)
+	}
+	mt, err := ParseTopology([]byte(modern))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lt.Tiers[0].Scaler == nil || mt.Tiers[0].Scaler == nil {
+		t.Fatal("scaler spec not attached")
+	}
+	if *lt.Tiers[0].Scaler != *mt.Tiers[0].Scaler {
+		t.Errorf("legacy block builds %+v, scaler block builds %+v",
+			*lt.Tiers[0].Scaler, *mt.Tiers[0].Scaler)
+	}
+}
+
+// FuzzParseTopologySpec: any bytes that decode must re-encode and
+// decode to the same spec, and Build must never panic — the codec's
+// error paths are total.
+func FuzzParseTopologySpec(f *testing.F) {
+	f.Add([]byte(scalerSpecJSON))
+	for _, s := range presetSpecs {
+		data, err := json.Marshal(s)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{"name":"x","tiers":[{"name":"e","sites":1,"servers":1,"rttMs":1,
+		"autoscale":{"intervalS":5,"min":1,"max":2,"up":1.5,"down":0.3,"cooldownS":15}}]}`))
+	f.Add([]byte(`{"tiers":[]}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := ParseTopologySpec(data)
+		if err != nil {
+			return
+		}
+		out, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("decoded spec fails to marshal: %v", err)
+		}
+		back, err := ParseTopologySpec(out)
+		if err != nil {
+			t.Fatalf("re-encoded spec fails to parse: %v\n%s", err, out)
+		}
+		if !reflect.DeepEqual(spec, back) {
+			t.Errorf("round trip diverges:\n  out:  %+v\n  back: %+v", spec, back)
+		}
+		// Build may reject the spec, but must do so via error.
+		_, _ = spec.Build()
+	})
+}

@@ -1,0 +1,284 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/app"
+	"repro/internal/autoscale"
+	"repro/internal/cluster"
+	"repro/internal/econ"
+	"repro/internal/forecast"
+	"repro/internal/netem"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Scaler-comparison workload families. All three are time-varying —
+// the regimes where reactive and predictive provisioning actually
+// diverge: MMPP bursts (Corollary 3.2.1), NHPP diurnal ramps, and the
+// synthetic Azure serverless trace of §4.1.
+const (
+	ScalerWorkloadMMPP  = "mmpp"
+	ScalerWorkloadNHPP  = "nhpp"
+	ScalerWorkloadAzure = "azure"
+)
+
+// ScalerWorkloads lists the supported workload names.
+func ScalerWorkloads() []string {
+	return []string{ScalerWorkloadMMPP, ScalerWorkloadNHPP, ScalerWorkloadAzure}
+}
+
+// ScalerComparisonConfig sweeps scaler policies over one workload: each
+// spec drives the same two-tier deployment (scaled edge sites spilling
+// to a static cloud backstop) on the same trace with the same run seed,
+// so every difference between rows is the policy alone.
+type ScalerComparisonConfig struct {
+	// Workload selects the arrival family (default nhpp).
+	Workload string
+	// Sites is the edge tier's site count (default 5).
+	Sites int
+	// Duration is the simulated seconds (default 600; the azure
+	// workload rounds to whole minutes).
+	Duration float64
+	// Warmup discards early measurements (default Duration/10).
+	Warmup float64
+	Seed   int64
+	// BaseRate is the mean per-site arrival rate in req/s (default 8).
+	// The time-varying envelopes swing around it.
+	BaseRate float64
+	// MinServers/MaxServers bound each edge site's capacity
+	// (defaults 1 and 6).
+	MinServers, MaxServers int
+	// Mu is the per-server service rate handed to predictive specs
+	// (default app.SaturationRate).
+	Mu float64
+	// Specs are the policies to compare; nil selects
+	// DefaultScalerSpecs (reactive + predictive × every forecaster).
+	Specs []autoscale.Spec
+	// Pricing prices the cost overlay (zero value = DefaultPricing).
+	Pricing econ.Pricing
+	Summary stats.Mode
+	// Workers bounds the worker pool (see SweepConfig.Workers).
+	Workers int
+}
+
+// ScalerTierRow is one tier's share of a comparison row.
+type ScalerTierRow struct {
+	Tier          string
+	Served        uint64
+	Spilled       uint64
+	ScaleUps      int
+	ScaleDowns    int
+	PeakServers   int
+	ServerSeconds float64
+	Cost          float64
+	CostPerHour   float64
+	CostPerReq    float64
+}
+
+// ScalerComparisonRow is one policy's outcome on the shared workload.
+type ScalerComparisonRow struct {
+	Policy  string
+	Mean    float64 // seconds
+	P95     float64
+	Dropped uint64
+	// TotalCost and CostPerRequest aggregate the cost overlay across
+	// tiers (conserved: TotalCost == Σ Tiers[i].Cost).
+	TotalCost      float64
+	CostPerRequest float64
+	Tiers          []ScalerTierRow
+}
+
+// ScalerComparisonResult is a completed policy sweep.
+type ScalerComparisonResult struct {
+	Workload string
+	Rows     []ScalerComparisonRow
+}
+
+// DefaultScalerSpecs returns the standard comparison set: the default
+// reactive threshold policy plus one predictive spec per registered
+// forecaster.
+func DefaultScalerSpecs(min, max int, mu float64) []autoscale.Spec {
+	specs := []autoscale.Spec{autoscale.ReactiveSpec(autoscale.DefaultConfig(min, max))}
+	for _, name := range forecast.Names() {
+		specs = append(specs, autoscale.DefaultPredictiveSpec(min, max, mu, name))
+	}
+	return specs
+}
+
+// scalerArrivals builds the per-site arrival processes for the named
+// workload family.
+func scalerArrivals(cfg ScalerComparisonConfig) ([]workload.ArrivalProcess, error) {
+	procs := make([]workload.ArrivalProcess, cfg.Sites)
+	switch cfg.Workload {
+	case ScalerWorkloadMMPP:
+		// Bursty regime switching: quiet at 0.4× base, bursts at 2.5×,
+		// with minute-scale sojourns.
+		for i := range procs {
+			procs[i] = workload.NewMMPP(0.4*cfg.BaseRate, 2.5*cfg.BaseRate, 50, 25)
+		}
+		return procs, nil
+	case ScalerWorkloadNHPP:
+		// A diurnal-shaped ramp per site, phase-shifted so sites peak at
+		// different times (the paper's spatial-drift setting, §3.2):
+		// rate(t) = base × (0.25 + 1.5 sin²(πt/D + phase)).
+		bins := int(math.Ceil(cfg.Duration / 30))
+		if bins < 2 {
+			bins = 2
+		}
+		for i := range procs {
+			phase := math.Pi * float64(i) / float64(cfg.Sites)
+			rates := make([]float64, bins)
+			for b := range rates {
+				t := (float64(b) + 0.5) / float64(bins)
+				s := math.Sin(math.Pi*t + phase)
+				rates[b] = cfg.BaseRate * (0.25 + 1.5*s*s)
+			}
+			procs[i] = workload.NewNHPP(rates, cfg.Duration/float64(bins), false)
+		}
+		return procs, nil
+	case ScalerWorkloadAzure:
+		spec := trace.DefaultAzureSpec()
+		spec.Sites = cfg.Sites
+		spec.Minutes = int(math.Max(1, math.Round(cfg.Duration/60)))
+		spec.Seed = cfg.Seed
+		return trace.ToArrivalProcesses(trace.GenerateAzure(spec), false), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown scaler workload %q (want one of %v)",
+			cfg.Workload, ScalerWorkloads())
+	}
+}
+
+// scalerTopology builds the comparison deployment for one spec: scaled
+// edge sites spilling overload to a static cloud backstop.
+func scalerTopology(cfg ScalerComparisonConfig, spec autoscale.Spec) cluster.Topology {
+	s := spec
+	cloudPath := netem.CloudTypical
+	return cluster.Topology{
+		Name: "edge+" + spec.Label(),
+		Tiers: []cluster.Tier{
+			{Name: "edge", Sites: cfg.Sites, ServersPerSite: cfg.MinServers,
+				Path: netem.EdgePath, Scaler: &s},
+			{Name: "cloud", Sites: 1, ServersPerSite: cfg.Sites,
+				Path: cloudPath, Dispatch: cluster.CentralQueueDispatch},
+		},
+		Spills: []cluster.SpillEdge{{
+			From: "edge", To: "cloud",
+			Threshold:  2 * cfg.MaxServers,
+			DetourPath: &cloudPath,
+		}},
+	}
+}
+
+// RunScalerComparison replays one time-varying workload through the
+// same deployment under every scaler spec and reports latency, scaling
+// telemetry, and the per-tier cost overlay — the reactive-vs-predictive
+// per-tier comparison the ROADMAP names, with §7 economics attached.
+// Specs are evaluated concurrently; all share one trace and one run
+// seed, so rows differ only by policy.
+func RunScalerComparison(cfg ScalerComparisonConfig) (ScalerComparisonResult, error) {
+	if cfg.Workload == "" {
+		cfg.Workload = ScalerWorkloadNHPP
+	}
+	if cfg.Sites <= 0 {
+		cfg.Sites = 5
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 600
+	}
+	if cfg.Warmup <= 0 {
+		cfg.Warmup = cfg.Duration / 10
+	}
+	if cfg.BaseRate <= 0 {
+		cfg.BaseRate = 8
+	}
+	if cfg.MinServers <= 0 {
+		cfg.MinServers = 1
+	}
+	if cfg.MaxServers <= 0 {
+		cfg.MaxServers = 6
+	}
+	if cfg.Mu <= 0 {
+		cfg.Mu = app.SaturationRate
+	}
+	if cfg.Pricing == (econ.Pricing{}) {
+		cfg.Pricing = econ.DefaultPricing()
+	}
+	specs := cfg.Specs
+	if specs == nil {
+		specs = DefaultScalerSpecs(cfg.MinServers, cfg.MaxServers, cfg.Mu)
+	}
+	if len(specs) == 0 {
+		return ScalerComparisonResult{}, fmt.Errorf("experiments: scaler comparison needs specs")
+	}
+	for i, s := range specs {
+		if err := s.Validate(); err != nil {
+			return ScalerComparisonResult{}, fmt.Errorf("experiments: spec %d: %w", i, err)
+		}
+	}
+	procs, err := scalerArrivals(cfg)
+	if err != nil {
+		return ScalerComparisonResult{}, err
+	}
+	tr := cluster.Generate(cluster.GenSpec{
+		Sites:    cfg.Sites,
+		Duration: cfg.Duration,
+		Model:    app.NewInferenceModel(),
+		Seed:     cfg.Seed,
+		Arrivals: procs,
+	})
+
+	res := ScalerComparisonResult{
+		Workload: cfg.Workload,
+		Rows:     make([]ScalerComparisonRow, len(specs)),
+	}
+	var mu sync.Mutex
+	var firstErr error
+	forEach(len(specs), cfg.Workers, func(i int) {
+		run, err := cluster.Run(tr.Source(), scalerTopology(cfg, specs[i]), cluster.Options{
+			Warmup:   cfg.Warmup,
+			Seed:     cfg.Seed + 1, // shared across specs: same streams, policy is the only delta
+			Summary:  cfg.Summary,
+			SizeHint: tr.Len(),
+			Pricing:  &cfg.Pricing,
+		})
+		if err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+			return
+		}
+		row := ScalerComparisonRow{
+			Policy:         specs[i].Label(),
+			Mean:           run.EndToEnd.Mean(),
+			P95:            run.EndToEnd.P95(),
+			Dropped:        run.Dropped,
+			TotalCost:      run.TotalCost,
+			CostPerRequest: run.CostPerRequest,
+		}
+		for _, tier := range run.Tiers {
+			row.Tiers = append(row.Tiers, ScalerTierRow{
+				Tier:          tier.Name,
+				Served:        tier.Served,
+				Spilled:       tier.Spilled,
+				ScaleUps:      tier.ScaleUps,
+				ScaleDowns:    tier.ScaleDowns,
+				PeakServers:   tier.PeakServers,
+				ServerSeconds: tier.ServerSeconds,
+				Cost:          tier.Cost,
+				CostPerHour:   tier.CostPerHour,
+				CostPerReq:    tier.CostPerReq,
+			})
+		}
+		res.Rows[i] = row
+	})
+	if firstErr != nil {
+		return ScalerComparisonResult{}, firstErr
+	}
+	return res, nil
+}

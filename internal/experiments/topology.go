@@ -25,6 +25,11 @@ type TopologySweepConfig struct {
 	Summary    stats.Mode
 	// Workers bounds the worker pool (see SweepConfig.Workers).
 	Workers int
+	// Baseline, when set, replays each rate's identical trace through
+	// this second topology (e.g. an equal-capacity pooled cloud), so
+	// crossover comparisons between the two are paired — free of
+	// unpaired sampling noise near the inversion point.
+	Baseline *cluster.Topology
 }
 
 // TierPoint is one tier's share of a topology sweep point.
@@ -36,6 +41,10 @@ type TierPoint struct {
 	Mean        float64 // seconds, requests served at this tier
 	P95         float64
 	Utilization float64
+	// Scaler/cost overlay: peak provisioned servers (0 for static
+	// tiers) and the tier's cost per served request.
+	PeakServers int
+	CostPerReq  float64
 }
 
 // TopologyPoint is one measured rate of a topology sweep.
@@ -53,6 +62,9 @@ type TopologyPoint struct {
 type TopologySweepResult struct {
 	Config TopologySweepConfig
 	Points []TopologyPoint
+	// Baseline points, parallel to Points; nil unless Config.Baseline
+	// was set. Each index replays the same trace as Points[i].
+	Baseline []TopologyPoint
 }
 
 // RunTopologySweep sweeps request rates through the topology, one
@@ -69,6 +81,11 @@ func RunTopologySweep(cfg TopologySweepConfig) (TopologySweepResult, error) {
 	if len(cfg.Rates) == 0 {
 		return TopologySweepResult{}, fmt.Errorf("experiments: topology sweep needs rates")
 	}
+	if cfg.Baseline != nil {
+		if err := cfg.Baseline.Validate(); err != nil {
+			return TopologySweepResult{}, fmt.Errorf("experiments: baseline: %w", err)
+		}
+	}
 	if cfg.Model.D == nil {
 		cfg.Model = app.NewInferenceModel()
 	}
@@ -78,8 +95,18 @@ func RunTopologySweep(cfg TopologySweepConfig) (TopologySweepResult, error) {
 		perSite = 1
 	}
 	res := TopologySweepResult{Config: cfg, Points: make([]TopologyPoint, len(cfg.Rates))}
+	if cfg.Baseline != nil {
+		res.Baseline = make([]TopologyPoint, len(cfg.Rates))
+	}
 	var mu sync.Mutex
 	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
 	forEach(len(cfg.Rates), cfg.Workers, func(i int) {
 		tr := cluster.Generate(cluster.GenSpec{
 			Sites:       ingress.Sites,
@@ -96,14 +123,25 @@ func RunTopologySweep(cfg TopologySweepConfig) (TopologySweepResult, error) {
 			SizeHint: tr.Len(),
 		})
 		if err != nil {
-			mu.Lock()
-			if firstErr == nil {
-				firstErr = err
-			}
-			mu.Unlock()
+			fail(err)
 			return
 		}
 		res.Points[i] = topologyPoint(cfg.Rates[i], run)
+		if cfg.Baseline != nil {
+			// The same trace through the baseline shape: only the
+			// deployment differs between the paired points.
+			base, err := cluster.Run(tr.Source(), *cfg.Baseline, cluster.Options{
+				Warmup:   cfg.Warmup,
+				Seed:     cfg.Seed + int64(i)*1299709,
+				Summary:  cfg.Summary,
+				SizeHint: tr.Len(),
+			})
+			if err != nil {
+				fail(fmt.Errorf("baseline: %w", err))
+				return
+			}
+			res.Baseline[i] = topologyPoint(cfg.Rates[i], base)
+		}
 	})
 	if firstErr != nil {
 		return TopologySweepResult{}, firstErr
@@ -130,6 +168,8 @@ func topologyPoint(rate float64, run *cluster.TopologyResult) TopologyPoint {
 			Mean:        tier.EndToEnd.Mean(),
 			P95:         tier.EndToEnd.P95(),
 			Utilization: tier.Utilization,
+			PeakServers: tier.PeakServers,
+			CostPerReq:  tier.CostPerReq,
 		})
 	}
 	return p

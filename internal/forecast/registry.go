@@ -1,0 +1,95 @@
+package forecast
+
+import "fmt"
+
+// Model names accepted by New, in the order listed by Names. The
+// registry is how declarative scaler specs (autoscale.Spec, the JSON
+// topology codec, CLI flags) select a forecaster without constructing
+// one directly.
+const (
+	ModelNaive     = "naive"
+	ModelSMA       = "sma"
+	ModelEWMA      = "ewma"
+	ModelHolt      = "holt"
+	ModelWindowMax = "window-max"
+)
+
+// Names returns the registry's forecaster names.
+func Names() []string {
+	return []string{ModelNaive, ModelSMA, ModelEWMA, ModelHolt, ModelWindowMax}
+}
+
+// Known reports whether name is a registered forecaster model.
+func Known(name string) bool {
+	for _, n := range Names() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Options parameterizes registry construction. Zero values select the
+// defaults below. Every field is range-checked regardless of the
+// chosen model, so an out-of-range value in a declarative spec
+// surfaces instead of riding along unread.
+type Options struct {
+	// Window is the horizon of the windowed models (sma, window-max),
+	// in control intervals. Default 6.
+	Window int
+	// Alpha is the level-smoothing factor of ewma and holt. Default 0.5.
+	Alpha float64
+	// Beta is holt's trend-smoothing factor. Default 0.3.
+	Beta float64
+}
+
+// Defaults for Options' zero values.
+const (
+	DefaultWindow = 6
+	DefaultAlpha  = 0.5
+	DefaultBeta   = 0.3
+)
+
+func (o Options) withDefaults() Options {
+	// Only the zero value selects a default; negative values fall
+	// through to New's range checks and error like bad alpha/beta do.
+	if o.Window == 0 {
+		o.Window = DefaultWindow
+	}
+	if o.Alpha == 0 {
+		o.Alpha = DefaultAlpha
+	}
+	if o.Beta == 0 {
+		o.Beta = DefaultBeta
+	}
+	return o
+}
+
+// New returns a factory for the named forecaster: each call of the
+// factory yields a fresh instance, so one spec can supply independent
+// per-station forecasters (they carry per-site state). Unknown names
+// and out-of-range options return an error listing the registry.
+func New(name string, opts Options) (func() Forecaster, error) {
+	o := opts.withDefaults()
+	if o.Alpha < 0 || o.Alpha > 1 || o.Beta < 0 || o.Beta > 1 {
+		return nil, fmt.Errorf("forecast: alpha %v / beta %v must be in (0,1] (0 selects the default)",
+			o.Alpha, o.Beta)
+	}
+	if o.Window < 0 {
+		return nil, fmt.Errorf("forecast: window %d must be positive", o.Window)
+	}
+	switch name {
+	case ModelNaive:
+		return func() Forecaster { return &Naive{} }, nil
+	case ModelSMA:
+		return func() Forecaster { return NewSMA(o.Window) }, nil
+	case ModelEWMA:
+		return func() Forecaster { return NewEWMA(o.Alpha) }, nil
+	case ModelHolt:
+		return func() Forecaster { return NewHolt(o.Alpha, o.Beta) }, nil
+	case ModelWindowMax:
+		return func() Forecaster { return NewWindowMax(o.Window) }, nil
+	default:
+		return nil, fmt.Errorf("forecast: unknown forecaster %q (want one of %v)", name, Names())
+	}
+}

@@ -1,0 +1,78 @@
+package forecast
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryKnowsEveryName(t *testing.T) {
+	for _, name := range Names() {
+		if !Known(name) {
+			t.Errorf("Known(%q) = false", name)
+		}
+		mk, err := New(name, Options{})
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		f := mk()
+		f.Observe(3)
+		f.Observe(5)
+		// Holt extrapolates the trend past the last observation; every
+		// model must stay within one trend step of the observed range.
+		if p := f.Predict(); p < 3 || p > 7 {
+			t.Errorf("%s: prediction %v outside plausible range [3,7]", name, p)
+		}
+	}
+	if Known("oracle") {
+		t.Error("Known accepted an unregistered name")
+	}
+}
+
+func TestRegistryUnknownName(t *testing.T) {
+	if _, err := New("oracle", Options{}); err == nil {
+		t.Fatal("unknown forecaster accepted")
+	} else if !strings.Contains(err.Error(), "ewma") {
+		t.Errorf("error %q should list the registry", err)
+	}
+}
+
+func TestRegistryFactoryYieldsIndependentInstances(t *testing.T) {
+	mk, err := New(ModelEWMA, Options{Alpha: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := mk(), mk()
+	a.Observe(10)
+	if got := b.Predict(); got != 0 {
+		t.Errorf("instance b saw instance a's observation: %v", got)
+	}
+}
+
+func TestRegistryOptions(t *testing.T) {
+	mk, err := New(ModelSMA, Options{Window: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := mk()
+	f.Observe(2)
+	f.Observe(4)
+	f.Observe(6)
+	if got := f.Predict(); got != 5 {
+		t.Errorf("sma window 2 over (4,6) = %v, want 5", got)
+	}
+	if _, err := New(ModelHolt, Options{Alpha: 2}); err == nil {
+		t.Error("alpha 2 accepted")
+	}
+	if _, err := New(ModelEWMA, Options{Alpha: -0.5}); err == nil {
+		t.Error("negative alpha accepted")
+	}
+}
+
+func TestRegistryRejectsNegativeWindow(t *testing.T) {
+	if _, err := New(ModelSMA, Options{Window: -3}); err == nil {
+		t.Error("negative window accepted")
+	}
+	if _, err := New(ModelWindowMax, Options{Window: -1}); err == nil {
+		t.Error("negative window accepted for window-max")
+	}
+}
