@@ -84,6 +84,8 @@ func main() {
 		"bounds are servers..4x servers, or -autoscale-max when set")
 	sweep := flag.String("sweep", "", "with -topology: comma-separated req/s-per-server rates to sweep, "+
 		"printing per-tier metrics and the inversion crossover vs an equal-capacity pooled cloud")
+	stream := flag.Bool("stream", false, "with -topology: generate the workload on the fly instead of "+
+		"materializing the trace — memory independent of request count; pair with -summary bounded for huge runs")
 	flag.Parse()
 
 	sc, ok := netem.ScenarioByName(*scenario)
@@ -105,16 +107,27 @@ func main() {
 	}
 	model := app.NewInferenceModelWith(1/app.SaturationRate, *serviceSCV)
 
+	if *stream && *topology == "" {
+		fail("-stream requires -topology (the classic paired edge/cloud mode materializes its trace; " +
+			"replay a streamed workload through EdgeTopology/CloudTopology graphs instead)")
+	}
+	if *stream && mode == stats.Exact {
+		// Legitimate at modest scales (exact quantiles without the
+		// trace), but at the request counts -stream exists for, exact
+		// summaries retain every latency sample and grow O(n) anyway.
+		fmt.Fprintln(os.Stderr, "edgesim: warning: -stream with -summary exact retains every latency sample; "+
+			"use -summary bounded for O(1)-memory runs")
+	}
 	if *sweep != "" {
 		if *topology == "" {
 			fail("-sweep requires -topology (the deployment graph to sweep)")
 		}
-		runTopologySweepCLI(*topology, *sweep, *scaler, *autoscaleMax, sc,
+		runTopologySweepCLI(*topology, *sweep, *scaler, *autoscaleMax, *stream, sc,
 			*duration, *warmup, *arrivalSCV, *seed, model, mode)
 		return
 	}
 	if *topology != "" {
-		runTopology(*topology, *scaler, *autoscaleMax, *sites, *servers, *rate,
+		runTopology(*topology, *scaler, *autoscaleMax, *stream, *sites, *servers, *rate,
 			*duration, *warmup, *arrivalSCV, *seed, model, mode)
 		return
 	}
@@ -340,9 +353,11 @@ func loadTopologyWithScaler(arg, scalerArg string, maxFlag int, mu float64) (clu
 
 // runTopology replays a generated workload through the deployment
 // graph and prints aggregate and per-tier latency/spill/drop/cost
-// metrics.
-func runTopology(arg, scalerArg string, maxFlag, sites, servers int, rate, duration, warmup,
-	arrivalSCV float64, seed int64, model app.InferenceModel, mode stats.Mode) {
+// metrics. With stream set, the workload is generated on the fly —
+// nothing trace-sized is ever held, so -duration can describe 10⁸+
+// requests on a laptop (pair with -summary bounded).
+func runTopology(arg, scalerArg string, maxFlag int, stream bool, sites, servers int,
+	rate, duration, warmup, arrivalSCV float64, seed int64, model app.InferenceModel, mode stats.Mode) {
 	topo, err := loadTopologyWithScaler(arg, scalerArg, maxFlag, model.Mu())
 	if err != nil {
 		fail("-topology: %v", err)
@@ -358,19 +373,29 @@ func runTopology(arg, scalerArg string, maxFlag, sites, servers int, rate, durat
 			perSite = ingress.ServersPerSite
 		}
 	}
-	tr := cluster.Generate(cluster.GenSpec{
+	spec := cluster.GenSpec{
 		Sites:       genSites,
 		Duration:    duration,
 		PerSiteRate: rate * float64(perSite),
 		ArrivalSCV:  arrivalSCV,
 		Model:       model,
 		Seed:        seed,
-	})
-	res, err := cluster.Run(tr.Source(), topo, cluster.Options{
+	}
+	var src cluster.Source
+	var tr *cluster.WorkloadTrace
+	sizeHint := 0
+	if stream {
+		src = cluster.Stream(spec)
+	} else {
+		tr = cluster.Generate(spec)
+		src = tr.Source()
+		sizeHint = tr.Len()
+	}
+	res, err := cluster.Run(src, topo, cluster.Options{
 		Warmup:   warmup,
 		Seed:     seed + 1,
 		Summary:  mode,
-		SizeHint: tr.Len(),
+		SizeHint: sizeHint,
 	})
 	if err != nil {
 		fail("-topology: %v", err)
@@ -378,8 +403,17 @@ func runTopology(arg, scalerArg string, maxFlag, sites, servers int, rate, durat
 
 	fmt.Printf("topology %s: %d tiers, %d spill edges, %d classes\n",
 		res.Label, len(topo.Tiers), len(topo.Spills), len(topo.Classes))
-	fmt.Printf("workload: %d requests over %.0fs (%.1f req/s aggregate), mean service %.1fms\n\n",
-		tr.Len(), tr.Duration(), tr.TotalRate(), tr.MeanServiceTime()*1000)
+	if stream {
+		aggRate := 0.0
+		if res.Duration > 0 {
+			aggRate = float64(res.Offered) / res.Duration
+		}
+		fmt.Printf("workload (streamed): %d requests over %.0fs (%.1f req/s aggregate), never materialized\n\n",
+			res.Offered, res.Duration, aggRate)
+	} else {
+		fmt.Printf("workload: %d requests over %.0fs (%.1f req/s aggregate), mean service %.1fms\n\n",
+			tr.Len(), tr.Duration(), tr.TotalRate(), tr.MeanServiceTime()*1000)
+	}
 
 	rows := [][]interface{}{latencyRow(res.Label, &res.Result)}
 	asciiplot.Table(os.Stdout, []string{"deployment", "util", "mean (ms)", "median", "p95", "p99", "max", "n"}, rows)
@@ -450,7 +484,7 @@ func runTopology(arg, scalerArg string, maxFlag, sites, servers int, rate, durat
 // per-tier tables, plus the inversion crossover against a pooled cloud
 // of equal total capacity on the -scenario's cloud path — the paper's
 // edge-vs-cloud question generalized to arbitrary hierarchies.
-func runTopologySweepCLI(arg, sweepArg, scalerArg string, maxFlag int, sc netem.Scenario,
+func runTopologySweepCLI(arg, sweepArg, scalerArg string, maxFlag int, stream bool, sc netem.Scenario,
 	duration, warmup, arrivalSCV float64, seed int64, model app.InferenceModel, mode stats.Mode) {
 	topo, err := loadTopologyWithScaler(arg, scalerArg, maxFlag, model.Mu())
 	if err != nil {
@@ -487,7 +521,7 @@ func runTopologySweepCLI(arg, sweepArg, scalerArg string, maxFlag int, sc netem.
 	baseline := cluster.CloudTopology(cluster.CloudConfig{
 		Servers: total, Path: sc.Cloud, Policy: cluster.CentralQueue,
 	})
-	res, err := experiments.RunTopologySweep(experiments.TopologySweepConfig{
+	sweepCfg := experiments.TopologySweepConfig{
 		Topology:   topo,
 		Rates:      rates,
 		Duration:   duration,
@@ -497,7 +531,13 @@ func runTopologySweepCLI(arg, sweepArg, scalerArg string, maxFlag int, sc netem.
 		ArrivalSCV: arrivalSCV,
 		Summary:    mode,
 		Baseline:   &baseline,
-	})
+	}
+	if stream {
+		// Each point (and its paired baseline) re-derives a generator
+		// source from the same spec: identical sequences, O(1) memory.
+		sweepCfg.Source = cluster.Stream
+	}
+	res, err := experiments.RunTopologySweep(sweepCfg)
 	if err != nil {
 		fail("-sweep: %v", err)
 	}

@@ -126,6 +126,15 @@ type WorkloadTrace = cluster.WorkloadTrace
 // arbitrarily long workloads without materializing them.
 type Source = cluster.Source
 
+// FallibleSource is a Source that can end on a failure (trace-file
+// decoders); RunTopology surfaces its Err instead of returning a
+// silently truncated result.
+type FallibleSource = cluster.FallibleSource
+
+// SourceFactory hands out fresh Sources over the same record sequence,
+// so swept and paired runs each take an independent iterator.
+type SourceFactory = cluster.SourceFactory
+
 // SummaryMode selects a run's latency-collection memory model (see
 // EdgeConfig.Summary): ExactSummary retains every observation,
 // BoundedSummary keeps O(1) streaming moments and P² quantiles.
@@ -251,9 +260,14 @@ var (
 	NewReactiveScaler = autoscale.NewReactive
 )
 
-// Simulation entry points.
+// Simulation entry points. Stream is Generate's lazy twin: the
+// identical record sequence for the same spec and seed, produced on
+// the fly in O(sites) memory, so 10⁸-request replays (with
+// BoundedSummary) never hold a trace.
 var (
 	Generate               = cluster.Generate
+	Stream                 = cluster.Stream
+	StreamFactory          = cluster.StreamFactory
 	RunEdge                = cluster.RunEdge
 	RunCloud               = cluster.RunCloud
 	RunPaired              = cluster.RunPaired
@@ -411,5 +425,6 @@ type Sample = stats.Sample
 // BoxPlot is a five-number summary.
 type BoxPlot = stats.BoxPlot
 
-// Stream accumulates running moments.
-type Stream = stats.Stream
+// MomentStream accumulates running moments (Welford). Stream is the
+// workload generator source — see the Simulation entry points.
+type MomentStream = stats.Stream

@@ -8,7 +8,6 @@ import (
 	"repro/internal/app"
 	"repro/internal/netem"
 	"repro/internal/theory"
-	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -292,30 +291,4 @@ func TestRunCloudPanicsOnZeroServers(t *testing.T) {
 		}
 	}()
 	RunCloud(tr, CloudConfig{Servers: 0, Path: netem.Constant("z", 0)})
-}
-
-// TestAzureArrivalsIntegration: the Azure trace generator plugs into
-// Generate and produces per-site loads matching the envelopes.
-func TestAzureArrivalsIntegration(t *testing.T) {
-	spec := trace.DefaultAzureSpec()
-	spec.Minutes = 5
-	series := trace.GenerateAzure(spec)
-	tr := Generate(GenSpec{
-		Sites:    spec.Sites,
-		Duration: 300,
-		Seed:     28,
-		Arrivals: trace.ToArrivalProcesses(series, false),
-	})
-	for i, s := range series {
-		want := s.Total()
-		var got float64
-		for _, r := range tr.Records {
-			if r.Site == i {
-				got++
-			}
-		}
-		if math.Abs(got-want) > 0.25*want+20 {
-			t.Errorf("site %d generated %v requests, envelope says %v", i, got, want)
-		}
-	}
 }

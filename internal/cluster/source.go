@@ -10,8 +10,21 @@ package cluster
 type Source interface {
 	// Next returns the next record, or ok=false when the source is
 	// exhausted. Records must be yielded in nondecreasing Time order;
-	// the runners panic on a time regression.
+	// the runners panic on a time regression. A source that can fail
+	// mid-stream should also implement FallibleSource.
 	Next() (RequestRecord, bool)
+}
+
+// FallibleSource is a Source that can end on a failure rather than a
+// clean exhaustion — trace-file decoders, for example. Consumers that
+// drain a Source to the end (Run does, and so must any exporter) probe
+// for this interface afterwards and treat a non-nil Err as the
+// replay's error, never as a short workload.
+type FallibleSource interface {
+	Source
+	// Err returns the error that ended the stream, or nil after a
+	// clean exhaustion.
+	Err() error
 }
 
 // sliceSource iterates a materialized record slice.

@@ -432,6 +432,14 @@ func Run(src Source, topo Topology, opts Options) (*TopologyResult, error) {
 	for _, c := range ctrls {
 		c.Stop()
 	}
+	// A source that ended on a decode failure (FallibleSource) must
+	// surface it: a replay over the decoded prefix would look like a
+	// clean result over a silently truncated workload.
+	if e, ok := src.(FallibleSource); ok {
+		if err := e.Err(); err != nil {
+			return nil, fmt.Errorf("cluster: source failed after %d records: %w", f.count, err)
+		}
+	}
 	res.Offered = f.count
 
 	// Assemble per-tier and aggregate measurements. The aggregate wait

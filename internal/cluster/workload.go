@@ -99,10 +99,11 @@ type GenSpec struct {
 // simulator to the paper's measured crossover points (see EXPERIMENTS.md).
 const DefaultArrivalSCV = 0.4
 
-// Generate synthesizes a workload trace: per-site renewal (or supplied)
-// arrival streams merged into one time-ordered record list, each request
-// carrying a service time drawn from the inference model.
-func Generate(spec GenSpec) *WorkloadTrace {
+// deriveArrivals validates the spec, defaults its model in place, and
+// returns the per-site arrival processes. Shared by Generate and
+// Stream so the two paths cannot drift apart — their bit-identical
+// guarantee starts here.
+func deriveArrivals(spec *GenSpec) []workload.ArrivalProcess {
 	if spec.Sites <= 0 {
 		panic(fmt.Sprintf("cluster: GenSpec.Sites=%d invalid", spec.Sites))
 	}
@@ -128,15 +129,35 @@ func Generate(spec GenSpec) *WorkloadTrace {
 	} else if len(procs) != spec.Sites {
 		panic(fmt.Sprintf("cluster: %d arrival processes for %d sites", len(procs), spec.Sites))
 	}
+	return procs
+}
 
-	rng := rand.New(rand.NewSource(spec.Seed))
+// siteStreams derives each site's (arrival, service) random streams
+// from the spec seed: the master stream hands every site an arrival
+// seed then a service seed, in site order. This derivation order is
+// part of the reproducibility contract Generate and Stream share.
+func siteStreams(seed int64, sites int) (arr, svc []*rand.Rand) {
+	rng := rand.New(rand.NewSource(seed))
+	arr = make([]*rand.Rand, sites)
+	svc = make([]*rand.Rand, sites)
+	for i := 0; i < sites; i++ {
+		arr[i] = rand.New(rand.NewSource(rng.Int63()))
+		svc[i] = rand.New(rand.NewSource(rng.Int63()))
+	}
+	return arr, svc
+}
+
+// Generate synthesizes a workload trace: per-site renewal (or supplied)
+// arrival streams merged into one time-ordered record list, each request
+// carrying a service time drawn from the inference model.
+func Generate(spec GenSpec) *WorkloadTrace {
+	procs := deriveArrivals(&spec)
+	arrRng, svcRng := siteStreams(spec.Seed, spec.Sites)
 	var recs []RequestRecord
 	for site, p := range procs {
-		siteRng := rand.New(rand.NewSource(rng.Int63()))
-		svcRng := rand.New(rand.NewSource(rng.Int63()))
 		t := 0.0
 		for {
-			next, ok := p.Next(t, siteRng)
+			next, ok := p.Next(t, arrRng[site])
 			if !ok || next > spec.Duration {
 				break
 			}
@@ -144,23 +165,34 @@ func Generate(spec GenSpec) *WorkloadTrace {
 			recs = append(recs, RequestRecord{
 				Time:        t,
 				Site:        site,
-				ServiceTime: spec.Model.SampleServiceTime(svcRng),
+				ServiceTime: spec.Model.SampleServiceTime(svcRng[site]),
 			})
 		}
 	}
-	sort.Slice(recs, func(i, j int) bool {
-		if recs[i].Time != recs[j].Time {
-			return recs[i].Time < recs[j].Time
-		}
-		return recs[i].Site < recs[j].Site
-	})
+	// Stable sort so records tying on (Time, Site) — batch arrivals fire
+	// several same-instant requests at one site — keep their per-site
+	// generation order. Stream produces the same sequence by a stable
+	// k-way merge, so the two paths are bit-identical for every spec.
+	sort.SliceStable(recs, func(i, j int) bool { return lessTimeSite(recs[i], recs[j]) })
 	return &WorkloadTrace{Records: recs, Sites: spec.Sites}
 }
 
+// lessTimeSite is the record ordering every materialized path shares —
+// and the key Stream's k-way merge reproduces — so it lives in exactly
+// one place.
+func lessTimeSite(a, b RequestRecord) bool {
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	return a.Site < b.Site
+}
+
 // FromRecords builds a trace directly from records (e.g. decoded from a
-// CSV trace file). Records are sorted by time.
+// CSV trace file). Records are stably sorted by (Time, Site) — the same
+// ordering invariant Generate and Stream maintain, so same-instant
+// records at one site keep their given order.
 func FromRecords(recs []RequestRecord, sites int) *WorkloadTrace {
 	sorted := append([]RequestRecord(nil), recs...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Time < sorted[j].Time })
+	sort.SliceStable(sorted, func(i, j int) bool { return lessTimeSite(sorted[i], sorted[j]) })
 	return &WorkloadTrace{Records: sorted, Sites: sites}
 }

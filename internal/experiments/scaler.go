@@ -31,6 +31,17 @@ func ScalerWorkloads() []string {
 	return []string{ScalerWorkloadMMPP, ScalerWorkloadNHPP, ScalerWorkloadAzure}
 }
 
+// scalerWorkloadBuilders maps every supported workload family to its
+// per-site arrival-process builder — the single table both validation
+// and derivation read, so a name cannot validate without also deriving
+// (a test pins it against ScalerWorkloads). Builders return fresh,
+// unconsumed processes on every call.
+var scalerWorkloadBuilders = map[string]func(cfg ScalerComparisonConfig) []workload.ArrivalProcess{
+	ScalerWorkloadMMPP:  mmppScalerArrivals,
+	ScalerWorkloadNHPP:  nhppScalerArrivals,
+	ScalerWorkloadAzure: azureScalerArrivals,
+}
+
 // ScalerComparisonConfig sweeps scaler policies over one workload: each
 // spec drives the same two-tier deployment (scaled edge sites spilling
 // to a static cloud backstop) on the same trace with the same run seed,
@@ -63,6 +74,15 @@ type ScalerComparisonConfig struct {
 	Summary stats.Mode
 	// Workers bounds the worker pool (see SweepConfig.Workers).
 	Workers int
+	// Streaming replays every policy row from a fresh generator source
+	// derived from the same workload spec and seed, instead of
+	// materializing one shared trace: identical arrival sequences per
+	// row (cluster.Stream == Generate for equal specs), with memory
+	// independent of the request count — the mode for 10⁸-request
+	// policy sweeps. The nhpp and azure families still hold their rate
+	// envelopes (O(Duration/binWidth) per site, nothing per request).
+	// Pair with stats.Bounded summaries so collectors stay O(1) too.
+	Streaming bool
 }
 
 // ScalerTierRow is one tier's share of a comparison row.
@@ -109,46 +129,71 @@ func DefaultScalerSpecs(min, max int, mu float64) []autoscale.Spec {
 	return specs
 }
 
-// scalerArrivals builds the per-site arrival processes for the named
-// workload family.
-func scalerArrivals(cfg ScalerComparisonConfig) ([]workload.ArrivalProcess, error) {
+// mmppScalerArrivals: bursty regime switching — quiet at 0.4× base,
+// bursts at 2.5×, with minute-scale sojourns.
+func mmppScalerArrivals(cfg ScalerComparisonConfig) []workload.ArrivalProcess {
 	procs := make([]workload.ArrivalProcess, cfg.Sites)
-	switch cfg.Workload {
-	case ScalerWorkloadMMPP:
-		// Bursty regime switching: quiet at 0.4× base, bursts at 2.5×,
-		// with minute-scale sojourns.
-		for i := range procs {
-			procs[i] = workload.NewMMPP(0.4*cfg.BaseRate, 2.5*cfg.BaseRate, 50, 25)
+	for i := range procs {
+		procs[i] = workload.NewMMPP(0.4*cfg.BaseRate, 2.5*cfg.BaseRate, 50, 25)
+	}
+	return procs
+}
+
+// nhppScalerArrivals: a diurnal-shaped ramp per site, phase-shifted so
+// sites peak at different times (the paper's spatial-drift setting,
+// §3.2): rate(t) = base × (0.25 + 1.5 sin²(πt/D + phase)).
+func nhppScalerArrivals(cfg ScalerComparisonConfig) []workload.ArrivalProcess {
+	procs := make([]workload.ArrivalProcess, cfg.Sites)
+	bins := int(math.Ceil(cfg.Duration / 30))
+	if bins < 2 {
+		bins = 2
+	}
+	for i := range procs {
+		phase := math.Pi * float64(i) / float64(cfg.Sites)
+		rates := make([]float64, bins)
+		for b := range rates {
+			t := (float64(b) + 0.5) / float64(bins)
+			s := math.Sin(math.Pi*t + phase)
+			rates[b] = cfg.BaseRate * (0.25 + 1.5*s*s)
 		}
-		return procs, nil
-	case ScalerWorkloadNHPP:
-		// A diurnal-shaped ramp per site, phase-shifted so sites peak at
-		// different times (the paper's spatial-drift setting, §3.2):
-		// rate(t) = base × (0.25 + 1.5 sin²(πt/D + phase)).
-		bins := int(math.Ceil(cfg.Duration / 30))
-		if bins < 2 {
-			bins = 2
-		}
-		for i := range procs {
-			phase := math.Pi * float64(i) / float64(cfg.Sites)
-			rates := make([]float64, bins)
-			for b := range rates {
-				t := (float64(b) + 0.5) / float64(bins)
-				s := math.Sin(math.Pi*t + phase)
-				rates[b] = cfg.BaseRate * (0.25 + 1.5*s*s)
-			}
-			procs[i] = workload.NewNHPP(rates, cfg.Duration/float64(bins), false)
-		}
-		return procs, nil
-	case ScalerWorkloadAzure:
-		spec := trace.DefaultAzureSpec()
-		spec.Sites = cfg.Sites
-		spec.Minutes = int(math.Max(1, math.Round(cfg.Duration/60)))
-		spec.Seed = cfg.Seed
-		return trace.ToArrivalProcesses(trace.GenerateAzure(spec), false), nil
-	default:
+		procs[i] = workload.NewNHPP(rates, cfg.Duration/float64(bins), false)
+	}
+	return procs
+}
+
+// azureScalerArrivals: the synthetic Azure serverless trace of §4.1.
+func azureScalerArrivals(cfg ScalerComparisonConfig) []workload.ArrivalProcess {
+	spec := trace.DefaultAzureSpec()
+	spec.Sites = cfg.Sites
+	spec.Minutes = int(math.Max(1, math.Round(cfg.Duration/60)))
+	spec.Seed = cfg.Seed
+	return trace.ToArrivalProcesses(trace.GenerateAzure(spec), false)
+}
+
+// scalerWorkloadBuilder resolves a workload family name to its builder
+// — the one lookup (and one error message) every caller shares.
+func scalerWorkloadBuilder(name string) (func(ScalerComparisonConfig) []workload.ArrivalProcess, error) {
+	build, ok := scalerWorkloadBuilders[name]
+	if !ok {
 		return nil, fmt.Errorf("experiments: unknown scaler workload %q (want one of %v)",
-			cfg.Workload, ScalerWorkloads())
+			name, ScalerWorkloads())
+	}
+	return build, nil
+}
+
+// scalerSpecFrom assembles the comparison spec around freshly built
+// arrival processes. Arrival processes are stateful and consumed by a
+// single Generate or Stream call, so every source derivation calls
+// this again; identical cfg always yields the identical record
+// sequence (the builders are deterministic in cfg).
+func scalerSpecFrom(cfg ScalerComparisonConfig,
+	build func(ScalerComparisonConfig) []workload.ArrivalProcess) cluster.GenSpec {
+	return cluster.GenSpec{
+		Sites:    cfg.Sites,
+		Duration: cfg.Duration,
+		Model:    app.NewInferenceModel(),
+		Seed:     cfg.Seed,
+		Arrivals: build(cfg),
 	}
 }
 
@@ -219,17 +264,29 @@ func RunScalerComparison(cfg ScalerComparisonConfig) (ScalerComparisonResult, er
 			return ScalerComparisonResult{}, fmt.Errorf("experiments: spec %d: %w", i, err)
 		}
 	}
-	procs, err := scalerArrivals(cfg)
+	// Resolve the workload builder before any source derivation: a bad
+	// name errors here without building anything, and the resolved
+	// builder is the same one every later derivation uses, so a name
+	// cannot validate and then fail to derive. Every row replays the
+	// identical arrival sequence: either fresh iterators over one
+	// materialized trace, or — in streaming mode — a fresh generator
+	// source re-derived per row from the same spec and seed (stateful
+	// arrival processes are rebuilt each call, so rows never share or
+	// mutate generator state).
+	build, err := scalerWorkloadBuilder(cfg.Workload)
 	if err != nil {
 		return ScalerComparisonResult{}, err
 	}
-	tr := cluster.Generate(cluster.GenSpec{
-		Sites:    cfg.Sites,
-		Duration: cfg.Duration,
-		Model:    app.NewInferenceModel(),
-		Seed:     cfg.Seed,
-		Arrivals: procs,
-	})
+	mkSpec := func() cluster.GenSpec { return scalerSpecFrom(cfg, build) }
+	var src cluster.SourceFactory
+	sizeHint := 0
+	if cfg.Streaming {
+		src = cluster.StreamFactory(mkSpec)
+	} else {
+		tr := cluster.Generate(mkSpec())
+		src = tr.Source
+		sizeHint = tr.Len()
+	}
 
 	res := ScalerComparisonResult{
 		Workload: cfg.Workload,
@@ -238,11 +295,11 @@ func RunScalerComparison(cfg ScalerComparisonConfig) (ScalerComparisonResult, er
 	var mu sync.Mutex
 	var firstErr error
 	forEach(len(specs), cfg.Workers, func(i int) {
-		run, err := cluster.Run(tr.Source(), scalerTopology(cfg, specs[i]), cluster.Options{
+		run, err := cluster.Run(src(), scalerTopology(cfg, specs[i]), cluster.Options{
 			Warmup:   cfg.Warmup,
 			Seed:     cfg.Seed + 1, // shared across specs: same streams, policy is the only delta
 			Summary:  cfg.Summary,
-			SizeHint: tr.Len(),
+			SizeHint: sizeHint,
 			Pricing:  &cfg.Pricing,
 		})
 		if err != nil {

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/autoscale"
+	"repro/internal/cluster"
+)
+
+// streamScalerConfig is a small two-policy comparison, shared by the
+// streaming-equivalence tests.
+func streamScalerConfig(workload string) ScalerComparisonConfig {
+	return ScalerComparisonConfig{
+		Workload: workload,
+		Sites:    3,
+		Duration: 240,
+		Seed:     17,
+		BaseRate: 14,
+		Specs: []autoscale.Spec{
+			autoscale.ReactiveSpec(autoscale.Config{Interval: 5, Min: 1, Max: 5,
+				UpThreshold: 1.5, DownThreshold: 0.3, Cooldown: 15}),
+			{Policy: autoscale.PolicyPredictive, Interval: 5, Min: 1, Max: 5,
+				Mu: 13, TargetUtil: 0.7, Forecaster: "ewma"},
+		},
+	}
+}
+
+// TestScalerWorkloadTableComplete: the advertised workload list and the
+// builder table validation/derivation read must agree exactly.
+func TestScalerWorkloadTableComplete(t *testing.T) {
+	names := ScalerWorkloads()
+	if len(names) != len(scalerWorkloadBuilders) {
+		t.Fatalf("ScalerWorkloads lists %d names, builder table has %d", len(names), len(scalerWorkloadBuilders))
+	}
+	for _, name := range names {
+		if scalerWorkloadBuilders[name] == nil {
+			t.Errorf("workload %q advertised but has no builder", name)
+		}
+	}
+}
+
+// TestScalerComparisonStreamingMatchesMaterialized: the ROADMAP fix —
+// policy rows derived from per-row generator sources must be
+// bit-identical to rows replaying one shared materialized trace, for
+// every workload family. Row equality implies every row consumed the
+// identical arrival sequence.
+func TestScalerComparisonStreamingMatchesMaterialized(t *testing.T) {
+	for _, wl := range ScalerWorkloads() {
+		cfg := streamScalerConfig(wl)
+		want, err := RunScalerComparison(cfg)
+		if err != nil {
+			t.Fatalf("%s materialized: %v", wl, err)
+		}
+		cfg.Streaming = true
+		got, err := RunScalerComparison(cfg)
+		if err != nil {
+			t.Fatalf("%s streaming: %v", wl, err)
+		}
+		if len(got.Rows) != len(want.Rows) {
+			t.Fatalf("%s: %d streaming rows, %d materialized", wl, len(got.Rows), len(want.Rows))
+		}
+		for i := range want.Rows {
+			if !reflect.DeepEqual(got.Rows[i], want.Rows[i]) {
+				t.Errorf("%s: row %d (%s) diverges between streaming and materialized:\n got %+v\nwant %+v",
+					wl, i, want.Rows[i].Policy, got.Rows[i], want.Rows[i])
+			}
+		}
+	}
+}
+
+// TestScalerStreamingRowsReplayIdenticalSequence asserts the
+// per-row-source contract directly: two sources derived from the same
+// comparison config yield the same records, element for element.
+func TestScalerStreamingRowsReplayIdenticalSequence(t *testing.T) {
+	for _, wl := range ScalerWorkloads() {
+		cfg := streamScalerConfig(wl)
+		// The same resolve-then-derive path RunScalerComparison's
+		// streaming mode uses.
+		build, err := scalerWorkloadBuilder(cfg.Workload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mk := func() cluster.Source { return cluster.Stream(scalerSpecFrom(cfg, build)) }
+		a, b := mk(), mk()
+		n := 0
+		for {
+			ra, oka := a.Next()
+			rb, okb := b.Next()
+			if oka != okb {
+				t.Fatalf("%s: per-row sources disagree on length at record %d", wl, n)
+			}
+			if !oka {
+				break
+			}
+			if ra != rb {
+				t.Fatalf("%s: record %d diverges between per-row sources: %+v vs %+v", wl, n, ra, rb)
+			}
+			n++
+		}
+		if n == 0 {
+			t.Fatalf("%s: sources yielded nothing; test is vacuous", wl)
+		}
+	}
+}
+
+// TestTopologySweepStreamingMatchesMaterialized: a swept topology (and
+// its paired baseline) driven by cluster.Stream sources reproduces the
+// materialized sweep point for point, bit for bit.
+func TestTopologySweepStreamingMatchesMaterialized(t *testing.T) {
+	topo, ok := cluster.PresetTopology("edge-regional-cloud")
+	if !ok {
+		t.Fatal("preset edge-regional-cloud missing")
+	}
+	baseline := cluster.CloudTopology(cluster.CloudConfig{Servers: 10, Path: topo.Tiers[len(topo.Tiers)-1].Path})
+	cfg := TopologySweepConfig{
+		Topology: topo,
+		Rates:    []float64{6, 10},
+		Duration: 200,
+		Warmup:   20,
+		Seed:     31,
+		Baseline: &baseline,
+	}
+	want, err := RunTopologySweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Source = cluster.Stream
+	got, err := RunTopologySweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Points, want.Points) {
+		t.Errorf("streaming sweep points diverge from materialized:\n got %+v\nwant %+v",
+			got.Points, want.Points)
+	}
+	if !reflect.DeepEqual(got.Baseline, want.Baseline) {
+		t.Errorf("streaming baseline points diverge from materialized:\n got %+v\nwant %+v",
+			got.Baseline, want.Baseline)
+	}
+}

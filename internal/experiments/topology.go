@@ -30,6 +30,14 @@ type TopologySweepConfig struct {
 	// crossover comparisons between the two are paired — free of
 	// unpaired sampling noise near the inversion point.
 	Baseline *cluster.Topology
+	// Source, when set, supplies each run's workload instead of a
+	// materialized Generate: it is called with the point's fully
+	// derived GenSpec once per run (topology and baseline separately),
+	// and must return a fresh source over that spec's record sequence.
+	// cluster.Stream is the natural value — per-point sweeps in memory
+	// independent of Duration, replaying the sequence Generate would
+	// produce for the same spec. Pair with stats.Bounded summaries.
+	Source func(cluster.GenSpec) cluster.Source
 }
 
 // TierPoint is one tier's share of a topology sweep point.
@@ -108,19 +116,29 @@ func RunTopologySweep(cfg TopologySweepConfig) (TopologySweepResult, error) {
 		mu.Unlock()
 	}
 	forEach(len(cfg.Rates), cfg.Workers, func(i int) {
-		tr := cluster.Generate(cluster.GenSpec{
+		spec := cluster.GenSpec{
 			Sites:       ingress.Sites,
 			Duration:    cfg.Duration,
 			PerSiteRate: cfg.Rates[i] * float64(perSite),
 			ArrivalSCV:  cfg.ArrivalSCV,
 			Model:       cfg.Model,
 			Seed:        cfg.Seed + int64(i)*7919,
-		})
-		run, err := cluster.Run(tr.Source(), cfg.Topology, cluster.Options{
+		}
+		// One source per run, all over the identical record sequence:
+		// fresh iterators over a shared materialized trace, or — with a
+		// Source factory — fresh generator streams re-derived from the
+		// same spec, so the pairing holds without holding the trace.
+		src, sizeHint := cfg.Source, 0
+		if src == nil {
+			tr := cluster.Generate(spec)
+			src = func(cluster.GenSpec) cluster.Source { return tr.Source() }
+			sizeHint = tr.Len()
+		}
+		run, err := cluster.Run(src(spec), cfg.Topology, cluster.Options{
 			Warmup:   cfg.Warmup,
 			Seed:     cfg.Seed + int64(i)*104729,
 			Summary:  cfg.Summary,
-			SizeHint: tr.Len(),
+			SizeHint: sizeHint,
 		})
 		if err != nil {
 			fail(err)
@@ -130,11 +148,11 @@ func RunTopologySweep(cfg TopologySweepConfig) (TopologySweepResult, error) {
 		if cfg.Baseline != nil {
 			// The same trace through the baseline shape: only the
 			// deployment differs between the paired points.
-			base, err := cluster.Run(tr.Source(), *cfg.Baseline, cluster.Options{
+			base, err := cluster.Run(src(spec), *cfg.Baseline, cluster.Options{
 				Warmup:   cfg.Warmup,
 				Seed:     cfg.Seed + int64(i)*1299709,
 				Summary:  cfg.Summary,
-				SizeHint: tr.Len(),
+				SizeHint: sizeHint,
 			})
 			if err != nil {
 				fail(fmt.Errorf("baseline: %w", err))

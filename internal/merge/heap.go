@@ -1,0 +1,85 @@
+// Package merge provides the indexed min-heap the k-way stream mergers
+// share: a generator source merges per-site arrival streams and the
+// Azure decoder merges per-site bin emissions, both min-ordered by a
+// (time, site) key. One implementation keeps the two merges — whose
+// tie-break order is part of the bit-reproducibility contract — from
+// drifting apart.
+package merge
+
+// Heap is a min-heap of small int keys (site indices) ordered by a
+// caller-supplied comparator, tuned for k-way merging: the caller
+// inspects Min, updates the minimum's key in place, and calls FixMin —
+// no per-operation allocation, O(log n) per record.
+type Heap struct {
+	// Less reports whether index a's key orders before index b's. For
+	// deterministic merges it must be a strict total order (break key
+	// ties on the index itself).
+	Less func(a, b int) bool
+	s    []int
+}
+
+// Grow pre-allocates capacity for n entries, preserving any entries
+// already in the heap.
+func (h *Heap) Grow(n int) {
+	if cap(h.s) < n {
+		s := make([]int, len(h.s), n)
+		copy(s, h.s)
+		h.s = s
+	}
+}
+
+// Reset empties the heap, keeping its capacity.
+func (h *Heap) Reset() { h.s = h.s[:0] }
+
+// Len returns the number of entries.
+func (h *Heap) Len() int { return len(h.s) }
+
+// Min returns the minimum entry. It panics on an empty heap.
+func (h *Heap) Min() int { return h.s[0] }
+
+// Push adds an entry.
+func (h *Heap) Push(x int) {
+	h.s = append(h.s, x)
+	i := len(h.s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.Less(h.s[i], h.s[parent]) {
+			break
+		}
+		h.s[i], h.s[parent] = h.s[parent], h.s[i]
+		i = parent
+	}
+}
+
+// FixMin restores heap order after the minimum entry's key increased
+// (the merge advanced that stream).
+func (h *Heap) FixMin() { h.siftDown(0) }
+
+// PopMin removes the minimum entry (the merge exhausted that stream).
+func (h *Heap) PopMin() {
+	last := len(h.s) - 1
+	h.s[0] = h.s[last]
+	h.s = h.s[:last]
+	if last > 0 {
+		h.siftDown(0)
+	}
+}
+
+func (h *Heap) siftDown(i int) {
+	n := len(h.s)
+	for {
+		left, right := 2*i+1, 2*i+2
+		min := i
+		if left < n && h.Less(h.s[left], h.s[min]) {
+			min = left
+		}
+		if right < n && h.Less(h.s[right], h.s[min]) {
+			min = right
+		}
+		if min == i {
+			return
+		}
+		h.s[i], h.s[min] = h.s[min], h.s[i]
+		i = min
+	}
+}

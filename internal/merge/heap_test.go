@@ -1,0 +1,94 @@
+package merge
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestHeapMergeOrder: merging k monotone streams through the heap
+// yields the stable (key, index) order a stable sort would produce.
+func TestHeapMergeOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const k, per = 9, 200
+	streams := make([][]float64, k)
+	for i := range streams {
+		t0 := 0.0
+		for j := 0; j < per; j++ {
+			// Coarse quantization forces frequent exact ties across
+			// streams, exercising the index tie-break.
+			t0 += float64(rng.Intn(4))
+			streams[i] = append(streams[i], t0)
+		}
+	}
+
+	type rec struct {
+		time float64
+		src  int
+	}
+	var want []rec
+	for i, s := range streams {
+		for _, ts := range s {
+			want = append(want, rec{ts, i})
+		}
+	}
+	sort.SliceStable(want, func(a, b int) bool {
+		if want[a].time != want[b].time {
+			return want[a].time < want[b].time
+		}
+		return want[a].src < want[b].src
+	})
+
+	pos := make([]int, k)
+	h := Heap{Less: func(a, b int) bool {
+		ta, tb := streams[a][pos[a]], streams[b][pos[b]]
+		if ta != tb {
+			return ta < tb
+		}
+		return a < b
+	}}
+	h.Grow(k)
+	for i := 0; i < k; i++ {
+		h.Push(i)
+	}
+	var got []rec
+	for h.Len() > 0 {
+		i := h.Min()
+		got = append(got, rec{streams[i][pos[i]], i})
+		pos[i]++
+		if pos[i] < len(streams[i]) {
+			h.FixMin()
+		} else {
+			h.PopMin()
+		}
+	}
+
+	if len(got) != len(want) {
+		t.Fatalf("merged %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d: merged %+v, stable sort %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestHeapReset: a reset heap reuses capacity and merges correctly.
+func TestHeapReset(t *testing.T) {
+	keys := []float64{3, 1, 2}
+	h := Heap{Less: func(a, b int) bool { return keys[a] < keys[b] }}
+	for round := 0; round < 2; round++ {
+		h.Reset()
+		for i := range keys {
+			h.Push(i)
+		}
+		order := []int{}
+		for h.Len() > 0 {
+			order = append(order, h.Min())
+			h.PopMin()
+		}
+		if order[0] != 1 || order[1] != 2 || order[2] != 0 {
+			t.Fatalf("round %d: pop order %v, want [1 2 0]", round, order)
+		}
+	}
+}

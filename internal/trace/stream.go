@@ -1,0 +1,195 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"repro/internal/cluster"
+)
+
+// The request-record interchange format: one request per row, times in
+// seconds (nondecreasing), sites as 0-based integers, service times in
+// seconds on the reference server. Floats are written with 'g'/-1
+// precision, so a write→stream round trip is bit-exact.
+var requestCSVHeader = []string{"time", "site", "service"}
+
+// RequestSource streams cluster.RequestRecords decoded from an
+// io.Reader one row at a time — a cluster.Source over a trace file that
+// never holds more than the current row, so replay memory is
+// independent of file length. Decoding problems (malformed fields,
+// time regressions, truncated rows) end the stream and are reported by
+// Err; the source never panics and never silently drops rows.
+type RequestSource struct {
+	cr       *csv.Reader
+	err      error
+	done     bool
+	last     float64
+	sites    int
+	maxSites int
+	n        uint64
+}
+
+// StreamRequestsCSV opens a streaming decoder over the request CSV
+// format. The header row is consumed immediately; records are decoded
+// lazily by Next. Callers must check Err after the source drains to
+// distinguish end-of-file from a decode failure.
+func StreamRequestsCSV(r io.Reader) *RequestSource {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(requestCSVHeader)
+	cr.ReuseRecord = true
+	s := &RequestSource{cr: cr, last: math.Inf(-1)}
+	row, err := cr.Read()
+	switch {
+	case err == io.EOF:
+		s.fail(fmt.Errorf("trace: request CSV is empty"))
+	case err != nil:
+		s.fail(fmt.Errorf("trace: request CSV header: %w", err))
+	default:
+		for i, want := range requestCSVHeader {
+			if row[i] != want {
+				s.fail(fmt.Errorf("trace: request CSV header %v, want %v", row, requestCSVHeader))
+				break
+			}
+		}
+	}
+	return s
+}
+
+// fail ends the stream with err.
+func (s *RequestSource) fail(err error) {
+	s.err = err
+	s.done = true
+}
+
+// Next implements cluster.Source. After the first false it keeps
+// returning false; check Err to learn whether the file ended cleanly.
+func (s *RequestSource) Next() (cluster.RequestRecord, bool) {
+	if s.done {
+		return cluster.RequestRecord{}, false
+	}
+	row, err := s.cr.Read()
+	if err == io.EOF {
+		s.done = true
+		return cluster.RequestRecord{}, false
+	}
+	if err != nil {
+		s.fail(fmt.Errorf("trace: request CSV: %w", err))
+		return cluster.RequestRecord{}, false
+	}
+	line, _ := s.cr.FieldPos(0)
+	t, err := strconv.ParseFloat(row[0], 64)
+	if err != nil || t < 0 || math.IsNaN(t) || math.IsInf(t, 0) {
+		// Negative times are rejected outright: the replay engine
+		// panics on events scheduled before time zero, and this decoder
+		// must error instead of handing it one.
+		s.fail(fmt.Errorf("trace: request CSV line %d: bad time %q", line, row[0]))
+		return cluster.RequestRecord{}, false
+	}
+	if t < s.last {
+		s.fail(fmt.Errorf("trace: request CSV line %d: time %v regresses below %v (rows must be nondecreasing)",
+			line, t, s.last))
+		return cluster.RequestRecord{}, false
+	}
+	site, err := strconv.Atoi(row[1])
+	if err != nil || site < 0 {
+		s.fail(fmt.Errorf("trace: request CSV line %d: bad site %q", line, row[1]))
+		return cluster.RequestRecord{}, false
+	}
+	if s.maxSites > 0 && site >= s.maxSites {
+		s.fail(fmt.Errorf("trace: request CSV line %d: site %d outside the replay's %d sites",
+			line, site, s.maxSites))
+		return cluster.RequestRecord{}, false
+	}
+	svc, err := strconv.ParseFloat(row[2], 64)
+	if err != nil || svc < 0 || math.IsNaN(svc) || math.IsInf(svc, 0) {
+		s.fail(fmt.Errorf("trace: request CSV line %d: bad service time %q", line, row[2]))
+		return cluster.RequestRecord{}, false
+	}
+	s.last = t
+	if site+1 > s.sites {
+		s.sites = site + 1
+	}
+	s.n++
+	return cluster.RequestRecord{Time: t, Site: site, ServiceTime: svc}, true
+}
+
+// Err returns the decode error that ended the stream, or nil after a
+// clean end of file.
+func (s *RequestSource) Err() error { return s.err }
+
+// LimitSites makes the decoder error on records whose site id is >= n —
+// set it to the replayed topology's home-site count so a trace/topology
+// mismatch surfaces as a decode error from cluster.Run instead of a
+// replay panic at the out-of-range record's arrival. 0 (the default)
+// accepts any site id.
+func (s *RequestSource) LimitSites(n int) { s.maxSites = n }
+
+// Sites returns the number of sites observed so far (max site id + 1).
+func (s *RequestSource) Sites() int { return s.sites }
+
+// Count returns the number of records yielded so far.
+func (s *RequestSource) Count() uint64 { return s.n }
+
+// ReadRequestsCSV materializes a request CSV into a WorkloadTrace — the
+// slurping counterpart of StreamRequestsCSV, decoded through the same
+// streaming path so the two agree record for record (the equivalence
+// suite asserts it). Prefer the streaming decoder for replays too large
+// to hold.
+func ReadRequestsCSV(r io.Reader) (*cluster.WorkloadTrace, error) {
+	src := StreamRequestsCSV(r)
+	var recs []cluster.RequestRecord
+	for {
+		rec, ok := src.Next()
+		if !ok {
+			break
+		}
+		recs = append(recs, rec)
+	}
+	if err := src.Err(); err != nil {
+		return nil, err
+	}
+	// Build the trace directly rather than through FromRecords: the
+	// decoder already enforces nondecreasing times, and the file's row
+	// order — not FromRecords' (Time, Site) order, which would move
+	// equal-time rows of different sites — is what the streaming path
+	// yields, so slurped and streamed replays stay bit-identical.
+	return &cluster.WorkloadTrace{Records: recs, Sites: src.Sites()}, nil
+}
+
+// WriteRequestsCSV writes every record of src in the request CSV
+// format, returning the row count. Pair with cluster.Stream to export
+// synthetic workloads as interchange files without materializing them.
+// A source that ends on a decode failure (it exposes Err, like the
+// streaming decoders) surfaces that error here, so a truncated export
+// is never reported as success.
+func WriteRequestsCSV(w io.Writer, src cluster.Source) (int, error) {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(requestCSVHeader); err != nil {
+		return 0, err
+	}
+	row := make([]string, 3)
+	n := 0
+	for {
+		rec, ok := src.Next()
+		if !ok {
+			break
+		}
+		row[0] = strconv.FormatFloat(rec.Time, 'g', -1, 64)
+		row[1] = strconv.Itoa(rec.Site)
+		row[2] = strconv.FormatFloat(rec.ServiceTime, 'g', -1, 64)
+		if err := cw.Write(row); err != nil {
+			return n, err
+		}
+		n++
+	}
+	if e, ok := src.(cluster.FallibleSource); ok {
+		if err := e.Err(); err != nil {
+			return n, fmt.Errorf("trace: source ended early: %w", err)
+		}
+	}
+	cw.Flush()
+	return n, cw.Error()
+}
