@@ -6,6 +6,7 @@
 package edgebench_test
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/app"
@@ -423,6 +424,102 @@ func BenchmarkStream100M(b *testing.B) {
 	}
 	b.ReportMetric(float64(offered), "requests")
 	b.ReportMetric(mean*1000, "mean-ms")
+}
+
+// BenchmarkShardedReplay1M measures the sharded topology replay on a
+// ~10⁶-request three-tier hierarchy at shard counts 1/2/4/8, next to
+// the single-engine cluster.Run on the identical workload. benchjson
+// turns the shards-N sub-bench timings into BENCH_PR6.json's
+// shard-scaling curve; sharded results are bit-identical across counts
+// (the shard-determinism suite asserts it), so the curve measures
+// wall-clock alone. Speedup beyond shards-1 needs real cores: on a
+// single-CPU runner the goroutines serialize and the curve is flat. In
+// short mode (CI's short-bench step) the same pipeline replays 10⁵
+// requests. Run with -benchmem.
+func BenchmarkShardedReplay1M(b *testing.B) {
+	const sites = 8
+	duration := 6250.0 // 8 sites × 20 req/s × 6250 s = 10⁶ requests
+	if testing.Short() {
+		duration = 625
+	}
+	spec := cluster.GenSpec{Sites: sites, Duration: duration, PerSiteRate: 20, Seed: 81}
+	regional := netem.Jittered("regional-13ms", 0.013, 0.002)
+	cloud := netem.CloudTypical
+	topo := cluster.Topology{
+		Name: "bench-three-tier",
+		Tiers: []cluster.Tier{
+			{Name: "edge", Sites: sites, ServersPerSite: 2, Path: netem.EdgePath},
+			{Name: "regional", Sites: 1, ServersPerSite: 6, Path: regional,
+				Dispatch: cluster.CentralQueueDispatch},
+			{Name: "cloud", Sites: 1, ServersPerSite: 8, Path: cloud,
+				Dispatch: cluster.CentralQueueDispatch},
+		},
+		Spills: []cluster.SpillEdge{
+			{From: "edge", To: "regional", Threshold: 3, DetourPath: &regional},
+			{From: "regional", To: "cloud", Threshold: 8, DetourPath: &cloud},
+		},
+	}
+	opts := cluster.Options{Warmup: 100, Seed: 82, Summary: stats.Bounded, NoPerSiteLatency: true}
+	b.Run("single-engine", func(b *testing.B) {
+		b.ReportAllocs()
+		var offered uint64
+		for i := 0; i < b.N; i++ {
+			res, err := cluster.Run(cluster.Stream(spec), topo, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			offered = res.Offered
+		}
+		b.ReportMetric(float64(offered), "requests")
+	})
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards-%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			var offered uint64
+			for i := 0; i < b.N; i++ {
+				res, err := cluster.RunSharded(cluster.GenShards(spec), topo, opts, n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				offered = res.Offered
+			}
+			b.ReportMetric(float64(offered), "requests")
+		})
+	}
+}
+
+// BenchmarkEngineBackends pits the calendar-queue event calendar
+// against the retired binary heap on the same replay, the PR 6 tentpole
+// comparison: allocs/op must not regress and the calendar's O(1)
+// schedule/pop should at least match the heap's O(log n).
+func BenchmarkEngineBackends(b *testing.B) {
+	spec := cluster.GenSpec{Sites: 5, Duration: 2000, PerSiteRate: 20, Seed: 91}
+	sc, _ := netem.ScenarioByName("typical-25ms")
+	topo := cluster.OverflowTopology(cluster.OverflowConfig{
+		Sites: 5, ServersPerSite: 2,
+		EdgePath: sc.Edge, CloudPath: sc.Cloud,
+		CloudServers: 10, OverflowThreshold: 4,
+	})
+	for _, bk := range []struct {
+		name string
+		b    sim.Backend
+	}{
+		{"calendar-queue", sim.CalendarQueue},
+		{"binary-heap", sim.BinaryHeap},
+	} {
+		b.Run(bk.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, err := cluster.Run(cluster.Stream(spec), topo, cluster.Options{
+					Warmup: 100, Seed: 92, Summary: stats.Bounded,
+					NoPerSiteLatency: true, Backend: bk.b,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // --- Microbenchmarks of the hot kernels ---

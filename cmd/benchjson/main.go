@@ -1,0 +1,245 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// perf artifact (BENCH_PR6.json and successors), so CI can archive one
+// machine-readable file per run and future changes can diff ns/op,
+// B/op, allocs/op and custom metrics across commits. Sub-benchmarks
+// named shards-N are additionally folded into a shard-count scaling
+// curve with speedups relative to shards-1.
+//
+//	go test -bench 'ShardedReplay1M' -benchmem . | benchjson -o BENCH_PR6.json
+//
+// Multiple bench runs may be concatenated on the input; later header
+// lines (goos/goarch/cpu/pkg) win, and duplicate benchmark names are
+// kept as separate entries (the scaling curve averages them).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Runs        int64              `json:"runs"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// ScalePoint is one shard count on a scaling curve.
+type ScalePoint struct {
+	Shards  int     `json:"shards"`
+	NsPerOp float64 `json:"ns_per_op"`
+	// Speedup is ns/op(shards-1) / ns/op(shards-N): >1 means the
+	// sharded replay beat the one-shard run of the same pipeline.
+	Speedup float64 `json:"speedup_vs_shards_1,omitempty"`
+}
+
+// Report is the artifact schema.
+type Report struct {
+	Generated    string                  `json:"generated"`
+	Goos         string                  `json:"goos,omitempty"`
+	Goarch       string                  `json:"goarch,omitempty"`
+	CPU          string                  `json:"cpu,omitempty"`
+	Pkg          string                  `json:"pkg,omitempty"`
+	Benchmarks   []Benchmark             `json:"benchmarks"`
+	ShardScaling map[string][]ScalePoint `json:"shard_scaling,omitempty"`
+}
+
+// procSuffix is the -GOMAXPROCS tail the bench runner appends to every
+// result name when GOMAXPROCS > 1 (at 1 it is omitted, so names like
+// shards-8 end in digits that are NOT a proc suffix); shardSub matches
+// sub-benchmarks that form scaling curves.
+var (
+	procSuffix = regexp.MustCompile(`-(\d+)$`)
+	shardSub   = regexp.MustCompile(`^(.+)/shards-(\d+)$`)
+)
+
+// stripProcSuffix removes the -GOMAXPROCS tail from every name, but
+// only when every name carries the same one — the only signature that
+// distinguishes a proc suffix from trailing digits that belong to the
+// benchmark's own name (shards-8, p99, …). A single-line input whose
+// name happens to end in digits is misdetected, but a one-point input
+// has no curve to lose.
+func stripProcSuffix(benches []Benchmark) {
+	suffix := ""
+	for _, b := range benches {
+		m := procSuffix.FindStringSubmatch(b.Name)
+		if m == nil {
+			return
+		}
+		if suffix == "" {
+			suffix = m[1]
+		} else if m[1] != suffix {
+			return
+		}
+	}
+	for i := range benches {
+		benches[i].Name = strings.TrimSuffix(benches[i].Name, "-"+suffix)
+	}
+}
+
+// parseBench reads `go test -bench` output into a Report (without the
+// Generated stamp, which main adds).
+func parseBench(r io.Reader) (Report, error) {
+	var rep Report
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iteration count, then (value, unit) pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		runs, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Name: fields[0], Runs: runs}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return rep, fmt.Errorf("benchjson: %q: bad value %q", fields[0], fields[i])
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			default:
+				if b.Metrics == nil {
+					b.Metrics = map[string]float64{}
+				}
+				b.Metrics[unit] = v
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return rep, err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return rep, fmt.Errorf("benchjson: no benchmark result lines on input")
+	}
+	stripProcSuffix(rep.Benchmarks)
+	rep.ShardScaling = scaling(rep.Benchmarks)
+	return rep, nil
+}
+
+// scaling folds shards-N sub-benchmarks into per-family curves,
+// averaging duplicates and anchoring speedups at shards-1.
+func scaling(benches []Benchmark) map[string][]ScalePoint {
+	type acc struct {
+		sum float64
+		n   int
+	}
+	families := map[string]map[int]*acc{}
+	for _, b := range benches {
+		m := shardSub.FindStringSubmatch(b.Name)
+		if m == nil {
+			continue
+		}
+		shards, _ := strconv.Atoi(m[2])
+		fam := families[m[1]]
+		if fam == nil {
+			fam = map[int]*acc{}
+			families[m[1]] = fam
+		}
+		if fam[shards] == nil {
+			fam[shards] = &acc{}
+		}
+		fam[shards].sum += b.NsPerOp
+		fam[shards].n++
+	}
+	if len(families) == 0 {
+		return nil
+	}
+	out := map[string][]ScalePoint{}
+	for name, fam := range families {
+		var pts []ScalePoint
+		for shards, a := range fam {
+			pts = append(pts, ScalePoint{Shards: shards, NsPerOp: a.sum / float64(a.n)})
+		}
+		sort.Slice(pts, func(i, j int) bool { return pts[i].Shards < pts[j].Shards })
+		var base float64
+		for _, p := range pts {
+			if p.Shards == 1 {
+				base = p.NsPerOp
+			}
+		}
+		if base > 0 {
+			for i := range pts {
+				pts[i].Speedup = base / pts[i].NsPerOp
+			}
+		}
+		out[name] = pts
+	}
+	return out
+}
+
+func main() {
+	inPath := flag.String("in", "-", "bench output to read (- for stdin)")
+	outPath := flag.String("o", "-", "JSON artifact to write (- for stdout)")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if *inPath != "-" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	rep, err := parseBench(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	rep.Generated = time.Now().UTC().Format(time.RFC3339)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *outPath == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// sample is captured `go test -bench -benchmem` output from a
+// GOMAXPROCS=1 machine (no -N proc suffix on names), including the
+// header block, a custom metric column, PASS/ok trailer noise, and two
+// concatenated runs (the second header block wins).
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkShardedReplay1M/single-engine         	       1	110638376 ns/op	    99836 requests	 7963400 B/op	   49698 allocs/op
+BenchmarkShardedReplay1M/shards-1              	       2	112021780 ns/op	    99836 requests	 7523904 B/op	   46579 allocs/op
+BenchmarkShardedReplay1M/shards-2              	       2	110524199 ns/op	    99836 requests	15812120 B/op	   98700 allocs/op
+BenchmarkShardedReplay1M/shards-4              	       2	 96147644 ns/op	    99836 requests	  413616 B/op	    2555 allocs/op
+BenchmarkShardedReplay1M/shards-8              	       2	 89146287 ns/op	    99836 requests	  485128 B/op	    3028 allocs/op
+PASS
+ok  	repro	1.724s
+goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkEngineBackends/calendar-queue         	       1	241615111 ns/op	   41832 allocs/op
+BenchmarkEngineBackends/binary-heap            	       1	243759671 ns/op	     739 allocs/op
+PASS
+ok  	repro	0.248s
+`
+
+func TestParseBench(t *testing.T) {
+	rep, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatalf("parseBench: %v", err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "repro" {
+		t.Errorf("header = %q/%q/%q", rep.Goos, rep.Goarch, rep.Pkg)
+	}
+	if want := "Intel(R) Xeon(R) Processor @ 2.10GHz"; rep.CPU != want {
+		t.Errorf("cpu = %q, want %q", rep.CPU, want)
+	}
+	if len(rep.Benchmarks) != 7 {
+		t.Fatalf("parsed %d benchmarks, want 7", len(rep.Benchmarks))
+	}
+
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkShardedReplay1M/single-engine" {
+		t.Errorf("name = %q (shards-N digits must survive on GOMAXPROCS=1 output)", b.Name)
+	}
+	if b.Runs != 1 || b.NsPerOp != 110638376 || b.BytesPerOp != 7963400 || b.AllocsPerOp != 49698 {
+		t.Errorf("values = %+v", b)
+	}
+	if got := b.Metrics["requests"]; got != 99836 {
+		t.Errorf("requests metric = %v, want 99836", got)
+	}
+
+	last := rep.Benchmarks[6]
+	if last.Name != "BenchmarkEngineBackends/binary-heap" || last.AllocsPerOp != 739 {
+		t.Errorf("last = %+v", last)
+	}
+	if last.BytesPerOp != 0 {
+		t.Errorf("bytes_per_op = %v, want 0 (column absent)", last.BytesPerOp)
+	}
+}
+
+func TestParseBenchShardScaling(t *testing.T) {
+	rep, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatalf("parseBench: %v", err)
+	}
+	pts := rep.ShardScaling["BenchmarkShardedReplay1M"]
+	if len(pts) != 4 {
+		t.Fatalf("scaling curve has %d points, want 4: %+v", len(pts), pts)
+	}
+	for i, wantShards := range []int{1, 2, 4, 8} {
+		if pts[i].Shards != wantShards {
+			t.Errorf("point %d shards = %d, want %d", i, pts[i].Shards, wantShards)
+		}
+	}
+	if pts[0].Speedup != 1.0 {
+		t.Errorf("shards-1 speedup = %v, want 1.0", pts[0].Speedup)
+	}
+	want := 112021780.0 / 89146287.0
+	if math.Abs(pts[3].Speedup-want) > 1e-12 {
+		t.Errorf("shards-8 speedup = %v, want %v", pts[3].Speedup, want)
+	}
+	// single-engine and EngineBackends sub-benches are not shards-N and
+	// must not produce curves.
+	if len(rep.ShardScaling) != 1 {
+		t.Errorf("families = %v, want only BenchmarkShardedReplay1M", rep.ShardScaling)
+	}
+}
+
+// TestParseBenchProcSuffix feeds GOMAXPROCS=4 output, where every name
+// carries a uniform -4 tail that must be stripped without eating the
+// shards-N digits underneath it.
+func TestParseBenchProcSuffix(t *testing.T) {
+	in := `BenchmarkShardedReplay1M/single-engine-4 	 2	 400 ns/op
+BenchmarkShardedReplay1M/shards-1-4 	 2	 400 ns/op
+BenchmarkShardedReplay1M/shards-4-4 	 2	 100 ns/op
+`
+	rep, err := parseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("parseBench: %v", err)
+	}
+	if got := rep.Benchmarks[0].Name; got != "BenchmarkShardedReplay1M/single-engine" {
+		t.Errorf("name = %q, want proc suffix stripped", got)
+	}
+	pts := rep.ShardScaling["BenchmarkShardedReplay1M"]
+	if len(pts) != 2 || pts[1].Shards != 4 || pts[1].Speedup != 4.0 {
+		t.Fatalf("scaling = %+v, want shards {1,4} with speedup 4.0", pts)
+	}
+}
+
+func TestParseBenchDuplicatesAverage(t *testing.T) {
+	in := `BenchmarkX/shards-1-4 	 10	 200 ns/op
+BenchmarkX/shards-1-4 	 10	 100 ns/op
+BenchmarkX/shards-2-4 	 10	  50 ns/op
+`
+	rep, err := parseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("parseBench: %v", err)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3 (duplicates kept as entries)", len(rep.Benchmarks))
+	}
+	pts := rep.ShardScaling["BenchmarkX"]
+	if len(pts) != 2 || pts[0].NsPerOp != 150 {
+		t.Fatalf("scaling = %+v, want shards-1 averaged to 150", pts)
+	}
+	if pts[1].Speedup != 3.0 {
+		t.Errorf("shards-2 speedup = %v, want 3.0 (150/50)", pts[1].Speedup)
+	}
+}
+
+func TestParseBenchErrors(t *testing.T) {
+	if _, err := parseBench(strings.NewReader("PASS\nok repro 1s\n")); err == nil {
+		t.Error("no result lines: want error")
+	}
+	if _, err := parseBench(strings.NewReader("BenchmarkY-4 1 oops ns/op\n")); err == nil {
+		t.Error("bad value: want error")
+	}
+}

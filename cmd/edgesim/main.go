@@ -16,6 +16,15 @@
 //	edgesim -topology edge-regional-cloud -rate 11
 //	edgesim -topology @three-tier.json -rate 11
 //	edgesim -topology '{"tiers":[{"name":"edge","sites":5,"servers":1,"rttMs":1}]}'
+//
+// Topology replays parallelize across sharded engines when the graph
+// permits (-shards, one engine per CPU by default, bit-identical output
+// for every shard count), and can consume recorded workload files
+// instead of the generator:
+//
+//	edgesim -topology edge-regional-cloud -shards 4 -rate 11
+//	edgesim -topology edge-regional-cloud -trace requests.csv
+//	edgesim -topology edge-regional-cloud -azure counts.csv -sweep 6,9,12
 package main
 
 import (
@@ -36,6 +45,7 @@ import (
 	"repro/internal/lb"
 	"repro/internal/netem"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -86,7 +96,24 @@ func main() {
 		"printing per-tier metrics and the inversion crossover vs an equal-capacity pooled cloud")
 	stream := flag.Bool("stream", false, "with -topology: generate the workload on the fly instead of "+
 		"materializing the trace — memory independent of request count; pair with -summary bounded for huge runs")
+	shards := flag.Int("shards", 0, "with -topology: parallel replay engines. Unset: one per CPU when the "+
+		"graph shards, the classic single engine otherwise. An explicit count forces that many sharded engines "+
+		"(bit-identical output for every count) and fails when the graph cannot shard; explicit 0 forces the "+
+		"classic single engine")
+	traceFile := flag.String("trace", "", "with -topology: replay a request CSV (time,site,service) instead of "+
+		"generating a workload; with -sweep, arrival times rescale so the trace hits each swept rate")
+	azureFile := flag.String("azure", "", "with -topology: replay an Azure-style per-bin count CSV "+
+		"(bin,site0,site1,...) instead of generating a workload; with -sweep, rescaled like -trace")
+	azureBin := flag.Float64("azure-bin", 60, "with -azure: seconds covered by each CSV bin row")
 	flag.Parse()
+	shardsSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "shards" {
+			shardsSet = true
+		}
+	})
+	sh := shardChoice{set: shardsSet, n: *shards}
+	in := workloadInput{tracePath: *traceFile, azurePath: *azureFile, azureBin: *azureBin, seed: *seed}
 
 	sc, ok := netem.ScenarioByName(*scenario)
 	if !ok {
@@ -111,6 +138,24 @@ func main() {
 		fail("-stream requires -topology (the classic paired edge/cloud mode materializes its trace; " +
 			"replay a streamed workload through EdgeTopology/CloudTopology graphs instead)")
 	}
+	if *shards < 0 {
+		fail("-shards must be >= 0 (got %d)", *shards)
+	}
+	if shardsSet && *topology == "" {
+		fail("-shards requires -topology (the classic paired mode runs one engine per deployment)")
+	}
+	if *traceFile != "" && *azureFile != "" {
+		fail("-trace and -azure are mutually exclusive (one workload file per run)")
+	}
+	if in.active() && *topology == "" {
+		fail("%s requires -topology (workload files replay through deployment graphs)", in.flagName())
+	}
+	if in.active() && *stream {
+		fail("-stream is redundant with %s: the file decoders already stream row by row", in.flagName())
+	}
+	if *azureBin <= 0 {
+		fail("-azure-bin must be positive (got %v)", *azureBin)
+	}
 	if *stream && mode == stats.Exact {
 		// Legitimate at modest scales (exact quantiles without the
 		// trace), but at the request counts -stream exists for, exact
@@ -122,12 +167,12 @@ func main() {
 		if *topology == "" {
 			fail("-sweep requires -topology (the deployment graph to sweep)")
 		}
-		runTopologySweepCLI(*topology, *sweep, *scaler, *autoscaleMax, *stream, sc,
+		runTopologySweepCLI(*topology, *sweep, *scaler, *autoscaleMax, *stream, in, sh, sc,
 			*duration, *warmup, *arrivalSCV, *seed, model, mode)
 		return
 	}
 	if *topology != "" {
-		runTopology(*topology, *scaler, *autoscaleMax, *stream, *sites, *servers, *rate,
+		runTopology(*topology, *scaler, *autoscaleMax, *stream, in, sh, *sites, *servers, *rate,
 			*duration, *warmup, *arrivalSCV, *seed, model, mode)
 		return
 	}
@@ -351,66 +396,115 @@ func loadTopologyWithScaler(arg, scalerArg string, maxFlag int, mu float64) (clu
 	return topo, nil
 }
 
-// runTopology replays a generated workload through the deployment
-// graph and prints aggregate and per-tier latency/spill/drop/cost
-// metrics. With stream set, the workload is generated on the fly —
+// runTopology replays a workload through the deployment graph and
+// prints aggregate and per-tier latency/spill/drop/cost metrics. The
+// workload is generated from the rate flags, or decoded from a -trace
+// / -azure file. With stream set, generation happens on the fly —
 // nothing trace-sized is ever held, so -duration can describe 10⁸+
-// requests on a laptop (pair with -summary bounded).
-func runTopology(arg, scalerArg string, maxFlag int, stream bool, sites, servers int,
-	rate, duration, warmup, arrivalSCV float64, seed int64, model app.InferenceModel, mode stats.Mode) {
+// requests on a laptop (pair with -summary bounded); sharded replays
+// and the file decoders always stream. With a positive shard
+// resolution the replay fans out across engines via cluster.RunSharded,
+// bit-identical for every shard count.
+func runTopology(arg, scalerArg string, maxFlag int, stream bool, in workloadInput, sh shardChoice,
+	sites, servers int, rate, duration, warmup, arrivalSCV float64, seed int64,
+	model app.InferenceModel, mode stats.Mode) {
 	topo, err := loadTopologyWithScaler(arg, scalerArg, maxFlag, model.Mu())
 	if err != nil {
 		fail("-topology: %v", err)
+	}
+	nShards, err := sh.resolve(topo)
+	if err != nil {
+		fail("-shards: %v", err)
 	}
 	// Home-routed ingress fixes the trace's site count; a dispatcher
 	// ingress (a pure-cloud graph) uses the -sites flag.
 	ingress := topo.Tiers[0]
 	genSites := sites
 	perSite := servers
-	if ingress.Dispatch == "" {
+	homeIngress := ingress.Dispatch == ""
+	if homeIngress {
 		genSites = ingress.Sites
 		if ingress.ServersPerSite > 0 {
 			perSite = ingress.ServersPerSite
 		}
 	}
-	spec := cluster.GenSpec{
-		Sites:       genSites,
-		Duration:    duration,
-		PerSiteRate: rate * float64(perSite),
-		ArrivalSCV:  arrivalSCV,
-		Model:       model,
-		Seed:        seed,
+	opts := cluster.Options{
+		Warmup:  warmup,
+		Seed:    seed + 1,
+		Summary: mode,
 	}
-	var src cluster.Source
+	var res *cluster.TopologyResult
 	var tr *cluster.WorkloadTrace
-	sizeHint := 0
-	if stream {
-		src = cluster.Stream(spec)
-	} else {
-		tr = cluster.Generate(spec)
-		src = tr.Source()
-		sizeHint = tr.Len()
+	switch {
+	case in.active():
+		// Replay a decoded file. Home ingress pins the site count: the
+		// request decoder turns out-of-range sites into decode errors,
+		// and the Azure header must declare exactly the home count. A
+		// dispatcher-only graph takes whatever sites the file carries
+		// (pre-scanned only when sharding needs the count up front).
+		limit, fileSites := 0, 0
+		switch {
+		case in.azurePath != "":
+			fileSites, err = in.azureSites()
+			if err != nil {
+				fail("-azure: %v", err)
+			}
+			if homeIngress && fileSites != genSites {
+				fail("-azure: file has %d sites but topology %q expects %d",
+					fileSites, topo.Name, genSites)
+			}
+		case homeIngress:
+			limit, fileSites = genSites, genSites
+		case nShards > 0:
+			ws, err := scanWorkload(in.factory(0))
+			if err != nil {
+				fail("%s: %v", in.flagName(), err)
+			}
+			fileSites = ws.sites
+		}
+		factory := in.factory(limit)
+		if nShards > 0 {
+			if nShards > fileSites {
+				nShards = fileSites
+			}
+			res, err = cluster.RunSharded(cluster.SourceShards(factory, fileSites), topo, opts, nShards)
+		} else {
+			res, err = cluster.Run(factory(), topo, opts)
+		}
+	case nShards > 0:
+		if nShards > genSites {
+			nShards = genSites
+		}
+		res, err = cluster.RunSharded(cluster.GenShards(genSpec(genSites, perSite, rate, duration, arrivalSCV, seed, model)),
+			topo, opts, nShards)
+	case stream:
+		res, err = cluster.Run(cluster.Stream(genSpec(genSites, perSite, rate, duration, arrivalSCV, seed, model)), topo, opts)
+	default:
+		tr = cluster.Generate(genSpec(genSites, perSite, rate, duration, arrivalSCV, seed, model))
+		opts.SizeHint = tr.Len()
+		res, err = cluster.Run(tr.Source(), topo, opts)
 	}
-	res, err := cluster.Run(src, topo, cluster.Options{
-		Warmup:   warmup,
-		Seed:     seed + 1,
-		Summary:  mode,
-		SizeHint: sizeHint,
-	})
 	if err != nil {
 		fail("-topology: %v", err)
 	}
 
 	fmt.Printf("topology %s: %d tiers, %d spill edges, %d classes\n",
 		res.Label, len(topo.Tiers), len(topo.Spills), len(topo.Classes))
-	if stream {
-		aggRate := 0.0
-		if res.Duration > 0 {
-			aggRate = float64(res.Offered) / res.Duration
-		}
+	if nShards > 0 {
+		fmt.Printf("engine: %d sharded engines + 1 shared-phase engine (bit-identical for any shard count)\n", nShards)
+	}
+	aggRate := 0.0
+	if res.Duration > 0 {
+		aggRate = float64(res.Offered) / res.Duration
+	}
+	switch {
+	case in.active():
+		fmt.Printf("workload (%s): %d requests over %.0fs (%.1f req/s aggregate)\n\n",
+			in.label(), res.Offered, res.Duration, aggRate)
+	case tr == nil:
 		fmt.Printf("workload (streamed): %d requests over %.0fs (%.1f req/s aggregate), never materialized\n\n",
 			res.Offered, res.Duration, aggRate)
-	} else {
+	default:
 		fmt.Printf("workload: %d requests over %.0fs (%.1f req/s aggregate), mean service %.1fms\n\n",
 			tr.Len(), tr.Duration(), tr.TotalRate(), tr.MeanServiceTime()*1000)
 	}
@@ -479,12 +573,26 @@ func runTopology(arg, scalerArg string, maxFlag int, stream bool, sites, servers
 		res.Consumed-res.Completed-res.Dropped)
 }
 
+// genSpec assembles the generator spec the topology runners share.
+func genSpec(sites, perSite int, rate, duration, arrivalSCV float64, seed int64,
+	model app.InferenceModel) cluster.GenSpec {
+	return cluster.GenSpec{
+		Sites:       sites,
+		Duration:    duration,
+		PerSiteRate: rate * float64(perSite),
+		ArrivalSCV:  arrivalSCV,
+		Model:       model,
+		Seed:        seed,
+	}
+}
+
 // runTopologySweepCLI sweeps request rates through the deployment
 // graph (the ROADMAP's topology-sweep CLI): per-rate aggregate and
 // per-tier tables, plus the inversion crossover against a pooled cloud
 // of equal total capacity on the -scenario's cloud path — the paper's
 // edge-vs-cloud question generalized to arbitrary hierarchies.
-func runTopologySweepCLI(arg, sweepArg, scalerArg string, maxFlag int, stream bool, sc netem.Scenario,
+func runTopologySweepCLI(arg, sweepArg, scalerArg string, maxFlag int, stream bool,
+	in workloadInput, sh shardChoice, sc netem.Scenario,
 	duration, warmup, arrivalSCV float64, seed int64, model app.InferenceModel, mode stats.Mode) {
 	topo, err := loadTopologyWithScaler(arg, scalerArg, maxFlag, model.Mu())
 	if err != nil {
@@ -532,10 +640,50 @@ func runTopologySweepCLI(arg, sweepArg, scalerArg string, maxFlag int, stream bo
 		Summary:    mode,
 		Baseline:   &baseline,
 	}
+	switch {
+	case in.active() || stream:
+		// Source-driven sweeps replay one engine per point: a factory
+		// cannot be split into per-site ranges.
+		if sh.set && sh.n != 0 {
+			from := "-stream"
+			if in.active() {
+				from = in.flagName()
+			}
+			fail("-shards cannot combine with a %s sweep: a source factory cannot be split into site ranges", from)
+		}
+	case sh.set:
+		sweepCfg.Shards = sh.n
+	default:
+		sweepCfg.Shards = experiments.AutoShards
+	}
 	if stream {
 		// Each point (and its paired baseline) re-derives a generator
 		// source from the same spec: identical sequences, O(1) memory.
 		sweepCfg.Source = cluster.Stream
+	}
+	if in.active() {
+		// A recorded trace carries one rate; the sweep replays it with
+		// its timeline rescaled so the aggregate rate lands on each
+		// swept point (service demands untouched). One pre-scan measures
+		// the native rate and validates the file end to end.
+		limit := 0
+		if ingress := topo.Tiers[0]; ingress.Dispatch == "" {
+			limit = ingress.Sites
+		}
+		ws, err := scanWorkload(in.factory(limit))
+		if err != nil {
+			fail("%s: %v", in.flagName(), err)
+		}
+		if limit > 0 && in.azurePath != "" && ws.sites != limit {
+			fail("-azure: file has %d sites but topology %q expects %d", ws.sites, topo.Name, limit)
+		}
+		factory := in.factory(limit)
+		sweepCfg.Source = func(spec cluster.GenSpec) cluster.Source {
+			target := spec.PerSiteRate * float64(spec.Sites)
+			return trace.TimeScale(factory(), ws.rate/target)
+		}
+		fmt.Printf("workload (%s): %d requests over %.0fs (%.1f req/s aggregate native), rescaled per swept rate\n",
+			in.label(), ws.n, ws.dur, ws.rate)
 	}
 	res, err := experiments.RunTopologySweep(sweepCfg)
 	if err != nil {

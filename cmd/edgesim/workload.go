@@ -1,0 +1,161 @@
+package main
+
+// CLI workload plumbing for -topology runs: the -trace/-azure file
+// decoders, the -shards engine choice, and the pre-scan that lets a
+// -sweep rescale a recorded trace onto its rate axis.
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+
+	"repro/internal/cluster"
+	"repro/internal/trace"
+)
+
+// workloadInput is the parsed -trace/-azure flag pair; at most one path
+// is set. seed feeds the Azure decoder's service-time synthesis, fixed
+// per process so every factory call replays the identical sequence (the
+// SourceFactory contract sharded and paired runs rely on).
+type workloadInput struct {
+	tracePath string
+	azurePath string
+	azureBin  float64
+	seed      int64
+}
+
+func (in workloadInput) active() bool { return in.tracePath != "" || in.azurePath != "" }
+
+func (in workloadInput) path() string {
+	if in.tracePath != "" {
+		return in.tracePath
+	}
+	return in.azurePath
+}
+
+func (in workloadInput) flagName() string {
+	if in.tracePath != "" {
+		return "-trace"
+	}
+	return "-azure"
+}
+
+func (in workloadInput) label() string { return in.flagName()[1:] + " " + in.path() }
+
+// factory builds fresh decoders over the file. limitSites > 0 makes a
+// request-CSV record outside [0, limitSites) a decode error instead of
+// a replay panic (the Azure decoder's site count is fixed by its header
+// and validated separately). Each call opens the file anew — sharded
+// replays scan one decoder per shard, concurrently — and the handles
+// live until process exit, which for a CLI run is the replay's
+// lifetime anyway.
+func (in workloadInput) factory(limitSites int) cluster.SourceFactory {
+	return func() cluster.Source {
+		f, err := os.Open(in.path())
+		if err != nil {
+			return errorSource{err: err}
+		}
+		if in.tracePath != "" {
+			src := trace.StreamRequestsCSV(f)
+			if limitSites > 0 {
+				src.LimitSites(limitSites)
+			}
+			return src
+		}
+		return trace.StreamAzureCSV(f, trace.AzureStreamOptions{
+			BinWidth: in.azureBin,
+			Seed:     in.seed,
+		})
+	}
+}
+
+// azureSites reads the Azure CSV header for its site count, which the
+// format fixes before any data row.
+func (in workloadInput) azureSites() (int, error) {
+	f, err := os.Open(in.azurePath)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	src := trace.StreamAzureCSV(f, trace.AzureStreamOptions{BinWidth: in.azureBin})
+	if src.Sites() == 0 {
+		return 0, src.Err()
+	}
+	return src.Sites(), nil
+}
+
+// errorSource is a Source that failed before its first record — a
+// factory's file-open error, surfaced through the FallibleSource
+// contract so a shard worker reports it instead of panicking.
+type errorSource struct{ err error }
+
+func (e errorSource) Next() (cluster.RequestRecord, bool) { return cluster.RequestRecord{}, false }
+
+func (e errorSource) Err() error { return e.err }
+
+// workloadStats is one pre-scan over a decoder: record count, timeline
+// end, observed site count, and the aggregate request rate.
+type workloadStats struct {
+	n     uint64
+	dur   float64
+	sites int
+	rate  float64
+}
+
+// scanWorkload drains one decoder built by factory, so sweeps can
+// rescale the trace onto their rate axis and sharded replays of
+// shared-ingress graphs can learn the site count before partitioning.
+func scanWorkload(factory cluster.SourceFactory) (workloadStats, error) {
+	var ws workloadStats
+	src := factory()
+	for {
+		rec, ok := src.Next()
+		if !ok {
+			break
+		}
+		ws.n++
+		ws.dur = rec.Time
+		if rec.Site+1 > ws.sites {
+			ws.sites = rec.Site + 1
+		}
+	}
+	if fs, ok := src.(cluster.FallibleSource); ok {
+		if err := fs.Err(); err != nil {
+			return ws, err
+		}
+	}
+	if ws.n == 0 || ws.dur <= 0 {
+		return ws, fmt.Errorf("workload has %d requests over %gs; nothing to replay", ws.n, ws.dur)
+	}
+	ws.rate = float64(ws.n) / ws.dur
+	return ws, nil
+}
+
+// shardChoice is the parsed -shards flag; n is meaningful only when the
+// flag was given explicitly.
+type shardChoice struct {
+	set bool
+	n   int
+}
+
+// resolve maps the flag onto a replay engine: 0 selects the classic
+// single-engine cluster.Run, a positive count that many sharded engines
+// through cluster.RunSharded. Unset picks one shard per CPU when the
+// graph shards and quietly falls back to the single engine when it
+// cannot; an explicit count refuses unshardable graphs with the
+// planner's reason.
+func (sh shardChoice) resolve(topo cluster.Topology) (int, error) {
+	if !sh.set {
+		if cluster.Shardable(topo) != nil {
+			return 0, nil
+		}
+		return runtime.GOMAXPROCS(0), nil
+	}
+	if sh.n == 0 {
+		return 0, nil
+	}
+	if err := cluster.Shardable(topo); err != nil {
+		return sh.n, err
+	}
+	return sh.n, nil
+}

@@ -1,0 +1,787 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/autoscale"
+	"repro/internal/econ"
+	"repro/internal/lb"
+	"repro/internal/merge"
+	"repro/internal/queue"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Sharded topology replay splits a run into two phases along the
+// topology graph's natural merge boundary:
+//
+//   - Phase 1 (parallel): the home-routed tiers. Every dynamic there is
+//     site-local — requests queue at their home station, spill decisions
+//     read only that station's load, and all randomness draws from
+//     per-site streams — so the sites partition into contiguous ranges,
+//     each replayed on its own sim.Engine in its own goroutine.
+//   - Phase 2 (serial): the shared tiers (dispatchers, central queues,
+//     autoscaled pools), which couple all sites. Every request crossing
+//     from phase 1 — a spill out of a saturated home tier, or a class
+//     pinned straight to a shared tier — is captured as a boundary
+//     record; the per-shard buffers are merged into one canonical
+//     (time, site, per-site order) sequence and replayed on one engine.
+//
+// Because phase-1 dynamics are site-local and the boundary sequence is
+// canonical, the result is bit-identical for every shard count: the
+// shard-determinism suite asserts -shards N == -shards 1 across the
+// presets, sources, seeds and summary modes. (The sharded path defines
+// its own canonical stream discipline — per-site network streams rather
+// than Run's single generation-order stream — so its numbers are a
+// deterministic function of the seed but need not equal Run's.)
+
+// Shardable reports whether the topology can be replayed by RunSharded,
+// or an error naming the first coupling that prevents it. The
+// disqualifiers are exactly the features that couple home sites:
+// geographic jockeying and autoscalers on home tiers, Bernoulli class
+// fractions (one global stream), sampled detours on non-entry home
+// spill edges, and spill edges that re-enter the home phase from a
+// shared tier.
+func Shardable(topo Topology) error {
+	topo = topo.normalized()
+	if err := topo.Validate(); err != nil {
+		return err
+	}
+	_, err := planShards(topo)
+	return err
+}
+
+// shardPlan classifies tiers into the parallel home phase and the
+// serial shared phase.
+type shardPlan struct {
+	homeSlot []int // tier index -> slot in home order, or -1
+	home     []int // home-routed tier indices, declaration order
+	shared   []int // shared tier indices, declaration order
+	sites    int   // home site count (0 when no home tiers)
+}
+
+func (p *shardPlan) isShared(ti int) bool { return p.homeSlot[ti] < 0 }
+
+func planShards(topo Topology) (shardPlan, error) {
+	plan := shardPlan{homeSlot: make([]int, len(topo.Tiers))}
+	for ti, t := range topo.Tiers {
+		if !t.homeRouted() {
+			plan.homeSlot[ti] = -1
+			plan.shared = append(plan.shared, ti)
+			continue
+		}
+		if t.JockeyThreshold > 0 {
+			return plan, fmt.Errorf("cluster: tier %q jockeys between sites; not shardable", t.Name)
+		}
+		if t.Scaler != nil {
+			return plan, fmt.Errorf("cluster: home tier %q has an autoscaler (one controller across all sites); not shardable", t.Name)
+		}
+		plan.homeSlot[ti] = len(plan.home)
+		plan.home = append(plan.home, ti)
+		plan.sites = t.Sites
+	}
+	for _, sp := range topo.Spills {
+		from, to := topo.tierIndex(sp.From), topo.tierIndex(sp.To)
+		fromHome := plan.homeSlot[from] >= 0
+		if !fromHome && plan.homeSlot[to] >= 0 {
+			return plan, fmt.Errorf("cluster: spill %s->%s re-enters the home phase from a shared tier; not shardable", sp.From, sp.To)
+		}
+		if fromHome && sp.DetourPath != nil && from != 0 {
+			return plan, fmt.Errorf("cluster: spill %s->%s samples its detour at crossing time from a shared stream; not shardable", sp.From, sp.To)
+		}
+	}
+	for _, c := range topo.Classes {
+		if c.Fraction > 0 && c.Fraction < 1 {
+			return plan, fmt.Errorf("cluster: class %q draws a global Bernoulli stream; not shardable", c.Name)
+		}
+	}
+	return plan, nil
+}
+
+// boundaryRec is one request crossing the merge boundary: everything
+// phase 2 needs to replay its life at the shared tiers.
+type boundaryRec struct {
+	at        float64 // arrival instant at the shared target tier
+	site      int     // global home site (merge tie-break)
+	seq       uint64  // per-site capture order (final tie-break)
+	service   float64 // service demand, already scaled to the target tier
+	rtt       float64 // network RTT accumulated so far
+	aux       float64 // pre-sampled entry-spill detour (Request.AuxRTT)
+	generated float64
+	tier      int // target tier index
+}
+
+// boundaryBefore is the canonical merge order: arrival time, then home
+// site, then per-site capture order. Sites are disjoint across shards
+// and seq is strictly increasing per site, so the order is total and
+// independent of the shard partition.
+func boundaryBefore(a, b *boundaryRec) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.site != b.site {
+		return a.site < b.site
+	}
+	return a.seq < b.seq
+}
+
+// homeSpill is one home tier's outgoing spill edge, pre-resolved.
+type homeSpill struct {
+	spec     SpillEdge
+	to       int
+	toShared bool
+	toSlow   float64
+	atGen    bool // entry-tier edge: detour pre-sampled into AuxRTT
+}
+
+// shardState is one phase-1 shard's working set and harvest. It doubles
+// as the shard's queue.Sink: every completion in phase 1 happens at a
+// home tier of this shard.
+type shardState struct {
+	lo, hi int // global site range
+	warmup float64
+	slot   []int // tier index -> home slot (shared shardPlan.homeSlot)
+
+	stations [][]*queue.Station // per home slot, per local site
+	boundary []boundaryRec
+	siteSeq  []uint64 // per local site: boundary capture counter
+
+	offered  uint64
+	consumed uint64
+	served   []uint64 // per home slot, measured
+	dropped  []uint64
+	spilled  []uint64
+
+	tierSite [][]stats.Digest // per home slot, per local site e2e
+	perSite  []stats.Digest   // per local site, home-phase e2e
+
+	eng *sim.Engine
+	err error
+}
+
+// Consume implements queue.Sink.
+func (st *shardState) Consume(e *sim.Engine, r *queue.Request) {
+	st.consumed++
+	if r.Departure < st.warmup {
+		return
+	}
+	slot := st.slot[r.Tag]
+	if r.Dropped {
+		st.dropped[slot]++
+		return
+	}
+	e2e := r.EndToEnd()
+	ls := r.Site - st.lo
+	st.perSite[ls].Add(e2e)
+	st.tierSite[slot][ls].Add(e2e)
+	st.served[slot]++
+}
+
+// runShardPhase1 replays one shard's sites through the home tiers,
+// capturing boundary crossings. All randomness draws from the per-site
+// streams in netSeeds, so a site behaves identically no matter which
+// shard holds it.
+func runShardPhase1(topo Topology, plan shardPlan, st *shardState, src Source, opts Options, netSeeds []int64) {
+	eng := sim.NewEngineBackend(opts.Seed, opts.Backend)
+	st.eng = eng
+	pool := &queue.FreeList{}
+	width := st.hi - st.lo
+
+	st.warmup = opts.Warmup
+	st.slot = plan.homeSlot
+	st.served = make([]uint64, len(plan.home))
+	st.dropped = make([]uint64, len(plan.home))
+	st.spilled = make([]uint64, len(plan.home))
+	st.siteSeq = make([]uint64, width)
+	st.perSite = newDigests(opts.Summary, width)
+	st.tierSite = make([][]stats.Digest, len(plan.home))
+	st.stations = make([][]*queue.Station, len(plan.home))
+	for slot, ti := range plan.home {
+		t := topo.Tiers[ti]
+		st.tierSite[slot] = newDigests(opts.Summary, width)
+		st.stations[slot] = make([]*queue.Station, width)
+		for ls := 0; ls < width; ls++ {
+			gs := st.lo + ls
+			c := t.ServersPerSite
+			if t.PerSiteServers != nil {
+				c = t.PerSiteServers[gs]
+			}
+			st.stations[slot][ls] = newStation(eng, fmt.Sprintf("%s-%d", t.Name, gs),
+				c, t.Discipline, t.QueueCap, opts.Warmup, opts.Summary, pool)
+		}
+	}
+
+	netRng := make([]*rand.Rand, width)
+	for ls := range netRng {
+		netRng[ls] = rand.New(rand.NewSource(netSeeds[st.lo+ls]))
+	}
+
+	// Resolve spill edges out of home tiers. The entry tier's sampled
+	// detour is drawn at generation time in per-site record order and
+	// rides in AuxRTT, mirroring Run's generation-time draw.
+	spills := make([]*homeSpill, len(plan.home))
+	var genSpill *SpillEdge
+	for i, sp := range topo.Spills {
+		from, to := topo.tierIndex(sp.From), topo.tierIndex(sp.To)
+		if sp.DetourPath != nil && from == 0 {
+			genSpill = &topo.Spills[i]
+		}
+		if plan.homeSlot[from] < 0 {
+			continue
+		}
+		spills[plan.homeSlot[from]] = &homeSpill{
+			spec:     sp,
+			to:       to,
+			toShared: plan.isShared(to),
+			toSlow:   topo.Tiers[to].SlowdownFactor,
+			atGen:    sp.DetourPath != nil && from == 0,
+		}
+	}
+
+	// Site-pinned classes only: planShards rejected Bernoulli fractions,
+	// so classification is deterministic per record.
+	classify := func(rec RequestRecord) int {
+		for _, c := range topo.Classes {
+			if c.Sites != nil && !containsInt(c.Sites, rec.Site) {
+				continue
+			}
+			return topo.tierIndex(c.Tier)
+		}
+		return 0
+	}
+
+	capture := func(at float64, req *queue.Request, target int, service float64) {
+		ls := req.Site - st.lo
+		st.boundary = append(st.boundary, boundaryRec{
+			at:        at,
+			site:      req.Site,
+			seq:       st.siteSeq[ls],
+			service:   service,
+			rtt:       req.NetworkRTT,
+			aux:       req.AuxRTT,
+			generated: req.Generated,
+			tier:      target,
+		})
+		st.siteSeq[ls]++
+		pool.Put(req)
+	}
+
+	var admitEv sim.PayloadEvent
+	admitEv = func(e *sim.Engine, p any) {
+		req := p.(*queue.Request)
+		ti := int(req.Tag)
+		if plan.isShared(ti) {
+			// Class-pinned straight into the shared phase; ServiceTime is
+			// already scaled to the target tier by prep.
+			capture(e.Now(), req, ti, req.ServiceTime)
+			return
+		}
+		slot := plan.homeSlot[ti]
+		ls := req.Site - st.lo
+		if hs := spills[slot]; hs != nil && st.stations[slot][ls].Load() >= hs.spec.Threshold {
+			st.spilled[slot]++
+			slow := topo.Tiers[ti].SlowdownFactor
+			extra := hs.spec.DetourRTT
+			if hs.atGen {
+				extra += req.AuxRTT
+			}
+			if hs.toShared {
+				service := req.ServiceTime
+				if hs.toSlow != slow {
+					service = service / slow * hs.toSlow
+				}
+				req.NetworkRTT += extra
+				capture(e.Now()+extra/2, req, hs.to, service)
+				return
+			}
+			if hs.toSlow != slow {
+				req.ServiceTime = req.ServiceTime / slow * hs.toSlow
+			}
+			req.Tag = uint64(hs.to)
+			req.NetworkRTT += extra
+			e.AfterPayload(extra/2, admitEv, req)
+			return
+		}
+		st.stations[slot][ls].Arrive(req)
+	}
+
+	f := &feeder{
+		src:  src,
+		pool: pool,
+		sink: st,
+		prep: func(rec RequestRecord, req *queue.Request) {
+			if rec.Site < st.lo || rec.Site >= st.hi {
+				panic(fmt.Sprintf("cluster: sharded source yielded site %d outside shard [%d,%d)",
+					rec.Site, st.lo, st.hi))
+			}
+			entry := 0
+			if len(topo.Classes) > 0 {
+				entry = classify(rec)
+			}
+			et := topo.Tiers[entry]
+			path := et.Path
+			if et.PerSitePaths != nil {
+				path = et.PerSitePaths[rec.Site]
+			}
+			rng := netRng[rec.Site-st.lo]
+			req.NetworkRTT = path.Sample(rng)
+			if genSpill != nil {
+				// Drawn for every record in per-site record order, so the
+				// sequence is independent of routing decisions and of the
+				// shard partition.
+				req.AuxRTT = genSpill.DetourPath.Sample(rng)
+			}
+			req.ServiceTime = rec.ServiceTime * et.SlowdownFactor
+			req.Tag = uint64(entry)
+		},
+		admit: admitEv,
+	}
+	f.start(eng)
+	eng.Run()
+	st.offered = f.count
+	if fs, ok := src.(FallibleSource); ok {
+		if err := fs.Err(); err != nil {
+			st.err = fmt.Errorf("cluster: shard [%d,%d) source failed after %d records: %w",
+				st.lo, st.hi, f.count, err)
+		}
+	}
+	// Captures were appended in shard event order; canonicalize so the
+	// k-way merge sees each buffer sorted by the global order.
+	sort.Slice(st.boundary, func(i, j int) bool {
+		return boundaryBefore(&st.boundary[i], &st.boundary[j])
+	})
+}
+
+// phase2Sink records completions at the shared tiers, writing the
+// result's aggregate counters directly (phase-1 counters are harvested
+// afterwards).
+type phase2Sink struct {
+	res      *TopologyResult
+	warmup   float64
+	perSite  []stats.Digest // per global site, shared-phase e2e
+	consumed uint64
+	pre      func() // runs for every consumed request (autoscale drain)
+}
+
+// Consume implements queue.Sink.
+func (s *phase2Sink) Consume(e *sim.Engine, r *queue.Request) {
+	s.res.Consumed++
+	s.consumed++
+	if s.pre != nil {
+		s.pre()
+	}
+	if r.Departure < s.warmup {
+		return
+	}
+	tier := &s.res.Tiers[r.Tag]
+	if r.Dropped {
+		s.res.Dropped++
+		tier.Dropped++
+		return
+	}
+	e2e := r.EndToEnd()
+	if r.Site >= 0 && r.Site < len(s.perSite) {
+		s.perSite[r.Site].Add(e2e)
+	}
+	s.res.Completed++
+	tier.Served++
+	tier.EndToEnd.Add(e2e)
+}
+
+// RunSharded replays the source through the topology on `shards`
+// parallel engines plus one serial shared phase, producing a result
+// that is bit-identical for every shard count (including 1). shards <=
+// 0 selects GOMAXPROCS; the count is clamped to the site count. See
+// Shardable for what disqualifies a topology.
+//
+// Options.TimelineBin and Options.Probe are not supported here: both
+// observe global event order, which sharding does not preserve.
+func RunSharded(src ShardedSource, topo Topology, opts Options, shards int) (*TopologyResult, error) {
+	topo = topo.normalized()
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	plan, err := planShards(topo)
+	if err != nil {
+		return nil, err
+	}
+	if opts.TimelineBin > 0 {
+		return nil, fmt.Errorf("cluster: RunSharded does not support Options.TimelineBin (order-dependent timeline); use Run")
+	}
+	if opts.Probe != nil {
+		return nil, fmt.Errorf("cluster: RunSharded does not support Options.Probe; use Run")
+	}
+	if opts.Pricing != nil &&
+		(opts.Pricing.CloudPerServerHour <= 0 || opts.Pricing.EdgePerServerHour <= 0) {
+		return nil, fmt.Errorf("cluster: Options.Pricing needs positive cloud and edge rates, got %+v",
+			*opts.Pricing)
+	}
+	sites := src.Sites()
+	if sites <= 0 {
+		return nil, fmt.Errorf("cluster: sharded source reports %d sites", sites)
+	}
+	if plan.sites > 0 && sites != plan.sites {
+		return nil, fmt.Errorf("cluster: source has %d sites, home tiers have %d", sites, plan.sites)
+	}
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if shards > sites {
+		shards = sites
+	}
+
+	// Per-site stream seeds, derived exactly as siteStreams derives the
+	// generator's: one master stream hands each site a seed in site
+	// order, then one more seeds the phase-2 engine. The derivation
+	// never reads the shard count.
+	master := rand.New(rand.NewSource(opts.Seed))
+	netSeeds := make([]int64, sites)
+	for i := range netSeeds {
+		netSeeds[i] = master.Int63()
+	}
+	phase2Seed := master.Int63()
+
+	// Phase 1: contiguous balanced site ranges, one goroutine each.
+	states := make([]*shardState, shards)
+	lo := 0
+	for k := 0; k < shards; k++ {
+		width := sites / shards
+		if k < sites%shards {
+			width++
+		}
+		states[k] = &shardState{lo: lo, hi: lo + width}
+		lo += width
+	}
+	var wg sync.WaitGroup
+	for _, st := range states {
+		wg.Add(1)
+		go func(st *shardState) {
+			defer wg.Done()
+			runShardPhase1(topo, plan, st, src.Shard(st.lo, st.hi), opts, netSeeds)
+		}(st)
+	}
+	wg.Wait()
+	for _, st := range states {
+		if st.err != nil {
+			return nil, st.err
+		}
+	}
+
+	// Result skeleton; phase 2 writes its tier counters directly.
+	res := &TopologyResult{Result: *newResult(topo.Name, opts.Summary, opts.SizeHint)}
+	res.Tiers = make([]TierResult, len(topo.Tiers))
+	for i := range res.Tiers {
+		res.Tiers[i].Name = topo.Tiers[i].Name
+		res.Tiers[i].EndToEnd = stats.NewDigest(opts.Summary, 0)
+		res.Tiers[i].Wait = stats.NewDigest(opts.Summary, 0)
+	}
+
+	// Phase 2: one serial engine over the shared tiers, fed by the
+	// canonical cross-shard merge of boundary records. Stream creation
+	// follows Run's discipline scoped to the shared tiers: each tier's
+	// jockey/dispatcher stream in tier order, then lazy spill streams in
+	// spill order; controllers construct-then-Start in tier order.
+	eng2 := sim.NewEngineBackend(phase2Seed, opts.Backend)
+	pool2 := &queue.FreeList{}
+	x := &topoExec{eng: eng2, tiers: make([]*tierRuntime, len(topo.Tiers)), res: res}
+	for _, ti := range plan.shared {
+		t := topo.Tiers[ti]
+		rt := &tierRuntime{
+			spec:    t,
+			central: t.Dispatch == CentralQueueDispatch,
+			slow:    t.SlowdownFactor,
+		}
+		rt.stations = make([]*queue.Station, t.Sites)
+		rt.servers = make([]queue.Server, t.Sites)
+		for i := range rt.stations {
+			c := t.ServersPerSite
+			if t.PerSiteServers != nil {
+				c = t.PerSiteServers[i]
+			}
+			name := fmt.Sprintf("%s-%d", t.Name, i)
+			if rt.central && t.Sites == 1 {
+				name = t.Name
+			}
+			rt.stations[i] = newStation(eng2, name, c, t.Discipline,
+				t.QueueCap, opts.Warmup, opts.Summary, pool2)
+			rt.servers[i] = rt.stations[i]
+		}
+		// Jockeying is home-routed-only (Validate), and jockeying home
+		// tiers are unshardable, so shared tiers never need lb.Geographic.
+		if !rt.central {
+			d, err := lb.New(t.Dispatch, rt.servers, eng2.NewStream())
+			if err != nil {
+				return nil, fmt.Errorf("cluster: tier %q: %w", t.Name, err)
+			}
+			rt.dispatcher = d
+		}
+		x.tiers[ti] = rt
+	}
+	for _, sp := range topo.Spills {
+		from, to := topo.tierIndex(sp.From), topo.tierIndex(sp.To)
+		if plan.homeSlot[from] >= 0 {
+			continue // handled inside phase 1
+		}
+		rt := &spillRuntime{spec: sp, to: to}
+		if sp.DetourPath != nil {
+			if from == 0 {
+				// The entry tier's detour was pre-sampled by phase 1 and
+				// rides on the boundary record's aux field.
+				rt.atGen = true
+			} else {
+				rt.rng = eng2.NewStream()
+			}
+		}
+		x.tiers[from].spill = rt
+	}
+	var ctrls []autoscale.Scaler
+	for _, ti := range plan.shared {
+		rt := x.tiers[ti]
+		if rt.spec.Scaler == nil {
+			continue
+		}
+		s, err := autoscale.New(*rt.spec.Scaler, eng2, rt.stations)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: tier %q: %w", rt.spec.Name, err)
+		}
+		s.Start()
+		rt.scaler = s
+		ctrls = append(ctrls, s)
+	}
+
+	sink2 := &phase2Sink{res: res, warmup: opts.Warmup, perSite: newDigests(opts.Summary, sites)}
+	x.admitEv = func(e *sim.Engine, p any) {
+		req := p.(*queue.Request)
+		x.admit(int(req.Tag), req)
+	}
+
+	// Canonical k-way merge over the sorted per-shard buffers. heads
+	// maps heap entries to shard indices; pos tracks each shard's next
+	// unread record.
+	var total uint64
+	for _, st := range states {
+		total += uint64(len(st.boundary))
+	}
+	pos := make([]int, shards)
+	var heads []int
+	for k := range states {
+		if len(states[k].boundary) > 0 {
+			heads = append(heads, k)
+		}
+	}
+	var mh merge.Heap
+	mh.Less = func(a, b int) bool {
+		ka, kb := heads[a], heads[b]
+		return boundaryBefore(&states[ka].boundary[pos[ka]], &states[kb].boundary[pos[kb]])
+	}
+	mh.Build(len(heads))
+
+	var pending *boundaryRec
+	advance := func() bool {
+		if mh.Len() == 0 {
+			pending = nil
+			return false
+		}
+		k := heads[mh.Min()]
+		pending = &states[k].boundary[pos[k]]
+		pos[k]++
+		if pos[k] < len(states[k].boundary) {
+			mh.FixMin()
+		} else {
+			mh.PopMin()
+		}
+		return true
+	}
+
+	var drained bool
+	stopAll := func() {
+		if drained && sink2.consumed == total {
+			for _, c := range ctrls {
+				c.Stop()
+			}
+		}
+	}
+	if len(ctrls) > 0 {
+		sink2.pre = stopAll
+	}
+	var nextID uint64
+	var pump sim.Event
+	pump = func(e *sim.Engine) {
+		rec := pending
+		req := pool2.Get()
+		nextID++
+		req.ID = nextID
+		req.Site = rec.site
+		req.Generated = rec.generated
+		req.Done = sink2
+		req.NetworkRTT = rec.rtt
+		req.AuxRTT = rec.aux
+		req.ServiceTime = rec.service
+		req.Tag = uint64(rec.tier)
+		x.admit(rec.tier, req)
+		if advance() {
+			e.AtFront(pending.at, pump)
+		} else {
+			drained = true
+			stopAll()
+		}
+	}
+	if advance() {
+		eng2.AtFront(pending.at, pump)
+	} else {
+		drained = true
+		stopAll()
+	}
+	eng2.Run()
+	for _, c := range ctrls {
+		c.Stop()
+	}
+
+	// Close every engine at the global end time, so time-weighted
+	// metrics (busy integrals, arrival rates) cover the same window for
+	// every shard count: the max over engines equals the max over
+	// per-site last-event times, which no partition changes.
+	globalDur := eng2.Now()
+	for _, st := range states {
+		if st.eng.Now() > globalDur {
+			globalDur = st.eng.Now()
+		}
+	}
+	for _, st := range states {
+		if st.eng.Now() < globalDur {
+			st.eng.RunUntil(globalDur)
+		}
+		for _, row := range st.stations {
+			for _, s := range row {
+				s.Finish()
+			}
+		}
+	}
+	if eng2.Now() < globalDur {
+		eng2.RunUntil(globalDur)
+	}
+	for _, ti := range plan.shared {
+		for _, s := range x.tiers[ti].stations {
+			s.Finish()
+		}
+	}
+	res.Duration = globalDur
+
+	// Harvest phase-1 counters.
+	for _, st := range states {
+		res.Offered += st.offered
+		res.Consumed += st.consumed
+		for slot, ti := range plan.home {
+			res.Tiers[ti].Served += st.served[slot]
+			res.Tiers[ti].Dropped += st.dropped[slot]
+			res.Tiers[ti].Spilled += st.spilled[slot]
+			res.Completed += st.served[slot]
+			res.Dropped += st.dropped[slot]
+		}
+	}
+
+	// Combined per-site end-to-end: home-phase completions then
+	// shared-phase completions, merged in global site order — a
+	// canonical order standing in for Run's completion order.
+	combined := newDigests(opts.Summary, sites)
+	for s := 0; s < sites; s++ {
+		for _, st := range states {
+			if s >= st.lo && s < st.hi {
+				combined[s].Merge(&st.perSite[s-st.lo])
+			}
+		}
+		combined[s].Merge(&sink2.perSite[s])
+		res.EndToEnd.Merge(&combined[s])
+	}
+	for slot, ti := range plan.home {
+		tier := &res.Tiers[ti]
+		for _, st := range states {
+			for ls := range st.tierSite[slot] {
+				tier.EndToEnd.Merge(&st.tierSite[slot][ls])
+			}
+		}
+	}
+
+	// Assemble per-tier station metrics in Run's exact order: tiers
+	// outer (declaration order), stations inner (global site order).
+	pricing := econ.DefaultPricing()
+	if opts.Pricing != nil {
+		pricing = *opts.Pricing
+	}
+	entryHome := plan.homeSlot[0] >= 0
+	var busyAll, capAll float64
+	for ti := range topo.Tiers {
+		tr := &res.Tiers[ti]
+		var busy, capacity float64
+		if slot := plan.homeSlot[ti]; slot >= 0 {
+			for _, st := range states {
+				for ls, s := range st.stations[slot] {
+					gs := st.lo + ls
+					m := s.Metrics()
+					res.Wait.Merge(&m.Wait)
+					tr.Wait.Merge(&m.Wait)
+					sr := SiteResult{
+						Site:        gs,
+						Wait:        m.Wait,
+						Utilization: m.Utilization(s.Servers),
+						Arrivals:    s.TotalArrivals(),
+						MeanRate:    m.Arrivals.Rate(),
+					}
+					if ti == 0 && entryHome && !opts.NoPerSiteLatency {
+						sr.EndToEnd = combined[gs]
+					}
+					tr.Sites = append(tr.Sites, sr)
+					tr.FinalServers = append(tr.FinalServers, s.Servers)
+					busy += m.Busy.Average()
+					capacity += float64(s.Servers)
+				}
+			}
+		} else {
+			rt := x.tiers[ti]
+			for i, s := range rt.stations {
+				m := s.Metrics()
+				res.Wait.Merge(&m.Wait)
+				tr.Wait.Merge(&m.Wait)
+				tr.Sites = append(tr.Sites, SiteResult{
+					Site:        i,
+					Wait:        m.Wait,
+					Utilization: m.Utilization(s.Servers),
+					Arrivals:    s.TotalArrivals(),
+					MeanRate:    m.Arrivals.Rate(),
+				})
+				tr.FinalServers = append(tr.FinalServers, s.Servers)
+				busy += m.Busy.Average()
+				capacity += float64(s.Servers)
+			}
+		}
+		if capacity > 0 {
+			tr.Utilization = busy / capacity
+		}
+		if rt := x.tiers[ti]; rt != nil && rt.scaler != nil {
+			tel := rt.scaler.Telemetry(res.Duration)
+			tr.ScalerPolicy = rt.spec.Scaler.Label()
+			tr.ScaleUps = tel.ScaleUps
+			tr.ScaleDowns = tel.ScaleDowns
+			tr.PeakServers = tel.PeakServers
+			tr.ServerSeconds = tel.ServerSeconds
+			tr.Events = rt.scaler.EventLog()
+		} else {
+			tr.ServerSeconds = capacity * res.Duration
+		}
+		priceTier(tr, plan.homeSlot[ti] >= 0, topo.Tiers[ti].PricePerServerHour, pricing, res.Duration)
+		res.TotalCost += tr.Cost
+		busyAll += busy
+		capAll += capacity
+	}
+	if capAll > 0 {
+		res.Utilization = busyAll / capAll
+	}
+	if res.Completed > 0 {
+		res.CostPerRequest = res.TotalCost / float64(res.Completed)
+	}
+	return res, nil
+}

@@ -1,0 +1,275 @@
+package cluster_test
+
+// Sharded replay must be bit-identical across shard counts: RunSharded
+// with N engines produces the same TopologyResult as with 1, for every
+// preset, seed, warmup and summary mode, and for generator, trace and
+// streaming-CSV sources. These tests are the determinism proof the
+// -shards flag rests on; the CI race job runs them under -race to also
+// certify the phase-1 goroutines share nothing mutable.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/autoscale"
+	"repro/internal/cluster"
+	"repro/internal/netem"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func presetSpec(sites int, seed int64) cluster.GenSpec {
+	return cluster.GenSpec{
+		Sites:       sites,
+		Duration:    120,
+		PerSiteRate: 9,
+		Seed:        seed,
+	}
+}
+
+func runSharded(t *testing.T, preset string, shards int, warmup float64, mode stats.Mode, seed int64) *cluster.TopologyResult {
+	t.Helper()
+	topo, ok := cluster.PresetTopology(preset)
+	if !ok {
+		t.Fatalf("unknown preset %q", preset)
+	}
+	src := cluster.GenShards(presetSpec(topo.Tiers[0].Sites, seed))
+	res, err := cluster.RunSharded(src, topo, cluster.Options{
+		Warmup:  warmup,
+		Seed:    seed,
+		Summary: mode,
+	}, shards)
+	if err != nil {
+		t.Fatalf("preset %s with %d shards: %v", preset, shards, err)
+	}
+	return res
+}
+
+// TestShardCountInvariance: whole TopologyResults are bit-identical
+// for every shard count, across all shipped presets, seeds, warmup and
+// summary modes. Shard count 8 exceeds the presets' 5 sites, proving
+// the clamp path too.
+func TestShardCountInvariance(t *testing.T) {
+	for _, preset := range cluster.TopologyPresets() {
+		if err := func() error {
+			topo, _ := cluster.PresetTopology(preset)
+			return cluster.Shardable(topo)
+		}(); err != nil {
+			t.Fatalf("preset %s must be shardable: %v", preset, err)
+		}
+		for _, seed := range []int64{1, 42} {
+			for _, tc := range []struct {
+				label  string
+				warmup float64
+				mode   stats.Mode
+			}{
+				{"exact", 0, stats.Exact},
+				{"exact-warmup", 30, stats.Exact},
+				{"bounded", 0, stats.Bounded},
+				{"bounded-warmup", 30, stats.Bounded},
+			} {
+				want := runSharded(t, preset, 1, tc.warmup, tc.mode, seed)
+				if want.Offered == 0 {
+					t.Fatalf("%s/%s: no requests offered; test is vacuous", preset, tc.label)
+				}
+				if want.Offered != want.Consumed {
+					t.Fatalf("%s/%s: offered %d != consumed %d", preset, tc.label,
+						want.Offered, want.Consumed)
+				}
+				for _, shards := range []int{2, 3, 4, 8} {
+					got := runSharded(t, preset, shards, tc.warmup, tc.mode, seed)
+					compareTopologyResults(t,
+						preset+"/"+tc.label+"/shards", want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedSourcesAgree: the three ShardedSource adapters — lazy
+// generator ranges, materialized trace filtering, and re-scanned
+// streaming CSV decoders — feed bit-identical sharded runs, at
+// different shard counts.
+func TestShardedSourcesAgree(t *testing.T) {
+	const sites = 5
+	topo := spillTopology(sites)
+	opts := cluster.Options{Warmup: 20, Seed: 11, Summary: stats.Exact}
+	mk := func() cluster.GenSpec { return presetSpec(sites, 7) }
+
+	want, err := cluster.RunSharded(cluster.GenShards(mk()), topo, opts, 1)
+	if err != nil {
+		t.Fatalf("generator baseline: %v", err)
+	}
+	if want.Offered == 0 {
+		t.Fatal("baseline offered no requests; test is vacuous")
+	}
+
+	got, err := cluster.RunSharded(cluster.TraceShards(cluster.Generate(mk())), topo, opts, 3)
+	if err != nil {
+		t.Fatalf("trace source: %v", err)
+	}
+	compareTopologyResults(t, "trace-shards", want, got)
+
+	var buf bytes.Buffer
+	if _, err := trace.WriteRequestsCSV(&buf, cluster.Stream(mk())); err != nil {
+		t.Fatalf("encode CSV: %v", err)
+	}
+	csv := buf.String()
+	factory := func() cluster.Source { return trace.StreamRequestsCSV(strings.NewReader(csv)) }
+	got, err = cluster.RunSharded(cluster.SourceShards(factory, sites), topo, opts, 4)
+	if err != nil {
+		t.Fatalf("csv source: %v", err)
+	}
+	compareTopologyResults(t, "csv-shards", want, got)
+}
+
+// TestShardedAzureSourceDeterministic: the Azure per-bin decoder,
+// re-scanned per shard through SourceShards, sharded at N matches
+// sharded at 1.
+func TestShardedAzureSourceDeterministic(t *testing.T) {
+	const azureCSV = `bin,s0,s1,s2,s3
+0,40,55,35,20
+1,30,25,45,30
+2,25,30,20,35
+`
+	factory := func() cluster.Source {
+		return trace.StreamAzureCSV(strings.NewReader(azureCSV), trace.AzureStreamOptions{
+			BinWidth: 30,
+			Seed:     3,
+		})
+	}
+	probe := trace.StreamAzureCSV(strings.NewReader(azureCSV), trace.AzureStreamOptions{})
+	sites := probe.Sites()
+	if sites <= 1 {
+		t.Fatalf("azure trace has %d sites; want several", sites)
+	}
+
+	topo := spillTopology(sites)
+	opts := cluster.Options{Seed: 5, Summary: stats.Exact}
+	want, err := cluster.RunSharded(cluster.SourceShards(factory, sites), topo, opts, 1)
+	if err != nil {
+		t.Fatalf("azure baseline: %v", err)
+	}
+	if want.Offered == 0 {
+		t.Fatal("azure baseline offered no requests; test is vacuous")
+	}
+	for _, shards := range []int{2, sites} {
+		got, err := cluster.RunSharded(cluster.SourceShards(factory, sites), topo, opts, shards)
+		if err != nil {
+			t.Fatalf("azure %d shards: %v", shards, err)
+		}
+		compareTopologyResults(t, "azure-shards", want, got)
+	}
+}
+
+// TestShardedSourceErrorSurfaces: a decode failure inside a shard
+// worker comes back as an error, not a panic or a silently truncated
+// result.
+func TestShardedSourceErrorSurfaces(t *testing.T) {
+	const bad = "time,site,service\n0.5,0,0.01\n1.0,1,0.02\nnot-a-number,0,0.01\n"
+	factory := func() cluster.Source { return trace.StreamRequestsCSV(strings.NewReader(bad)) }
+	topo := spillTopology(2)
+	_, err := cluster.RunSharded(cluster.SourceShards(factory, 2), topo, cluster.Options{Seed: 1}, 2)
+	if err == nil {
+		t.Fatal("want a decode error from the sharded run, got none")
+	}
+	if !strings.Contains(err.Error(), "source failed") {
+		t.Fatalf("error does not identify the source failure: %v", err)
+	}
+}
+
+// TestShardableRejections: every coupling feature is named and
+// rejected, and RunSharded refuses the options it cannot honor.
+func TestShardableRejections(t *testing.T) {
+	home := func() cluster.Topology {
+		return cluster.Topology{
+			Name: "reject",
+			Tiers: []cluster.Tier{
+				{Name: "edge", Sites: 3, ServersPerSite: 1, Path: netem.EdgePath},
+				{Name: "cloud", Sites: 1, ServersPerSite: 3, Path: netem.CloudTypical,
+					Dispatch: cluster.CentralQueueDispatch},
+			},
+			Spills: []cluster.SpillEdge{{From: "edge", To: "cloud", Threshold: 2}},
+		}
+	}
+
+	t.Run("jockeying-home-tier", func(t *testing.T) {
+		topo := home()
+		topo.Tiers[0].JockeyThreshold = 2
+		if err := cluster.Shardable(topo); err == nil || !strings.Contains(err.Error(), "jockeys") {
+			t.Fatalf("want jockey rejection, got %v", err)
+		}
+	})
+	t.Run("home-tier-scaler", func(t *testing.T) {
+		topo := home()
+		spec := autoscale.ReactiveSpec(autoscale.Config{
+			Interval: 5, Min: 1, Max: 4, UpThreshold: 1.5, DownThreshold: 0.3, Cooldown: 15,
+		})
+		topo.Tiers[0].Scaler = &spec
+		if err := cluster.Shardable(topo); err == nil || !strings.Contains(err.Error(), "autoscaler") {
+			t.Fatalf("want home-scaler rejection, got %v", err)
+		}
+	})
+	t.Run("bernoulli-class", func(t *testing.T) {
+		topo := home()
+		topo.Classes = []cluster.ClassRule{{Name: "split", Fraction: 0.25, Tier: "cloud"}}
+		if err := cluster.Shardable(topo); err == nil || !strings.Contains(err.Error(), "Bernoulli") {
+			t.Fatalf("want Bernoulli rejection, got %v", err)
+		}
+	})
+	t.Run("shared-to-home-spill", func(t *testing.T) {
+		topo := cluster.Topology{
+			Name: "reject-reentry",
+			Tiers: []cluster.Tier{
+				{Name: "gateway", Sites: 1, ServersPerSite: 2, Path: netem.CloudTypical,
+					Dispatch: cluster.CentralQueueDispatch},
+				{Name: "edge", Sites: 3, ServersPerSite: 1, Path: netem.EdgePath},
+			},
+			Spills: []cluster.SpillEdge{{From: "gateway", To: "edge", Threshold: 4}},
+		}
+		if err := cluster.Shardable(topo); err == nil || !strings.Contains(err.Error(), "re-enters") {
+			t.Fatalf("want re-entry rejection, got %v", err)
+		}
+	})
+	t.Run("deep-home-detour", func(t *testing.T) {
+		detour := netem.CloudTypical
+		topo := cluster.Topology{
+			Name: "reject-deep",
+			Tiers: []cluster.Tier{
+				{Name: "edge", Sites: 3, ServersPerSite: 1, Path: netem.EdgePath},
+				{Name: "metro", Sites: 3, ServersPerSite: 1, Path: netem.EdgePath},
+				{Name: "cloud", Sites: 1, ServersPerSite: 3, Path: netem.CloudTypical,
+					Dispatch: cluster.CentralQueueDispatch},
+			},
+			Spills: []cluster.SpillEdge{
+				{From: "edge", To: "metro", Threshold: 2},
+				{From: "metro", To: "cloud", Threshold: 2, DetourPath: &detour},
+			},
+		}
+		if err := cluster.Shardable(topo); err == nil || !strings.Contains(err.Error(), "detour") {
+			t.Fatalf("want deep-detour rejection, got %v", err)
+		}
+	})
+	t.Run("timeline-unsupported", func(t *testing.T) {
+		src := cluster.GenShards(presetSpec(3, 1))
+		_, err := cluster.RunSharded(src, home(), cluster.Options{TimelineBin: 1}, 2)
+		if err == nil || !strings.Contains(err.Error(), "TimelineBin") {
+			t.Fatalf("want timeline rejection, got %v", err)
+		}
+	})
+	t.Run("probe-unsupported", func(t *testing.T) {
+		src := cluster.GenShards(presetSpec(3, 1))
+		_, err := cluster.RunSharded(src, home(), cluster.Options{Probe: func(int) {}}, 2)
+		if err == nil || !strings.Contains(err.Error(), "Probe") {
+			t.Fatalf("want probe rejection, got %v", err)
+		}
+	})
+	t.Run("site-mismatch", func(t *testing.T) {
+		src := cluster.GenShards(presetSpec(4, 1))
+		_, err := cluster.RunSharded(src, home(), cluster.Options{}, 2)
+		if err == nil || !strings.Contains(err.Error(), "sites") {
+			t.Fatalf("want site-count rejection, got %v", err)
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"fmt"
 	"math/rand"
 
 	"repro/internal/app"
@@ -54,10 +55,24 @@ type streamSource struct {
 // Stream or Generate call — re-derive fresh processes per source (see
 // StreamFactory).
 func Stream(spec GenSpec) Source {
+	return streamRange(spec, 0, spec.Sites)
+}
+
+// streamRange builds the streaming source restricted to sites [lo, hi):
+// every site's streams are derived exactly as the full Stream derives
+// them (all sites seeded in site order, then the range selected), so a
+// site emits the identical record sequence no matter which range it is
+// generated in. Records carry global site indices. This is the
+// generator leg of sharded replay: disjoint ranges partition the full
+// record sequence.
+func streamRange(spec GenSpec, lo, hi int) Source {
 	// Validation, process derivation and per-site stream seeding are
 	// the helpers Generate uses, so the two paths cannot drift.
 	procs := deriveArrivals(&spec)
 	arrRng, svcRng := siteStreams(spec.Seed, spec.Sites)
+	if lo < 0 || hi > spec.Sites || lo > hi {
+		panic(fmt.Sprintf("cluster: stream range [%d,%d) outside %d sites", lo, hi, spec.Sites))
+	}
 	s := &streamSource{
 		model:    spec.Model,
 		duration: spec.Duration,
@@ -70,10 +85,10 @@ func Stream(spec GenSpec) Source {
 		}
 		return a < b
 	}
-	s.heap.Grow(spec.Sites)
-	for site, p := range procs {
+	s.heap.Grow(hi - lo)
+	for site := lo; site < hi; site++ {
 		g := &s.sites[site]
-		g.proc = p
+		g.proc = procs[site]
 		g.arrRng = arrRng[site]
 		g.svcRng = svcRng[site]
 		if s.advance(site) {

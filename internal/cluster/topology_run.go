@@ -41,6 +41,11 @@ type Options struct {
 	// overlay (nil = econ.DefaultPricing). Tiers may override their
 	// per-server-hour price via Tier.PricePerServerHour.
 	Pricing *econ.Pricing
+	// Backend selects the sim engine's calendar structure. The default
+	// calendar queue and the reference binary heap implement the same
+	// strict event order, so results are bit-identical either way; the
+	// equivalence suite runs both to prove it.
+	Backend sim.Backend
 }
 
 // TierResult is one tier's share of a topology run.
@@ -256,7 +261,7 @@ func Run(src Source, topo Topology, opts Options) (*TopologyResult, error) {
 			*opts.Pricing)
 	}
 
-	eng := sim.NewEngine(opts.Seed)
+	eng := sim.NewEngineBackend(opts.Seed, opts.Backend)
 	netRng := eng.NewStream()
 	pool := &queue.FreeList{}
 
@@ -491,21 +496,7 @@ func Run(src Source, topo Topology, opts Options) (*TopologyResult, error) {
 			// run.
 			tr.ServerSeconds = capacity * res.Duration
 		}
-		price := rt.spec.PricePerServerHour
-		if price <= 0 {
-			if rt.home {
-				price = pricing.EdgePerServerHour
-			} else {
-				price = pricing.CloudPerServerHour
-			}
-		}
-		tr.Cost = tr.ServerSeconds / 3600 * price
-		if res.Duration > 0 {
-			tr.CostPerHour = tr.Cost / (res.Duration / 3600)
-		}
-		if tr.Served > 0 {
-			tr.CostPerReq = tr.Cost / float64(tr.Served)
-		}
+		priceTier(tr, rt.home, rt.spec.PricePerServerHour, pricing, res.Duration)
 		res.TotalCost += tr.Cost
 		busyAll += busy
 		capAll += capacity
@@ -517,6 +508,28 @@ func Run(src Source, topo Topology, opts Options) (*TopologyResult, error) {
 		res.CostPerRequest = res.TotalCost / float64(res.Completed)
 	}
 	return res, nil
+}
+
+// priceTier applies the cost overlay to one assembled tier: capacity
+// integral priced at the tier's override or the run pricing's rate for
+// its shape. Shared by Run and RunSharded so the two paths cannot
+// drift.
+func priceTier(tr *TierResult, home bool, override float64, pricing econ.Pricing, duration float64) {
+	price := override
+	if price <= 0 {
+		if home {
+			price = pricing.EdgePerServerHour
+		} else {
+			price = pricing.CloudPerServerHour
+		}
+	}
+	tr.Cost = tr.ServerSeconds / 3600 * price
+	if duration > 0 {
+		tr.CostPerHour = tr.Cost / (duration / 3600)
+	}
+	if tr.Served > 0 {
+		tr.CostPerReq = tr.Cost / float64(tr.Served)
+	}
 }
 
 func containsInt(xs []int, v int) bool {

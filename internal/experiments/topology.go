@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"repro/internal/app"
@@ -37,8 +38,25 @@ type TopologySweepConfig struct {
 	// cluster.Stream is the natural value — per-point sweeps in memory
 	// independent of Duration, replaying the sequence Generate would
 	// produce for the same spec. Pair with stats.Bounded summaries.
+	// Incompatible with Shards (an arbitrary factory cannot be split
+	// into per-site ranges; use the generator path instead).
 	Source func(cluster.GenSpec) cluster.Source
+	// Shards selects the per-point replay engine. 0 replays every
+	// point with cluster.Run (the single-engine path, back-compatible
+	// bit-for-bit). AutoShards replays shardable topologies with
+	// cluster.RunSharded, splitting each point across the CPUs the
+	// worker pool leaves idle, and silently falls back to Run for
+	// unshardable ones. N > 0 forces exactly N shards per point and
+	// fails the sweep when a topology is not shardable. Sharded
+	// results are bit-identical at every shard count but follow the
+	// sharded stream discipline, so they differ numerically from
+	// Shards == 0 points — pick one engine per experiment.
+	Shards int
 }
+
+// AutoShards asks RunTopologySweep to pick a per-point shard count
+// from the machine's CPU count and the sweep's own parallelism.
+const AutoShards = -1
 
 // TierPoint is one tier's share of a topology sweep point.
 type TierPoint struct {
@@ -94,6 +112,20 @@ func RunTopologySweep(cfg TopologySweepConfig) (TopologySweepResult, error) {
 			return TopologySweepResult{}, fmt.Errorf("experiments: baseline: %w", err)
 		}
 	}
+	if cfg.Shards != 0 && cfg.Source != nil {
+		return TopologySweepResult{}, fmt.Errorf("experiments: Shards and Source are incompatible (a source factory cannot be split into site ranges)")
+	}
+	topoShards, err := resolveShards(cfg.Shards, cfg.Topology, cfg.Workers, len(cfg.Rates))
+	if err != nil {
+		return TopologySweepResult{}, err
+	}
+	baseShards := 0
+	if cfg.Baseline != nil {
+		baseShards, err = resolveShards(cfg.Shards, *cfg.Baseline, cfg.Workers, len(cfg.Rates))
+		if err != nil {
+			return TopologySweepResult{}, fmt.Errorf("experiments: baseline: %w", err)
+		}
+	}
 	if cfg.Model.D == nil {
 		cfg.Model = app.NewInferenceModel()
 	}
@@ -125,21 +157,29 @@ func RunTopologySweep(cfg TopologySweepConfig) (TopologySweepResult, error) {
 			Seed:        cfg.Seed + int64(i)*7919,
 		}
 		// One source per run, all over the identical record sequence:
-		// fresh iterators over a shared materialized trace, or — with a
-		// Source factory — fresh generator streams re-derived from the
-		// same spec, so the pairing holds without holding the trace.
+		// fresh iterators over a shared materialized trace, fresh
+		// generator streams re-derived from the same spec (a Source
+		// factory), or per-site generator ranges (sharded points) — so
+		// the pairing holds however each run is engineered.
 		src, sizeHint := cfg.Source, 0
-		if src == nil {
+		if src == nil && (topoShards == 0 || (cfg.Baseline != nil && baseShards == 0)) {
 			tr := cluster.Generate(spec)
 			src = func(cluster.GenSpec) cluster.Source { return tr.Source() }
 			sizeHint = tr.Len()
 		}
-		run, err := cluster.Run(src(spec), cfg.Topology, cluster.Options{
-			Warmup:   cfg.Warmup,
-			Seed:     cfg.Seed + int64(i)*104729,
-			Summary:  cfg.Summary,
-			SizeHint: sizeHint,
-		})
+		runPoint := func(topo cluster.Topology, shards int, seed int64) (*cluster.TopologyResult, error) {
+			opts := cluster.Options{
+				Warmup:   cfg.Warmup,
+				Seed:     seed,
+				Summary:  cfg.Summary,
+				SizeHint: sizeHint,
+			}
+			if shards != 0 {
+				return cluster.RunSharded(cluster.GenShards(spec), topo, opts, shards)
+			}
+			return cluster.Run(src(spec), topo, opts)
+		}
+		run, err := runPoint(cfg.Topology, topoShards, cfg.Seed+int64(i)*104729)
 		if err != nil {
 			fail(err)
 			return
@@ -148,12 +188,7 @@ func RunTopologySweep(cfg TopologySweepConfig) (TopologySweepResult, error) {
 		if cfg.Baseline != nil {
 			// The same trace through the baseline shape: only the
 			// deployment differs between the paired points.
-			base, err := cluster.Run(src(spec), *cfg.Baseline, cluster.Options{
-				Warmup:   cfg.Warmup,
-				Seed:     cfg.Seed + int64(i)*1299709,
-				Summary:  cfg.Summary,
-				SizeHint: sizeHint,
-			})
+			base, err := runPoint(*cfg.Baseline, baseShards, cfg.Seed+int64(i)*1299709)
 			if err != nil {
 				fail(fmt.Errorf("baseline: %w", err))
 				return
@@ -165,6 +200,34 @@ func RunTopologySweep(cfg TopologySweepConfig) (TopologySweepResult, error) {
 		return TopologySweepResult{}, firstErr
 	}
 	return res, nil
+}
+
+// resolveShards turns a sweep's Shards setting into a per-topology
+// shard count: 0 keeps the single-engine path, AutoShards divides the
+// CPUs not already busy running other sweep points across each point
+// (falling back to the single engine when the topology cannot shard),
+// and an explicit count is validated against Shardable. The returned
+// count only affects wall-clock: RunSharded is bit-identical at every
+// shard count.
+func resolveShards(setting int, topo cluster.Topology, workers, points int) (int, error) {
+	switch {
+	case setting == 0:
+		return 0, nil
+	case setting > 0:
+		if err := cluster.Shardable(topo); err != nil {
+			return 0, err
+		}
+		return setting, nil
+	default:
+		if cluster.Shardable(topo) != nil {
+			return 0, nil
+		}
+		s := runtime.GOMAXPROCS(0) / poolSize(workers, points)
+		if s < 1 {
+			s = 1
+		}
+		return s, nil
+	}
 }
 
 // topologyPoint flattens one run into a sweep point.

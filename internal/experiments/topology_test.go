@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/cluster"
@@ -97,5 +98,68 @@ func TestRunFigThreeTier(t *testing.T) {
 	}
 	if top.OverflowSpill == 0 {
 		t.Error("overflow never escalated at the top rate")
+	}
+}
+
+// TestTopologySweepSharded: sharded sweeps are bit-identical at every
+// shard count (the RunSharded determinism contract surfaced through
+// the sweep), auto mode picks a usable count, and the incompatible
+// Source+Shards combination is rejected.
+func TestTopologySweepSharded(t *testing.T) {
+	cloud := netem.CloudTypical
+	topo := cluster.Topology{
+		Name: "two-tier",
+		Tiers: []cluster.Tier{
+			{Name: "edge", Sites: 4, ServersPerSite: 1, Path: netem.EdgePath},
+			{Name: "cloud", Sites: 1, ServersPerSite: 4, Path: cloud,
+				Dispatch: cluster.CentralQueueDispatch},
+		},
+		Spills: []cluster.SpillEdge{{From: "edge", To: "cloud", Threshold: 3, DetourPath: &cloud}},
+	}
+	cfg := TopologySweepConfig{
+		Topology: topo,
+		Rates:    []float64{8, 11},
+		Duration: 100,
+		Warmup:   10,
+		Seed:     9,
+		Shards:   1,
+	}
+	want, err := RunTopologySweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Points[0].N == 0 {
+		t.Fatal("sharded sweep measured nothing; test is vacuous")
+	}
+	for _, shards := range []int{2, 4, AutoShards} {
+		cfg.Shards = shards
+		got, err := RunTopologySweep(cfg)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if !reflect.DeepEqual(got.Points, want.Points) {
+			t.Errorf("shards=%d: points diverge from shards=1", shards)
+		}
+	}
+
+	cfg.Shards = 2
+	cfg.Source = func(spec cluster.GenSpec) cluster.Source { return cluster.Stream(spec) }
+	if _, err := RunTopologySweep(cfg); err == nil {
+		t.Fatal("want Source+Shards rejection, got none")
+	}
+	cfg.Source = nil
+
+	// An explicit count on an unshardable topology fails the sweep;
+	// auto mode quietly falls back to the single-engine path.
+	jockey := topo
+	jockey.Tiers = append([]cluster.Tier(nil), topo.Tiers...)
+	jockey.Tiers[0].JockeyThreshold = 2
+	cfg.Topology = jockey
+	if _, err := RunTopologySweep(cfg); err == nil {
+		t.Fatal("want unshardable rejection for explicit shard count, got none")
+	}
+	cfg.Shards = AutoShards
+	if _, err := RunTopologySweep(cfg); err != nil {
+		t.Fatalf("auto shards must fall back on unshardable topologies: %v", err)
 	}
 }

@@ -31,6 +31,21 @@ func (h *Heap) Grow(n int) {
 // Reset empties the heap, keeping its capacity.
 func (h *Heap) Reset() { h.s = h.s[:0] }
 
+// Build replaces the heap's contents with the keys 0..n-1 and heapifies
+// them bottom-up in O(n) — the bulk form of n Pushes, for k-way merges
+// that start with every stream live (e.g. the cross-shard boundary
+// merge, where all shard buffers exist before the merge begins).
+func (h *Heap) Build(n int) {
+	h.Grow(n)
+	h.s = h.s[:0]
+	for i := 0; i < n; i++ {
+		h.s = append(h.s, i)
+	}
+	for i := n/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
 // Len returns the number of entries.
 func (h *Heap) Len() int { return len(h.s) }
 

@@ -1,18 +1,25 @@
 // Package sim implements the discrete-event simulation engine that
 // substitutes for the paper's EC2 testbed. It provides a simulation clock,
-// an event calendar (binary heap keyed on time with FIFO tie-breaking),
-// and seeded random-number streams so every experiment is reproducible.
+// an event calendar keyed on time with FIFO tie-breaking, and seeded
+// random-number streams so every experiment is reproducible.
 //
 // The calendar recycles its event nodes through a free list and supports
 // payload-carrying events (AtPayload/AfterPayload), so steady-state
 // models — one completion event per in-service request, one pending
 // arrival per source — schedule without allocating. Canceled events are
-// compacted out of the heap as soon as they dominate it, keeping the
+// compacted out of the calendar as soon as they dominate it, keeping the
 // calendar proportional to the number of live events.
+//
+// Two calendar structures implement the same strict event order
+// (time, then front flag, then schedule sequence): the default calendar
+// queue (ring of adaptive time buckets, O(1) amortized insert/pop) and
+// the original binary heap (O(log n)), selectable with NewEngineBackend.
+// Because the order is total, the two backends pop events in exactly the
+// same sequence, so every simulation result is bit-identical between
+// them — the equivalence suite asserts this.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
@@ -37,36 +44,54 @@ type scheduledEvent struct {
 	canceled bool
 }
 
-type eventHeap []*scheduledEvent
+// eventBefore is the calendar's strict total order: time ascending,
+// front events before non-front at the same instant, then FIFO by
+// schedule sequence. Every calendar backend implements exactly this
+// order, which is what makes them interchangeable bit-for-bit.
+func eventBefore(a, b *scheduledEvent) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	if a.front != b.front {
+		return a.front
+	}
+	return a.seq < b.seq
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	if h[i].front != h[j].front {
-		return h[i].front
-	}
-	return h[i].seq < h[j].seq
+// calendar is the event-calendar structure behind an Engine: a priority
+// queue over scheduledEvents ordered by eventBefore.
+type calendar interface {
+	push(ev *scheduledEvent)
+	// pop removes and returns the minimum event. Panics when empty.
+	pop() *scheduledEvent
+	// peek returns the minimum event without removing it, or nil.
+	peek() *scheduledEvent
+	len() int
+	// removeCanceled drops every canceled entry, passing each to
+	// release, and preserves the relative order of the survivors.
+	removeCanceled(release func(*scheduledEvent))
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*scheduledEvent)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
-}
+
+// Backend selects an Engine's calendar structure.
+type Backend int
+
+const (
+	// CalendarQueue is the default: a ring of adaptive time buckets
+	// with O(1) amortized insert and pop.
+	CalendarQueue Backend = iota
+	// BinaryHeap is the original container/heap calendar, kept
+	// selectable so the equivalence suite can prove the two backends
+	// pop identically.
+	BinaryHeap
+)
 
 // Engine is a discrete-event simulator. The zero value is not usable; use
 // NewEngine.
 type Engine struct {
 	now       float64
-	events    eventHeap
+	cal       calendar
 	free      []*scheduledEvent // recycled event nodes
-	canceled  int               // canceled entries still in the heap
+	canceled  int               // canceled entries still in the calendar
 	seq       uint64
 	rng       *rand.Rand
 	stopped   bool
@@ -74,9 +99,24 @@ type Engine struct {
 	processed uint64
 }
 
-// NewEngine returns an engine whose random streams derive from seed.
+// NewEngine returns an engine whose random streams derive from seed,
+// running on the default calendar-queue backend.
 func NewEngine(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed))}
+	return NewEngineBackend(seed, CalendarQueue)
+}
+
+// NewEngineBackend returns an engine on an explicit calendar backend.
+// Both backends implement the same strict event order, so results are
+// bit-identical; BinaryHeap exists for the equivalence suite and as a
+// fallback reference.
+func NewEngineBackend(seed int64, b Backend) *Engine {
+	e := &Engine{rng: rand.New(rand.NewSource(seed))}
+	if b == BinaryHeap {
+		e.cal = &heapCalendar{}
+	} else {
+		e.cal = newCalendarQueue()
+	}
+	return e
 }
 
 // Now returns the current simulated time in seconds.
@@ -112,29 +152,17 @@ func (h Handle) Cancel() {
 	e.canceled++
 	// Compact once dead entries dominate the calendar, so models that
 	// cancel aggressively (e.g. processor sharing rescheduling its next
-	// departure on every arrival) keep the heap proportional to the
+	// departure on every arrival) keep the calendar proportional to the
 	// number of live events.
-	if e.canceled*2 > len(e.events) {
+	if e.canceled*2 > e.cal.len() {
 		e.compact()
 	}
 }
 
 // compact removes canceled entries from the calendar and recycles them.
 func (e *Engine) compact() {
-	live := e.events[:0]
-	for _, ev := range e.events {
-		if ev.canceled {
-			e.release(ev)
-		} else {
-			live = append(live, ev)
-		}
-	}
-	for i := len(live); i < len(e.events); i++ {
-		e.events[i] = nil
-	}
-	e.events = live
+	e.cal.removeCanceled(e.release)
 	e.canceled = 0
-	heap.Init(&e.events)
 }
 
 // acquire returns a recycled or fresh event node scheduled at time t.
@@ -173,7 +201,7 @@ func (e *Engine) release(ev *scheduledEvent) {
 func (e *Engine) At(t float64, fn Event) Handle {
 	ev := e.acquire(t)
 	ev.fn = fn
-	heap.Push(&e.events, ev)
+	e.cal.push(ev)
 	return Handle{engine: e, ev: ev, gen: ev.gen}
 }
 
@@ -192,7 +220,7 @@ func (e *Engine) AtPayload(t float64, fn PayloadEvent, payload any) Handle {
 	ev := e.acquire(t)
 	ev.pfn = fn
 	ev.payload = payload
-	heap.Push(&e.events, ev)
+	e.cal.push(ev)
 	return Handle{engine: e, ev: ev, gen: ev.gen}
 }
 
@@ -214,7 +242,7 @@ func (e *Engine) AtFront(t float64, fn Event) Handle {
 	ev := e.acquire(t)
 	ev.front = true
 	ev.fn = fn
-	heap.Push(&e.events, ev)
+	e.cal.push(ev)
 	return Handle{engine: e, ev: ev, gen: ev.gen}
 }
 
@@ -224,7 +252,7 @@ func (e *Engine) AtPayloadFront(t float64, fn PayloadEvent, payload any) Handle 
 	ev.front = true
 	ev.pfn = fn
 	ev.payload = payload
-	heap.Push(&e.events, ev)
+	e.cal.push(ev)
 	return Handle{engine: e, ev: ev, gen: ev.gen}
 }
 
@@ -233,7 +261,7 @@ func (e *Engine) Stop() { e.stopped = true }
 
 // Pending returns the number of events in the calendar, including
 // canceled events not yet popped or compacted.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return e.cal.len() }
 
 // Canceled returns the number of canceled events still occupying the
 // calendar. Compaction keeps this at no more than half of Pending().
@@ -247,13 +275,13 @@ func (e *Engine) Processed() uint64 { return e.processed }
 // simulated time.
 func (e *Engine) Run() float64 {
 	e.stopped = false
-	for len(e.events) > 0 && !e.stopped {
-		if e.horizon > 0 && e.events[0].t > e.horizon {
+	for e.cal.len() > 0 && !e.stopped {
+		if e.horizon > 0 && e.cal.peek().t > e.horizon {
 			// Leave post-horizon events in the calendar for later runs.
 			e.now = e.horizon
 			break
 		}
-		ev := heap.Pop(&e.events).(*scheduledEvent)
+		ev := e.cal.pop()
 		if ev.canceled {
 			e.canceled--
 			e.release(ev)
@@ -286,7 +314,7 @@ func (e *Engine) RunUntil(horizon float64) float64 {
 	e.horizon = horizon
 	t := e.Run()
 	e.horizon = 0
-	if t < horizon && len(e.events) == 0 {
+	if t < horizon && e.cal.len() == 0 {
 		// Calendar drained before the horizon: advance the clock so
 		// repeated RunUntil calls observe monotonic time.
 		e.now = horizon

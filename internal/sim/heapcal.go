@@ -1,0 +1,57 @@
+package sim
+
+import "container/heap"
+
+// heapCalendar is the original binary-heap calendar: O(log n) insert
+// and pop over the eventBefore order. It remains selectable (see
+// BinaryHeap) as the reference structure the calendar queue is proven
+// bit-identical against.
+type heapCalendar struct {
+	events eventHeap
+}
+
+type eventHeap []*scheduledEvent
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return eventBefore(h[i], h[j]) }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*scheduledEvent)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+func (c *heapCalendar) push(ev *scheduledEvent) { heap.Push(&c.events, ev) }
+
+func (c *heapCalendar) pop() *scheduledEvent {
+	return heap.Pop(&c.events).(*scheduledEvent)
+}
+
+func (c *heapCalendar) peek() *scheduledEvent {
+	if len(c.events) == 0 {
+		return nil
+	}
+	return c.events[0]
+}
+
+func (c *heapCalendar) len() int { return len(c.events) }
+
+func (c *heapCalendar) removeCanceled(release func(*scheduledEvent)) {
+	live := c.events[:0]
+	for _, ev := range c.events {
+		if ev.canceled {
+			release(ev)
+		} else {
+			live = append(live, ev)
+		}
+	}
+	for i := len(live); i < len(c.events); i++ {
+		c.events[i] = nil
+	}
+	c.events = live
+	heap.Init(&c.events)
+}

@@ -133,6 +133,40 @@ func (s *RequestSource) Sites() int { return s.sites }
 // Count returns the number of records yielded so far.
 func (s *RequestSource) Count() uint64 { return s.n }
 
+// TimeScale wraps a source, multiplying every record's arrival time by
+// factor while leaving sites and service demands untouched: replaying a
+// fixed trace with factor < 1 compresses its timeline (the same work
+// offered at a higher rate), factor > 1 stretches it. This is how the
+// CLI sweeps a recorded trace across its rate axis — generator sweeps
+// re-derive arrivals instead. The wrapper delegates Err, so a decode
+// failure in the underlying source still surfaces.
+func TimeScale(src cluster.Source, factor float64) cluster.Source {
+	return &timeScaleSource{src: src, factor: factor}
+}
+
+type timeScaleSource struct {
+	src    cluster.Source
+	factor float64
+}
+
+// Next implements cluster.Source.
+func (s *timeScaleSource) Next() (cluster.RequestRecord, bool) {
+	rec, ok := s.src.Next()
+	if !ok {
+		return cluster.RequestRecord{}, false
+	}
+	rec.Time *= s.factor
+	return rec, true
+}
+
+// Err implements cluster.FallibleSource by delegation.
+func (s *timeScaleSource) Err() error {
+	if fs, ok := s.src.(cluster.FallibleSource); ok {
+		return fs.Err()
+	}
+	return nil
+}
+
 // ReadRequestsCSV materializes a request CSV into a WorkloadTrace — the
 // slurping counterpart of StreamRequestsCSV, decoded through the same
 // streaming path so the two agree record for record (the equivalence

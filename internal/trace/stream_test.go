@@ -339,3 +339,33 @@ func TestAzureCSVThroughTopology(t *testing.T) {
 			got.Offered, want.Offered, got.EndToEnd.Mean(), want.EndToEnd.Mean())
 	}
 }
+
+// TestTimeScale: the wrapper rescales arrival times only, and decode
+// failures in the wrapped source still surface through Err.
+func TestTimeScale(t *testing.T) {
+	const csv = "time,site,service\n1,0,0.5\n2,1,0.25\n4,0,0.125\n"
+	want := drain(t, StreamRequestsCSV(strings.NewReader(csv)))
+	got := drain(t, TimeScale(StreamRequestsCSV(strings.NewReader(csv)), 0.5))
+	if len(got) != len(want) {
+		t.Fatalf("scaled stream has %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Time != want[i].Time*0.5 {
+			t.Errorf("record %d: time %v, want %v", i, got[i].Time, want[i].Time*0.5)
+		}
+		if got[i].Site != want[i].Site || got[i].ServiceTime != want[i].ServiceTime {
+			t.Errorf("record %d: site/service changed: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+
+	bad := TimeScale(StreamRequestsCSV(strings.NewReader("time,site,service\n1,0,0.5\nx,0,0.5\n")), 2)
+	if _, ok := bad.Next(); !ok {
+		t.Fatal("first record should decode")
+	}
+	if _, ok := bad.Next(); ok {
+		t.Fatal("second record should fail")
+	}
+	if err := bad.(cluster.FallibleSource).Err(); err == nil {
+		t.Fatal("decode error lost by the TimeScale wrapper")
+	}
+}
