@@ -7,6 +7,9 @@ package edgebench_test
 
 import (
 	"fmt"
+	"os"
+	"strconv"
+	"strings"
 	"testing"
 
 	"repro/internal/app"
@@ -429,7 +432,7 @@ func BenchmarkStream100M(b *testing.B) {
 // BenchmarkShardedReplay1M measures the sharded topology replay on a
 // ~10⁶-request three-tier hierarchy at shard counts 1/2/4/8, next to
 // the single-engine cluster.Run on the identical workload. benchjson
-// turns the shards-N sub-bench timings into BENCH_PR6.json's
+// turns the shards-N sub-bench timings into BENCH_PR7.json's
 // shard-scaling curve; sharded results are bit-identical across counts
 // (the shard-determinism suite asserts it), so the curve measures
 // wall-clock alone. Speedup beyond shards-1 needs real cores: on a
@@ -486,6 +489,124 @@ func BenchmarkShardedReplay1M(b *testing.B) {
 			b.ReportMetric(float64(offered), "requests")
 		})
 	}
+	// The pipelined backend on the identical workload: benchjson folds
+	// these into a second shard-scaling curve (family ".../pipelined"),
+	// so the artifact carries barrier and pipelined curves side by side.
+	popts := opts
+	popts.Pipeline = true
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("pipelined/shards-%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			var offered uint64
+			for i := 0; i < b.N; i++ {
+				res, err := cluster.RunSharded(cluster.GenShards(spec), topo, popts, n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				offered = res.Offered
+			}
+			b.ReportMetric(float64(offered), "requests")
+		})
+	}
+}
+
+// peakRSSMB reads the process peak resident set (VmHWM) in MB.
+func peakRSSMB(b *testing.B) float64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0 // not Linux: report 0 rather than fail the bench
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return 0
+		}
+		return kb / 1024
+	}
+	return 0
+}
+
+// resetPeakRSS clears the VmHWM watermark so each sub-benchmark
+// measures its own peak, not its predecessors'. Best effort: kernels
+// without clear_refs keep the cumulative watermark.
+func resetPeakRSS() {
+	os.WriteFile("/proc/self/clear_refs", []byte("5"), 0o200)
+}
+
+// BenchmarkShowcaseMillionSites replays 10⁸ requests through a
+// million-station edge backed by a shared cloud pool — the pipelined
+// tentpole's target scale — on the barrier and pipelined sharded
+// backends (bit-identical results; the equivalence suite asserts it at
+// small scale). Reported metrics: peak RSS (the pipelined run's
+// boundary memory is bounded by ring capacity where the barrier run
+// holds every boundary record of the slowest shard's span) and, for
+// the pipelined run, the peak resident boundary backlog. Speedup vs
+// barrier needs real cores (CI's multi-core bench job); on one CPU the
+// phases serialize and only the memory bound shows. In short mode the
+// same pipeline runs 10⁶ requests over 10⁴ sites. Run with -benchmem.
+func BenchmarkShowcaseMillionSites(b *testing.B) {
+	sites := 1_000_000
+	if testing.Short() {
+		sites = 10_000
+	}
+	// 100 requests per site: sites × 8 req/s × 12.5 s.
+	spec := cluster.GenSpec{Sites: sites, Duration: 12.5, PerSiteRate: 8, Seed: 97}
+	cloudPath := netem.CloudTypical
+	topo := cluster.Topology{
+		Name: "showcase-million",
+		Tiers: []cluster.Tier{
+			{Name: "edge", Sites: sites, ServersPerSite: 1, Path: netem.EdgePath},
+			{Name: "cloud", Sites: 1, ServersPerSite: 64, Path: cloudPath,
+				Dispatch: cluster.CentralQueueDispatch},
+		},
+		Spills: []cluster.SpillEdge{
+			{From: "edge", To: "cloud", Threshold: 3, DetourPath: &cloudPath},
+		},
+	}
+	const shards = 4
+	opts := cluster.Options{
+		Warmup: 2, Seed: 98, Summary: stats.Bounded, NoPerSiteLatency: true,
+	}
+	b.Run("barrier", func(b *testing.B) {
+		b.ReportAllocs()
+		resetPeakRSS()
+		var offered uint64
+		for i := 0; i < b.N; i++ {
+			res, err := cluster.RunSharded(cluster.GenShards(spec), topo, opts, shards)
+			if err != nil {
+				b.Fatal(err)
+			}
+			offered = res.Offered
+		}
+		b.ReportMetric(float64(offered), "requests")
+		b.ReportMetric(peakRSSMB(b), "peak-RSS-MB")
+	})
+	b.Run("pipelined", func(b *testing.B) {
+		b.ReportAllocs()
+		resetPeakRSS()
+		popts := opts
+		popts.Pipeline = true
+		var backlog int
+		popts.BacklogProbe = func(p int) { backlog = p }
+		var offered uint64
+		for i := 0; i < b.N; i++ {
+			res, err := cluster.RunSharded(cluster.GenShards(spec), topo, popts, shards)
+			if err != nil {
+				b.Fatal(err)
+			}
+			offered = res.Offered
+		}
+		b.ReportMetric(float64(offered), "requests")
+		b.ReportMetric(peakRSSMB(b), "peak-RSS-MB")
+		b.ReportMetric(float64(backlog), "peak-backlog-records")
+	})
 }
 
 // BenchmarkEngineBackends pits the calendar-queue event calendar

@@ -10,6 +10,13 @@
 // Multiple bench runs may be concatenated on the input; later header
 // lines (goos/goarch/cpu/pkg) win, and duplicate benchmark names are
 // kept as separate entries (the scaling curve averages them).
+//
+// With -baseline, the run is additionally diffed against a prior
+// artifact: every benchmark present in both reports prints its ns/op
+// delta on stderr, and any regression beyond -tolerance (default 10%)
+// fails the run with exit status 1 — the CI perf gate.
+//
+//	go test -bench . -benchmem . | benchjson -o BENCH_PR7.json -baseline BENCH_PR6.json
 package main
 
 import (
@@ -206,9 +213,83 @@ func scaling(benches []Benchmark) map[string][]ScalePoint {
 	return out
 }
 
+// diffLine is one benchmark's comparison against the baseline.
+type diffLine struct {
+	name      string
+	base, cur float64 // ns/op
+	delta     float64 // (cur-base)/base
+	regressed bool
+}
+
+// diffReports compares ns/op for every benchmark name present in both
+// reports (duplicates average, matching the scaling fold) and flags
+// those whose slowdown exceeds tol. Benchmarks on only one side carry
+// no signal about a regression and are skipped.
+func diffReports(cur, base Report, tol float64) []diffLine {
+	avg := func(benches []Benchmark) map[string]float64 {
+		sum := map[string]float64{}
+		n := map[string]int{}
+		for _, b := range benches {
+			sum[b.Name] += b.NsPerOp
+			n[b.Name]++
+		}
+		for name := range sum {
+			sum[name] /= float64(n[name])
+		}
+		return sum
+	}
+	baseNs, curNs := avg(base.Benchmarks), avg(cur.Benchmarks)
+	var lines []diffLine
+	for name, b := range baseNs {
+		c, ok := curNs[name]
+		if !ok || b <= 0 {
+			continue
+		}
+		d := (c - b) / b
+		lines = append(lines, diffLine{
+			name: name, base: b, cur: c, delta: d,
+			regressed: d > tol,
+		})
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i].name < lines[j].name })
+	return lines
+}
+
+// runDiff loads the baseline artifact, prints the comparison to w, and
+// reports whether any benchmark regressed beyond tol.
+func runDiff(w io.Writer, cur Report, baselinePath string, tol float64) (bool, error) {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return false, err
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return false, fmt.Errorf("%s: %w", baselinePath, err)
+	}
+	lines := diffReports(cur, base, tol)
+	if len(lines) == 0 {
+		return false, fmt.Errorf("%s: no benchmark names in common with the current run", baselinePath)
+	}
+	regressed := false
+	fmt.Fprintf(w, "benchjson: vs %s (tolerance %+.0f%%):\n", baselinePath, 100*tol)
+	for _, l := range lines {
+		mark := ""
+		if l.regressed {
+			mark = "  REGRESSION"
+			regressed = true
+		}
+		fmt.Fprintf(w, "  %-60s %14.0f -> %14.0f ns/op  %+7.1f%%%s\n",
+			l.name, l.base, l.cur, 100*l.delta, mark)
+	}
+	return regressed, nil
+}
+
 func main() {
 	inPath := flag.String("in", "-", "bench output to read (- for stdin)")
 	outPath := flag.String("o", "-", "JSON artifact to write (- for stdout)")
+	baseline := flag.String("baseline", "", "prior JSON artifact to diff against: print ns/op deltas on stderr "+
+		"and exit 1 when any shared benchmark regresses beyond -tolerance")
+	tolerance := flag.Float64("tolerance", 0.10, "with -baseline: fractional ns/op slowdown that counts as a regression")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -236,10 +317,21 @@ func main() {
 	data = append(data, '\n')
 	if *outPath == "-" {
 		os.Stdout.Write(data)
-		return
-	}
-	if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+	} else if err := os.WriteFile(*outPath, data, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+	if *baseline != "" {
+		// The artifact is already written: a failed gate still leaves the
+		// measurements on disk for the investigation.
+		regressed, err := runDiff(os.Stderr, rep, *baseline, *tolerance)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if regressed {
+			fmt.Fprintln(os.Stderr, "benchjson: ns/op regression beyond tolerance")
+			os.Exit(1)
+		}
 	}
 }

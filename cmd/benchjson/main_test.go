@@ -1,7 +1,9 @@
 package main
 
 import (
+	"encoding/json"
 	"math"
+	"os"
 	"strings"
 	"testing"
 )
@@ -142,5 +144,106 @@ func TestParseBenchErrors(t *testing.T) {
 	}
 	if _, err := parseBench(strings.NewReader("BenchmarkY-4 1 oops ns/op\n")); err == nil {
 		t.Error("bad value: want error")
+	}
+}
+
+// mkReport builds a Report with one entry per name -> ns/op pair.
+func mkReport(ns map[string]float64) Report {
+	var rep Report
+	for name, v := range ns {
+		rep.Benchmarks = append(rep.Benchmarks, Benchmark{Name: name, Runs: 1, NsPerOp: v})
+	}
+	return rep
+}
+
+func TestDiffReports(t *testing.T) {
+	base := mkReport(map[string]float64{
+		"BenchmarkA":    100,
+		"BenchmarkB":    100,
+		"BenchmarkC":    100,
+		"BenchmarkGone": 50,
+	})
+	cur := mkReport(map[string]float64{
+		"BenchmarkA":   105, // +5%: within tolerance
+		"BenchmarkB":   120, // +20%: regression
+		"BenchmarkC":   80,  // improvement
+		"BenchmarkNew": 7,   // no baseline: skipped
+	})
+	lines := diffReports(cur, base, 0.10)
+	if len(lines) != 3 {
+		t.Fatalf("diffed %d benchmarks, want 3 (shared names only): %+v", len(lines), lines)
+	}
+	byName := map[string]diffLine{}
+	for _, l := range lines {
+		byName[l.name] = l
+	}
+	if l := byName["BenchmarkA"]; l.regressed || math.Abs(l.delta-0.05) > 1e-12 {
+		t.Errorf("A = %+v, want +5%% within tolerance", l)
+	}
+	if l := byName["BenchmarkB"]; !l.regressed || math.Abs(l.delta-0.20) > 1e-12 {
+		t.Errorf("B = %+v, want +20%% regression", l)
+	}
+	if l := byName["BenchmarkC"]; l.regressed || l.delta >= 0 {
+		t.Errorf("C = %+v, want improvement", l)
+	}
+	// Exactly at tolerance is not a regression (the gate is strict >).
+	at := diffReports(mkReport(map[string]float64{"BenchmarkA": 110}),
+		mkReport(map[string]float64{"BenchmarkA": 100}), 0.10)
+	if len(at) != 1 || at[0].regressed {
+		t.Errorf("at-tolerance = %+v, want no regression at exactly +10%%", at)
+	}
+}
+
+// TestDiffReportsAveragesDuplicates: duplicate result lines (repeated
+// -count runs) average before comparison, matching the scaling fold.
+func TestDiffReportsAveragesDuplicates(t *testing.T) {
+	base := Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 90},
+		{Name: "BenchmarkA", NsPerOp: 110},
+	}}
+	cur := Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 130},
+		{Name: "BenchmarkA", NsPerOp: 90},
+	}}
+	lines := diffReports(cur, base, 0.10)
+	if len(lines) != 1 || lines[0].regressed || math.Abs(lines[0].delta-0.10) > 1e-12 {
+		t.Fatalf("lines = %+v, want one +10%% non-regression from averaged 100 -> 110", lines)
+	}
+}
+
+func TestRunDiff(t *testing.T) {
+	basePath := t.TempDir() + "/base.json"
+	base := mkReport(map[string]float64{"BenchmarkA": 100, "BenchmarkB": 100})
+	data, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(basePath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf strings.Builder
+	regressed, err := runDiff(&buf, mkReport(map[string]float64{"BenchmarkA": 104, "BenchmarkB": 99}), basePath, 0.10)
+	if err != nil || regressed {
+		t.Fatalf("clean diff: regressed=%v err=%v", regressed, err)
+	}
+	if out := buf.String(); !strings.Contains(out, "BenchmarkA") || strings.Contains(out, "REGRESSION") {
+		t.Errorf("clean diff output:\n%s", out)
+	}
+
+	buf.Reset()
+	regressed, err = runDiff(&buf, mkReport(map[string]float64{"BenchmarkA": 150}), basePath, 0.10)
+	if err != nil || !regressed {
+		t.Fatalf("regressing diff: regressed=%v err=%v", regressed, err)
+	}
+	if out := buf.String(); !strings.Contains(out, "REGRESSION") {
+		t.Errorf("regressing diff output lacks the marker:\n%s", out)
+	}
+
+	if _, err := runDiff(&buf, mkReport(map[string]float64{"BenchmarkZ": 1}), basePath, 0.10); err == nil {
+		t.Error("disjoint benchmark sets: want an error, not a silent pass")
+	}
+	if _, err := runDiff(&buf, mkReport(map[string]float64{"BenchmarkA": 1}), basePath+".missing", 0.10); err == nil {
+		t.Error("missing baseline file: want an error")
 	}
 }

@@ -23,8 +23,14 @@
 // instead of the generator:
 //
 //	edgesim -topology edge-regional-cloud -shards 4 -rate 11
+//	edgesim -topology edge-regional-cloud -shards 4 -pipeline -rate 11
 //	edgesim -topology edge-regional-cloud -trace requests.csv
 //	edgesim -topology edge-regional-cloud -azure counts.csv -sweep 6,9,12
+//
+// -pipeline streams boundary records from the sharded engines into the
+// shared phase through watermarked bounded rings, overlapping the two
+// phases with bit-identical output; -v explains the engine selection
+// (in particular why -shards auto fell back to the single engine).
 package main
 
 import (
@@ -105,6 +111,11 @@ func main() {
 	azureFile := flag.String("azure", "", "with -topology: replay an Azure-style per-bin count CSV "+
 		"(bin,site0,site1,...) instead of generating a workload; with -sweep, rescaled like -trace")
 	azureBin := flag.Float64("azure-bin", 60, "with -azure: seconds covered by each CSV bin row")
+	pipeline := flag.Bool("pipeline", false, "with -topology and sharded engines: overlap the shard and shared "+
+		"phases by streaming boundary records through watermarked bounded rings — bit-identical output, boundary "+
+		"memory bounded by ring capacity instead of boundary count")
+	verbose := flag.Bool("v", false, "explain engine selection on stderr (e.g. why -shards auto fell back to the "+
+		"classic single engine)")
 	flag.Parse()
 	shardsSet := false
 	flag.Visit(func(f *flag.Flag) {
@@ -112,7 +123,7 @@ func main() {
 			shardsSet = true
 		}
 	})
-	sh := shardChoice{set: shardsSet, n: *shards}
+	sh := shardChoice{set: shardsSet, n: *shards, verbose: *verbose}
 	in := workloadInput{tracePath: *traceFile, azurePath: *azureFile, azureBin: *azureBin, seed: *seed}
 
 	sc, ok := netem.ScenarioByName(*scenario)
@@ -144,6 +155,15 @@ func main() {
 	if shardsSet && *topology == "" {
 		fail("-shards requires -topology (the classic paired mode runs one engine per deployment)")
 	}
+	if *pipeline && *topology == "" {
+		fail("-pipeline requires -topology (it selects the pipelined sharded replay backend)")
+	}
+	if *pipeline && *sweep != "" {
+		fail("-pipeline cannot combine with -sweep (sweep points replay through the barrier backend)")
+	}
+	if *pipeline && shardsSet && *shards == 0 {
+		fail("-pipeline needs sharded engines; -shards 0 forces the classic single engine")
+	}
 	if *traceFile != "" && *azureFile != "" {
 		fail("-trace and -azure are mutually exclusive (one workload file per run)")
 	}
@@ -172,7 +192,7 @@ func main() {
 		return
 	}
 	if *topology != "" {
-		runTopology(*topology, *scaler, *autoscaleMax, *stream, in, sh, *sites, *servers, *rate,
+		runTopology(*topology, *scaler, *autoscaleMax, *stream, *pipeline, in, sh, *sites, *servers, *rate,
 			*duration, *warmup, *arrivalSCV, *seed, model, mode)
 		return
 	}
@@ -404,8 +424,9 @@ func loadTopologyWithScaler(arg, scalerArg string, maxFlag int, mu float64) (clu
 // requests on a laptop (pair with -summary bounded); sharded replays
 // and the file decoders always stream. With a positive shard
 // resolution the replay fans out across engines via cluster.RunSharded,
-// bit-identical for every shard count.
-func runTopology(arg, scalerArg string, maxFlag int, stream bool, in workloadInput, sh shardChoice,
+// bit-identical for every shard count; pipeline additionally overlaps
+// the shard and shared phases through watermarked bounded rings.
+func runTopology(arg, scalerArg string, maxFlag int, stream, pipeline bool, in workloadInput, sh shardChoice,
 	sites, servers int, rate, duration, warmup, arrivalSCV float64, seed int64,
 	model app.InferenceModel, mode stats.Mode) {
 	topo, err := loadTopologyWithScaler(arg, scalerArg, maxFlag, model.Mu())
@@ -415,6 +436,15 @@ func runTopology(arg, scalerArg string, maxFlag int, stream bool, in workloadInp
 	nShards, err := sh.resolve(topo)
 	if err != nil {
 		fail("-shards: %v", err)
+	}
+	if pipeline && nShards == 0 {
+		// Auto mode fell back (or -shards 0 slipped through): -pipeline is
+		// an explicit request, so refuse with the planner's reason rather
+		// than quietly running the barrier-free classic engine.
+		if err := cluster.Shardable(topo); err != nil {
+			fail("-pipeline: %v", err)
+		}
+		fail("-pipeline needs sharded engines (resolved to the classic single engine)")
 	}
 	// Home-routed ingress fixes the trace's site count; a dispatcher
 	// ingress (a pure-cloud graph) uses the -sites flag.
@@ -429,9 +459,10 @@ func runTopology(arg, scalerArg string, maxFlag int, stream bool, in workloadInp
 		}
 	}
 	opts := cluster.Options{
-		Warmup:  warmup,
-		Seed:    seed + 1,
-		Summary: mode,
+		Warmup:   warmup,
+		Seed:     seed + 1,
+		Summary:  mode,
+		Pipeline: pipeline,
 	}
 	var res *cluster.TopologyResult
 	var tr *cluster.WorkloadTrace
@@ -490,7 +521,10 @@ func runTopology(arg, scalerArg string, maxFlag int, stream bool, in workloadInp
 
 	fmt.Printf("topology %s: %d tiers, %d spill edges, %d classes\n",
 		res.Label, len(topo.Tiers), len(topo.Spills), len(topo.Classes))
-	if nShards > 0 {
+	switch {
+	case nShards > 0 && pipeline:
+		fmt.Printf("engine: %d pipelined sharded engines streaming into the shared phase (bit-identical for any shard count)\n", nShards)
+	case nShards > 0:
 		fmt.Printf("engine: %d sharded engines + 1 shared-phase engine (bit-identical for any shard count)\n", nShards)
 	}
 	aggRate := 0.0

@@ -132,24 +132,34 @@ func scanWorkload(factory cluster.SourceFactory) (workloadStats, error) {
 }
 
 // shardChoice is the parsed -shards flag; n is meaningful only when the
-// flag was given explicitly.
+// flag was given explicitly. verbose (-v) narrates the resolution on
+// stderr — in particular the planner's reason when auto mode falls
+// back to the single engine, which is otherwise silent.
 type shardChoice struct {
-	set bool
-	n   int
+	set     bool
+	n       int
+	verbose bool
 }
 
 // resolve maps the flag onto a replay engine: 0 selects the classic
 // single-engine cluster.Run, a positive count that many sharded engines
 // through cluster.RunSharded. Unset picks one shard per CPU when the
 // graph shards and quietly falls back to the single engine when it
-// cannot; an explicit count refuses unshardable graphs with the
-// planner's reason.
+// cannot (pass -v to hear why); an explicit count refuses unshardable
+// graphs with the planner's reason.
 func (sh shardChoice) resolve(topo cluster.Topology) (int, error) {
 	if !sh.set {
-		if cluster.Shardable(topo) != nil {
+		if err := cluster.Shardable(topo); err != nil {
+			if sh.verbose {
+				fmt.Fprintf(os.Stderr, "edgesim: -shards auto: falling back to the classic single engine: %v\n", err)
+			}
 			return 0, nil
 		}
-		return runtime.GOMAXPROCS(0), nil
+		n := runtime.GOMAXPROCS(0)
+		if sh.verbose {
+			fmt.Fprintf(os.Stderr, "edgesim: -shards auto: %d sharded engines (one per CPU)\n", n)
+		}
+		return n, nil
 	}
 	if sh.n == 0 {
 		return 0, nil

@@ -1,0 +1,322 @@
+package cluster_test
+
+// The pipelined backend's contract is byte-identity with the barrier
+// backend: RunSharded with Options.Pipeline produces the same
+// TopologyResult as without, for every preset, seed, warmup and summary
+// mode, shard count, ring size and source adapter. These tests are the
+// proof the -pipeline flag rests on; the CI race job runs them under
+// -race to also certify the shard goroutines, the merger and the
+// phase-2 pumps share nothing unsynchronized.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/netem"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func runPipelined(t *testing.T, preset string, shards, ring int, warmup float64, mode stats.Mode, seed int64) *cluster.TopologyResult {
+	t.Helper()
+	topo, ok := cluster.PresetTopology(preset)
+	if !ok {
+		t.Fatalf("unknown preset %q", preset)
+	}
+	src := cluster.GenShards(presetSpec(topo.Tiers[0].Sites, seed))
+	res, err := cluster.RunSharded(src, topo, cluster.Options{
+		Warmup:       warmup,
+		Seed:         seed,
+		Summary:      mode,
+		Pipeline:     true,
+		PipelineRing: ring,
+	}, shards)
+	if err != nil {
+		t.Fatalf("preset %s pipelined with %d shards: %v", preset, shards, err)
+	}
+	return res
+}
+
+// TestPipelinedMatchesBarrier: whole TopologyResults are bit-identical
+// between the pipelined and barrier backends across all shipped
+// presets (hetero-paths carries a shared-tier autoscaler, so the
+// blocking-pump discipline under controller ticks is covered), seeds,
+// warmup and summary modes, and shard counts. The ring-4 variant
+// forces constant backpressure: every shard blocks on a nearly-full
+// ring while the merge drains it, proving stalls cannot reorder the
+// canonical stream.
+func TestPipelinedMatchesBarrier(t *testing.T) {
+	for _, preset := range cluster.TopologyPresets() {
+		for _, seed := range []int64{1, 42} {
+			for _, tc := range []struct {
+				label  string
+				warmup float64
+				mode   stats.Mode
+			}{
+				{"exact", 0, stats.Exact},
+				{"exact-warmup", 30, stats.Exact},
+				{"bounded", 0, stats.Bounded},
+				{"bounded-warmup", 30, stats.Bounded},
+			} {
+				want := runSharded(t, preset, 1, tc.warmup, tc.mode, seed)
+				if want.Offered == 0 {
+					t.Fatalf("%s/%s: no requests offered; test is vacuous", preset, tc.label)
+				}
+				for _, shards := range []int{1, 2, 3, 8} {
+					got := runPipelined(t, preset, shards, 0, tc.warmup, tc.mode, seed)
+					compareTopologyResults(t,
+						preset+"/"+tc.label+"/pipelined", want, got)
+				}
+				got := runPipelined(t, preset, 4, 4, tc.warmup, tc.mode, seed)
+				compareTopologyResults(t,
+					preset+"/"+tc.label+"/pipelined-ring4", want, got)
+			}
+		}
+	}
+}
+
+// TestPipelinedSourcesAgree: the pipelined backend is source-agnostic —
+// lazy generator ranges, materialized trace filtering and re-scanned
+// streaming CSV decoders all reproduce the barrier generator baseline.
+func TestPipelinedSourcesAgree(t *testing.T) {
+	const sites = 5
+	topo := spillTopology(sites)
+	opts := cluster.Options{Warmup: 20, Seed: 11, Summary: stats.Exact}
+	popts := opts
+	popts.Pipeline = true
+	mk := func() cluster.GenSpec { return presetSpec(sites, 7) }
+
+	want, err := cluster.RunSharded(cluster.GenShards(mk()), topo, opts, 1)
+	if err != nil {
+		t.Fatalf("generator baseline: %v", err)
+	}
+	if want.Offered == 0 {
+		t.Fatal("baseline offered no requests; test is vacuous")
+	}
+
+	got, err := cluster.RunSharded(cluster.GenShards(mk()), topo, popts, 2)
+	if err != nil {
+		t.Fatalf("pipelined generator: %v", err)
+	}
+	compareTopologyResults(t, "pipelined-gen", want, got)
+
+	got, err = cluster.RunSharded(cluster.TraceShards(cluster.Generate(mk())), topo, popts, 3)
+	if err != nil {
+		t.Fatalf("pipelined trace source: %v", err)
+	}
+	compareTopologyResults(t, "pipelined-trace", want, got)
+
+	var buf bytes.Buffer
+	if _, err := trace.WriteRequestsCSV(&buf, cluster.Stream(mk())); err != nil {
+		t.Fatalf("encode CSV: %v", err)
+	}
+	csv := buf.String()
+	factory := func() cluster.Source { return trace.StreamRequestsCSV(strings.NewReader(csv)) }
+	got, err = cluster.RunSharded(cluster.SourceShards(factory, sites), topo, popts, 4)
+	if err != nil {
+		t.Fatalf("pipelined csv source: %v", err)
+	}
+	compareTopologyResults(t, "pipelined-csv", want, got)
+}
+
+// TestPipelinedAzureSource: the Azure per-bin decoder through the
+// pipelined backend matches the barrier baseline at several shard
+// counts.
+func TestPipelinedAzureSource(t *testing.T) {
+	const azureCSV = `bin,s0,s1,s2,s3
+0,40,55,35,20
+1,30,25,45,30
+2,25,30,20,35
+`
+	factory := func() cluster.Source {
+		return trace.StreamAzureCSV(strings.NewReader(azureCSV), trace.AzureStreamOptions{
+			BinWidth: 30,
+			Seed:     3,
+		})
+	}
+	probe := trace.StreamAzureCSV(strings.NewReader(azureCSV), trace.AzureStreamOptions{})
+	sites := probe.Sites()
+
+	topo := spillTopology(sites)
+	want, err := cluster.RunSharded(cluster.SourceShards(factory, sites), topo,
+		cluster.Options{Seed: 5, Summary: stats.Exact}, 1)
+	if err != nil {
+		t.Fatalf("azure baseline: %v", err)
+	}
+	if want.Offered == 0 {
+		t.Fatal("azure baseline offered no requests; test is vacuous")
+	}
+	for _, shards := range []int{2, sites} {
+		got, err := cluster.RunSharded(cluster.SourceShards(factory, sites), topo,
+			cluster.Options{Seed: 5, Summary: stats.Exact, Pipeline: true}, shards)
+		if err != nil {
+			t.Fatalf("pipelined azure %d shards: %v", shards, err)
+		}
+		compareTopologyResults(t, "pipelined-azure", want, got)
+	}
+}
+
+// TestPipelinedSourceErrorSurfaces: a decode failure inside a shard
+// worker surfaces as an error without deadlocking the merger or the
+// phase-2 pumps — the failing shard still closes its ring, so the
+// whole pipeline drains and RunSharded returns.
+func TestPipelinedSourceErrorSurfaces(t *testing.T) {
+	const bad = "time,site,service\n0.5,0,0.01\n1.0,1,0.02\nnot-a-number,0,0.01\n"
+	factory := func() cluster.Source { return trace.StreamRequestsCSV(strings.NewReader(bad)) }
+	topo := spillTopology(2)
+	_, err := cluster.RunSharded(cluster.SourceShards(factory, 2), topo,
+		cluster.Options{Seed: 1, Pipeline: true}, 2)
+	if err == nil {
+		t.Fatal("want a decode error from the pipelined run, got none")
+	}
+	if !strings.Contains(err.Error(), "source failed") {
+		t.Fatalf("error does not identify the source failure: %v", err)
+	}
+}
+
+// TestPipelinedRejections: the pipelined backend refuses exactly what
+// the barrier backend refuses, with the same error text.
+func TestPipelinedRejections(t *testing.T) {
+	topo := spillTopology(3)
+	src := func() cluster.ShardedSource { return cluster.GenShards(presetSpec(3, 1)) }
+	if _, err := cluster.RunSharded(src(), topo, cluster.Options{Pipeline: true, TimelineBin: 1}, 2); err == nil || !strings.Contains(err.Error(), "TimelineBin") {
+		t.Fatalf("want timeline rejection, got %v", err)
+	}
+	if _, err := cluster.RunSharded(src(), topo, cluster.Options{Pipeline: true, Probe: func(int) {}}, 2); err == nil || !strings.Contains(err.Error(), "Probe") {
+		t.Fatalf("want probe rejection, got %v", err)
+	}
+}
+
+// partitionTopology splits the shared phase into two independent spill
+// components: sites enter at edge-a by default, the back half is
+// pinned to edge-b by a class rule, and each edge tier spills to its
+// own central pool. With no scaler on either pool, the pipelined
+// backend replays the two components on parallel phase-2 engines.
+func partitionTopology(sites int) cluster.Topology {
+	detour := netem.CloudTypical
+	pinned := make([]int, 0, sites/2)
+	for s := sites / 2; s < sites; s++ {
+		pinned = append(pinned, s)
+	}
+	return cluster.Topology{
+		Name: "split-shared",
+		Tiers: []cluster.Tier{
+			{Name: "edge-a", Sites: sites, ServersPerSite: 1, Path: netem.EdgePath},
+			{Name: "edge-b", Sites: sites, ServersPerSite: 1, Path: netem.EdgePath},
+			{Name: "pool-a", Sites: 1, ServersPerSite: sites, Path: netem.CloudTypical,
+				Dispatch: cluster.CentralQueueDispatch},
+			{Name: "pool-b", Sites: 1, ServersPerSite: sites, Path: netem.CloudTypical,
+				Dispatch: cluster.CentralQueueDispatch},
+		},
+		Spills: []cluster.SpillEdge{
+			{From: "edge-a", To: "pool-a", Threshold: 2, DetourPath: &detour},
+			{From: "edge-b", To: "pool-b", Threshold: 2, DetourRTT: 0.004},
+		},
+		Classes: []cluster.ClassRule{
+			{Name: "b-half", Sites: pinned, Tier: "edge-b"},
+		},
+	}
+}
+
+// TestPipelinedParallelPartitions: a topology whose shared tiers form
+// two disjoint spill components replays bit-identically on parallel
+// phase-2 engines, including under a tiny ring. Both pools must see
+// traffic or the partition split is untested.
+func TestPipelinedParallelPartitions(t *testing.T) {
+	const sites = 6
+	topo := partitionTopology(sites)
+	if err := cluster.Shardable(topo); err != nil {
+		t.Fatalf("partition topology must be shardable: %v", err)
+	}
+	mk := func() cluster.GenSpec { return presetSpec(sites, 13) }
+	opts := cluster.Options{Warmup: 15, Seed: 9, Summary: stats.Exact}
+
+	want, err := cluster.RunSharded(cluster.GenShards(mk()), topo, opts, 1)
+	if err != nil {
+		t.Fatalf("barrier baseline: %v", err)
+	}
+	for _, pool := range []string{"pool-a", "pool-b"} {
+		if tr := want.Tier(pool); tr == nil || tr.Served == 0 {
+			t.Fatalf("%s served no spilled traffic; partition test is vacuous", pool)
+		}
+	}
+
+	for _, tc := range []struct {
+		label  string
+		shards int
+		ring   int
+	}{
+		{"shards2", 2, 0},
+		{"shards4-ring8", 4, 8},
+	} {
+		popts := opts
+		popts.Pipeline = true
+		popts.PipelineRing = tc.ring
+		got, err := cluster.RunSharded(cluster.GenShards(mk()), topo, popts, tc.shards)
+		if err != nil {
+			t.Fatalf("pipelined %s: %v", tc.label, err)
+		}
+		compareTopologyResults(t, "partitions/"+tc.label, want, got)
+	}
+}
+
+// TestPipelinedBacklogBounded: the satellite memory probe. Peak
+// resident boundary records — captured but not yet admitted to a
+// phase-2 engine — must be bounded by ring capacity and pipeline
+// constants, not by the boundary count: growing the trace 10x and
+// 100x may not grow the peak past the same fixed bound.
+func TestPipelinedBacklogBounded(t *testing.T) {
+	const (
+		sites  = 4
+		shards = 4
+		ring   = 64
+		// slack covers what sits outside the rings: per-shard pending
+		// heaps (captures within one detour of the shard clock) and the
+		// merger/pump batches in flight (a few pipeBatch-sized buffers
+		// per partition). All are O(1) in the trace length.
+		slack = 2048
+		bound = shards*ring + slack
+	)
+	topo := spillTopology(sites)
+	for _, scale := range []struct {
+		label    string
+		duration float64
+	}{
+		{"1x", 120},
+		{"10x", 1200},
+		{"100x", 12000},
+	} {
+		spec := cluster.GenSpec{
+			Sites: sites, Duration: scale.duration, PerSiteRate: 16, Seed: 21,
+		}
+		peak := -1
+		res, err := cluster.RunSharded(cluster.GenShards(spec), topo, cluster.Options{
+			Seed:         21,
+			Summary:      stats.Bounded,
+			Pipeline:     true,
+			PipelineRing: ring,
+			BacklogProbe: func(p int) { peak = p },
+		}, shards)
+		if err != nil {
+			t.Fatalf("%s: %v", scale.label, err)
+		}
+		if peak < 0 {
+			t.Fatalf("%s: BacklogProbe never called", scale.label)
+		}
+		if peak == 0 {
+			t.Fatalf("%s: zero peak backlog; no boundary traffic crossed, test is vacuous", scale.label)
+		}
+		if peak > bound {
+			t.Errorf("%s: peak backlog %d exceeds O(ring) bound %d", scale.label, peak, bound)
+		}
+		// The bound must be the binding constraint, not a tautology: at
+		// 100x the boundary stream is far larger than the bound.
+		if scale.label == "100x" {
+			if crossed := res.Tier("cloud").Served; crossed < 4*uint64(bound) {
+				t.Fatalf("100x run spilled only %d records (< 4x bound %d); grow the trace", crossed, bound)
+			}
+		}
+	}
+}

@@ -38,6 +38,13 @@ import (
 // its own canonical stream discipline — per-site network streams rather
 // than Run's single generation-order stream — so its numbers are a
 // deterministic function of the seed but need not equal Run's.)
+//
+// Two backends replay the same two phases: RunSharded barriers between
+// them (phase 2 starts after the slowest shard finishes, boundary
+// memory is O(boundary count)), and RunPipelined (pipeline.go) overlaps
+// them through watermarked bounded rings (phase 2 starts immediately,
+// boundary memory is O(ring capacity)). Both produce bit-identical
+// results because both feed phase 2 the identical canonical sequence.
 
 // Shardable reports whether the topology can be replayed by RunSharded,
 // or an error naming the first coupling that prevents it. The
@@ -129,6 +136,65 @@ func boundaryBefore(a, b *boundaryRec) bool {
 	return a.seq < b.seq
 }
 
+// sortBoundary canonicalizes a phase-1 harvest in place. Captures are
+// appended in shard event order, which is already the canonical order
+// whenever the shard's crossings carry uniform detour offsets (pinned
+// classes, a single spill edge) — so first verify sortedness in one
+// O(n) scan and return without moving anything. Otherwise the sequence
+// is a sorted prefix with displaced records behind it: sort the suffix
+// and merge the two runs backward through one suffix-sized buffer,
+// which beats re-sorting the whole harvest when few records are out of
+// place and degrades to an ordinary sort plus an O(n) pass when many
+// are. boundaryBefore is a strict total order, so the merge is
+// deterministic.
+func sortBoundary(recs []boundaryRec) {
+	p := 1
+	for p < len(recs) && !boundaryBefore(&recs[p], &recs[p-1]) {
+		p++
+	}
+	if p >= len(recs) {
+		return
+	}
+	tail := recs[p:]
+	sort.Slice(tail, func(i, j int) bool { return boundaryBefore(&tail[i], &tail[j]) })
+	tmp := append([]boundaryRec(nil), tail...)
+	i, k := p-1, len(recs)-1
+	for j := len(tmp) - 1; j >= 0; {
+		if i >= 0 && boundaryBefore(&tmp[j], &recs[i]) {
+			recs[k] = recs[i]
+			i--
+		} else {
+			recs[k] = tmp[j]
+			j--
+		}
+		k--
+	}
+}
+
+// boundaryPublisher receives one shard's boundary captures during phase
+// 1. The barrier backend buffers the full harvest; the pipelined
+// backend streams releases through a watermarked ring. capture is
+// called in shard event order; advance reports the shard clock reaching
+// now (from the feeder, once per source record); finish runs once after
+// the shard engine drains, including on source error.
+type boundaryPublisher interface {
+	capture(rec boundaryRec)
+	advance(now float64)
+	finish()
+}
+
+// harvestPublisher is the barrier backend's publisher: append
+// everything, canonicalize once at the end.
+type harvestPublisher struct{ st *shardState }
+
+func (h *harvestPublisher) capture(rec boundaryRec) {
+	h.st.boundary = append(h.st.boundary, rec)
+}
+
+func (h *harvestPublisher) advance(float64) {}
+
+func (h *harvestPublisher) finish() { sortBoundary(h.st.boundary) }
+
 // homeSpill is one home tier's outgoing spill edge, pre-resolved.
 type homeSpill struct {
 	spec     SpillEdge
@@ -147,8 +213,8 @@ type shardState struct {
 	slot   []int // tier index -> home slot (shared shardPlan.homeSlot)
 
 	stations [][]*queue.Station // per home slot, per local site
-	boundary []boundaryRec
-	siteSeq  []uint64 // per local site: boundary capture counter
+	boundary []boundaryRec      // barrier backend's harvest
+	siteSeq  []uint64           // per local site: boundary capture counter
 
 	offered  uint64
 	consumed uint64
@@ -182,10 +248,10 @@ func (st *shardState) Consume(e *sim.Engine, r *queue.Request) {
 }
 
 // runShardPhase1 replays one shard's sites through the home tiers,
-// capturing boundary crossings. All randomness draws from the per-site
-// streams in netSeeds, so a site behaves identically no matter which
-// shard holds it.
-func runShardPhase1(topo Topology, plan shardPlan, st *shardState, src Source, opts Options, netSeeds []int64) {
+// streaming boundary crossings into pub. All randomness draws from the
+// per-site streams in netSeeds, so a site behaves identically no matter
+// which shard holds it.
+func runShardPhase1(topo Topology, plan shardPlan, st *shardState, src Source, opts Options, netSeeds []int64, pub boundaryPublisher) {
 	eng := sim.NewEngineBackend(opts.Seed, opts.Backend)
 	st.eng = eng
 	pool := &queue.FreeList{}
@@ -256,7 +322,7 @@ func runShardPhase1(topo Topology, plan shardPlan, st *shardState, src Source, o
 
 	capture := func(at float64, req *queue.Request, target int, service float64) {
 		ls := req.Site - st.lo
-		st.boundary = append(st.boundary, boundaryRec{
+		pub.capture(boundaryRec{
 			at:        at,
 			site:      req.Site,
 			seq:       st.siteSeq[ls],
@@ -318,6 +384,10 @@ func runShardPhase1(topo Topology, plan shardPlan, st *shardState, src Source, o
 				panic(fmt.Sprintf("cluster: sharded source yielded site %d outside shard [%d,%d)",
 					rec.Site, st.lo, st.hi))
 			}
+			// The shard clock sits at rec.Time: every boundary capture
+			// from here on carries at >= rec.Time, which is what lets the
+			// pipelined publisher release and watermark.
+			pub.advance(rec.Time)
 			entry := 0
 			if len(topo.Classes) > 0 {
 				entry = classify(rec)
@@ -349,27 +419,28 @@ func runShardPhase1(topo Topology, plan shardPlan, st *shardState, src Source, o
 				st.lo, st.hi, f.count, err)
 		}
 	}
-	// Captures were appended in shard event order; canonicalize so the
-	// k-way merge sees each buffer sorted by the global order.
-	sort.Slice(st.boundary, func(i, j int) bool {
-		return boundaryBefore(&st.boundary[i], &st.boundary[j])
-	})
+	// Flush the tail captures (and, for the barrier backend,
+	// canonicalize the harvest). Runs on the error path too, so a
+	// pipelined ring always closes and the merger cannot stall.
+	pub.finish()
 }
 
-// phase2Sink records completions at the shared tiers, writing the
-// result's aggregate counters directly (phase-1 counters are harvested
-// afterwards).
+// phase2Sink records completions at the shared tiers. Counters are
+// sink-local so parallel phase-2 partitions never share a scalar;
+// per-tier and per-site writes land in partition-exclusive slice
+// elements. finishSharded folds the locals into the result.
 type phase2Sink struct {
-	res      *TopologyResult
-	warmup   float64
-	perSite  []stats.Digest // per global site, shared-phase e2e
-	consumed uint64
-	pre      func() // runs for every consumed request (autoscale drain)
+	tiers     []TierResult // the result's tier table (shared, disjoint tags)
+	warmup    float64
+	perSite   []stats.Digest // per global site, shared-phase e2e (disjoint sites)
+	consumed  uint64
+	completed uint64
+	dropped   uint64
+	pre       func() // runs for every consumed request (autoscale drain)
 }
 
 // Consume implements queue.Sink.
 func (s *phase2Sink) Consume(e *sim.Engine, r *queue.Request) {
-	s.res.Consumed++
 	s.consumed++
 	if s.pre != nil {
 		s.pre()
@@ -377,9 +448,9 @@ func (s *phase2Sink) Consume(e *sim.Engine, r *queue.Request) {
 	if r.Departure < s.warmup {
 		return
 	}
-	tier := &s.res.Tiers[r.Tag]
+	tier := &s.tiers[r.Tag]
 	if r.Dropped {
-		s.res.Dropped++
+		s.dropped++
 		tier.Dropped++
 		return
 	}
@@ -387,20 +458,32 @@ func (s *phase2Sink) Consume(e *sim.Engine, r *queue.Request) {
 	if r.Site >= 0 && r.Site < len(s.perSite) {
 		s.perSite[r.Site].Add(e2e)
 	}
-	s.res.Completed++
+	s.completed++
 	tier.Served++
 	tier.EndToEnd.Add(e2e)
 }
 
-// RunSharded replays the source through the topology on `shards`
-// parallel engines plus one serial shared phase, producing a result
-// that is bit-identical for every shard count (including 1). shards <=
-// 0 selects GOMAXPROCS; the count is clamped to the site count. See
-// Shardable for what disqualifies a topology.
-//
-// Options.TimelineBin and Options.Probe are not supported here: both
-// observe global event order, which sharding does not preserve.
-func RunSharded(src ShardedSource, topo Topology, opts Options, shards int) (*TopologyResult, error) {
+// shardRun is the state the barrier and pipelined backends share: the
+// validated plan, the partition-independent seed derivation, the shard
+// site ranges and the result skeleton.
+type shardRun struct {
+	topo       Topology
+	plan       shardPlan
+	opts       Options
+	sites      int
+	shards     int
+	netSeeds   []int64
+	phase2Seed int64
+	states     []*shardState
+	res        *TopologyResult
+}
+
+// newShardRun validates the run and derives everything both backends
+// need. Per-site stream seeds are derived exactly as siteStreams
+// derives the generator's: one master stream hands each site a seed in
+// site order, then one more seeds the phase-2 engine. The derivation
+// never reads the shard count.
+func newShardRun(src ShardedSource, topo Topology, opts Options, shards int) (*shardRun, error) {
 	topo = topo.normalized()
 	if err := topo.Validate(); err != nil {
 		return nil, err
@@ -434,10 +517,6 @@ func RunSharded(src ShardedSource, topo Topology, opts Options, shards int) (*To
 		shards = sites
 	}
 
-	// Per-site stream seeds, derived exactly as siteStreams derives the
-	// generator's: one master stream hands each site a seed in site
-	// order, then one more seeds the phase-2 engine. The derivation
-	// never reads the shard count.
 	master := rand.New(rand.NewSource(opts.Seed))
 	netSeeds := make([]int64, sites)
 	for i := range netSeeds {
@@ -445,7 +524,7 @@ func RunSharded(src ShardedSource, topo Topology, opts Options, shards int) (*To
 	}
 	phase2Seed := master.Int63()
 
-	// Phase 1: contiguous balanced site ranges, one goroutine each.
+	// Contiguous balanced site ranges, one shard each.
 	states := make([]*shardState, shards)
 	lo := 0
 	for k := 0; k < shards; k++ {
@@ -455,20 +534,6 @@ func RunSharded(src ShardedSource, topo Topology, opts Options, shards int) (*To
 		}
 		states[k] = &shardState{lo: lo, hi: lo + width}
 		lo += width
-	}
-	var wg sync.WaitGroup
-	for _, st := range states {
-		wg.Add(1)
-		go func(st *shardState) {
-			defer wg.Done()
-			runShardPhase1(topo, plan, st, src.Shard(st.lo, st.hi), opts, netSeeds)
-		}(st)
-	}
-	wg.Wait()
-	for _, st := range states {
-		if st.err != nil {
-			return nil, st.err
-		}
 	}
 
 	// Result skeleton; phase 2 writes its tier counters directly.
@@ -480,15 +545,74 @@ func RunSharded(src ShardedSource, topo Topology, opts Options, shards int) (*To
 		res.Tiers[i].Wait = stats.NewDigest(opts.Summary, 0)
 	}
 
-	// Phase 2: one serial engine over the shared tiers, fed by the
-	// canonical cross-shard merge of boundary records. Stream creation
-	// follows Run's discipline scoped to the shared tiers: each tier's
-	// jockey/dispatcher stream in tier order, then lazy spill streams in
-	// spill order; controllers construct-then-Start in tier order.
-	eng2 := sim.NewEngineBackend(phase2Seed, opts.Backend)
-	pool2 := &queue.FreeList{}
-	x := &topoExec{eng: eng2, tiers: make([]*tierRuntime, len(topo.Tiers)), res: res}
+	return &shardRun{
+		topo:       topo,
+		plan:       plan,
+		opts:       opts,
+		sites:      sites,
+		shards:     shards,
+		netSeeds:   netSeeds,
+		phase2Seed: phase2Seed,
+		states:     states,
+		res:        res,
+	}, nil
+}
+
+// p2streams pins every phase-2 random-stream seed before any engine is
+// built, drawn from the phase-2 seed in the exact order the serial
+// engine's NewStream calls consume its primary stream: each shared
+// tier's dispatcher stream in tier order, then lazy detour streams in
+// spill order. Pinning the seeds lets parallel phase-2 partitions
+// construct their streams independently and still match the serial
+// engine bit for bit.
+type p2streams struct {
+	disp  map[int]int64 // tier index -> dispatcher stream seed
+	spill map[int]int64 // spill index -> detour stream seed
+}
+
+func deriveP2Streams(topo Topology, plan shardPlan, phase2Seed int64) p2streams {
+	rng := rand.New(rand.NewSource(phase2Seed))
+	s := p2streams{disp: map[int]int64{}, spill: map[int]int64{}}
 	for _, ti := range plan.shared {
+		if topo.Tiers[ti].Dispatch != CentralQueueDispatch {
+			s.disp[ti] = rng.Int63()
+		}
+	}
+	for i, sp := range topo.Spills {
+		from := topo.tierIndex(sp.From)
+		if plan.homeSlot[from] >= 0 {
+			continue // handled inside phase 1
+		}
+		if sp.DetourPath != nil && from != 0 {
+			s.spill[i] = rng.Int63()
+		}
+	}
+	return s
+}
+
+// p2build is one phase-2 engine's constructed world: the runtimes for
+// its subset of the shared tiers, its request pool, sink and
+// controllers. The barrier backend builds exactly one over all shared
+// tiers; the pipelined backend builds one per independent partition.
+type p2build struct {
+	eng   *sim.Engine
+	x     *topoExec
+	pool  *queue.FreeList
+	sink  *phase2Sink
+	ctrls []autoscale.Scaler
+}
+
+// buildPhase2 constructs the given shared tiers on a fresh engine,
+// following Run's stream discipline scoped to the shared tiers: each
+// tier's dispatcher stream in tier order, then lazy spill streams in
+// spill order (all pinned by streams); controllers construct-then-Start
+// in tier order.
+func buildPhase2(r *shardRun, tiers []int, streams p2streams) (*p2build, error) {
+	topo, opts := r.topo, r.opts
+	eng := sim.NewEngineBackend(r.phase2Seed, opts.Backend)
+	pool := &queue.FreeList{}
+	x := &topoExec{eng: eng, tiers: make([]*tierRuntime, len(topo.Tiers)), res: r.res}
+	for _, ti := range tiers {
 		t := topo.Tiers[ti]
 		rt := &tierRuntime{
 			spec:    t,
@@ -506,14 +630,14 @@ func RunSharded(src ShardedSource, topo Topology, opts Options, shards int) (*To
 			if rt.central && t.Sites == 1 {
 				name = t.Name
 			}
-			rt.stations[i] = newStation(eng2, name, c, t.Discipline,
-				t.QueueCap, opts.Warmup, opts.Summary, pool2)
+			rt.stations[i] = newStation(eng, name, c, t.Discipline,
+				t.QueueCap, opts.Warmup, opts.Summary, pool)
 			rt.servers[i] = rt.stations[i]
 		}
 		// Jockeying is home-routed-only (Validate), and jockeying home
 		// tiers are unshardable, so shared tiers never need lb.Geographic.
 		if !rt.central {
-			d, err := lb.New(t.Dispatch, rt.servers, eng2.NewStream())
+			d, err := lb.New(t.Dispatch, rt.servers, rand.New(rand.NewSource(streams.disp[ti])))
 			if err != nil {
 				return nil, fmt.Errorf("cluster: tier %q: %w", t.Name, err)
 			}
@@ -521,10 +645,13 @@ func RunSharded(src ShardedSource, topo Topology, opts Options, shards int) (*To
 		}
 		x.tiers[ti] = rt
 	}
-	for _, sp := range topo.Spills {
+	for i, sp := range topo.Spills {
 		from, to := topo.tierIndex(sp.From), topo.tierIndex(sp.To)
-		if plan.homeSlot[from] >= 0 {
+		if r.plan.homeSlot[from] >= 0 {
 			continue // handled inside phase 1
+		}
+		if x.tiers[from] == nil {
+			continue // another partition's edge
 		}
 		rt := &spillRuntime{spec: sp, to: to}
 		if sp.DetourPath != nil {
@@ -533,18 +660,18 @@ func RunSharded(src ShardedSource, topo Topology, opts Options, shards int) (*To
 				// rides on the boundary record's aux field.
 				rt.atGen = true
 			} else {
-				rt.rng = eng2.NewStream()
+				rt.rng = rand.New(rand.NewSource(streams.spill[i]))
 			}
 		}
 		x.tiers[from].spill = rt
 	}
 	var ctrls []autoscale.Scaler
-	for _, ti := range plan.shared {
+	for _, ti := range tiers {
 		rt := x.tiers[ti]
 		if rt.spec.Scaler == nil {
 			continue
 		}
-		s, err := autoscale.New(*rt.spec.Scaler, eng2, rt.stations)
+		s, err := autoscale.New(*rt.spec.Scaler, eng, rt.stations)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: tier %q: %w", rt.spec.Name, err)
 		}
@@ -553,20 +680,244 @@ func RunSharded(src ShardedSource, topo Topology, opts Options, shards int) (*To
 		ctrls = append(ctrls, s)
 	}
 
-	sink2 := &phase2Sink{res: res, warmup: opts.Warmup, perSite: newDigests(opts.Summary, sites)}
+	sink := &phase2Sink{tiers: r.res.Tiers, warmup: opts.Warmup}
 	x.admitEv = func(e *sim.Engine, p any) {
 		req := p.(*queue.Request)
 		x.admit(int(req.Tag), req)
 	}
+	return &p2build{eng: eng, x: x, pool: pool, sink: sink, ctrls: ctrls}, nil
+}
+
+// finishSharded closes every engine at the global end time, harvests
+// the phase-1 and phase-2 counters, merges per-site latency in
+// canonical order and assembles the per-tier tables — identical for
+// both backends, which is what makes them bit-identical.
+func finishSharded(r *shardRun, builds []*p2build, perSite []stats.Digest) *TopologyResult {
+	topo, plan, opts, res := r.topo, r.plan, r.opts, r.res
+
+	// Tier index -> its phase-2 runtime, across partitions.
+	sharedRT := make([]*tierRuntime, len(topo.Tiers))
+	for _, b := range builds {
+		for ti, rt := range b.x.tiers {
+			if rt != nil {
+				sharedRT[ti] = rt
+			}
+		}
+	}
+
+	// Close every engine at the global end time, so time-weighted
+	// metrics (busy integrals, arrival rates) cover the same window for
+	// every shard count and partition: the max over engines equals the
+	// max over per-site last-event times, which no partition changes.
+	var globalDur float64
+	for _, b := range builds {
+		if b.eng.Now() > globalDur {
+			globalDur = b.eng.Now()
+		}
+	}
+	for _, st := range r.states {
+		if st.eng.Now() > globalDur {
+			globalDur = st.eng.Now()
+		}
+	}
+	for _, st := range r.states {
+		if st.eng.Now() < globalDur {
+			st.eng.RunUntil(globalDur)
+		}
+		for _, row := range st.stations {
+			for _, s := range row {
+				s.Finish()
+			}
+		}
+	}
+	for _, b := range builds {
+		if b.eng.Now() < globalDur {
+			b.eng.RunUntil(globalDur)
+		}
+	}
+	for _, ti := range plan.shared {
+		for _, s := range sharedRT[ti].stations {
+			s.Finish()
+		}
+	}
+	res.Duration = globalDur
+
+	// Harvest phase-1 counters, then the phase-2 sinks' locals.
+	for _, st := range r.states {
+		res.Offered += st.offered
+		res.Consumed += st.consumed
+		for slot, ti := range plan.home {
+			res.Tiers[ti].Served += st.served[slot]
+			res.Tiers[ti].Dropped += st.dropped[slot]
+			res.Tiers[ti].Spilled += st.spilled[slot]
+			res.Completed += st.served[slot]
+			res.Dropped += st.dropped[slot]
+		}
+	}
+	for _, b := range builds {
+		res.Consumed += b.sink.consumed
+		res.Completed += b.sink.completed
+		res.Dropped += b.sink.dropped
+	}
+
+	// Combined per-site end-to-end: home-phase completions then
+	// shared-phase completions, merged in global site order — a
+	// canonical order standing in for Run's completion order.
+	combined := newDigests(opts.Summary, r.sites)
+	for s := 0; s < r.sites; s++ {
+		for _, st := range r.states {
+			if s >= st.lo && s < st.hi {
+				combined[s].Merge(&st.perSite[s-st.lo])
+			}
+		}
+		combined[s].Merge(&perSite[s])
+		res.EndToEnd.Merge(&combined[s])
+	}
+	for slot, ti := range plan.home {
+		tier := &res.Tiers[ti]
+		for _, st := range r.states {
+			for ls := range st.tierSite[slot] {
+				tier.EndToEnd.Merge(&st.tierSite[slot][ls])
+			}
+		}
+	}
+
+	// Assemble per-tier station metrics in Run's exact order: tiers
+	// outer (declaration order), stations inner (global site order).
+	pricing := econ.DefaultPricing()
+	if opts.Pricing != nil {
+		pricing = *opts.Pricing
+	}
+	entryHome := plan.homeSlot[0] >= 0
+	var busyAll, capAll float64
+	for ti := range topo.Tiers {
+		tr := &res.Tiers[ti]
+		var busy, capacity float64
+		if slot := plan.homeSlot[ti]; slot >= 0 {
+			for _, st := range r.states {
+				for ls, s := range st.stations[slot] {
+					gs := st.lo + ls
+					m := s.Metrics()
+					res.Wait.Merge(&m.Wait)
+					tr.Wait.Merge(&m.Wait)
+					sr := SiteResult{
+						Site:        gs,
+						Wait:        m.Wait,
+						Utilization: m.Utilization(s.Servers),
+						Arrivals:    s.TotalArrivals(),
+						MeanRate:    m.Arrivals.Rate(),
+					}
+					if ti == 0 && entryHome && !opts.NoPerSiteLatency {
+						sr.EndToEnd = combined[gs]
+					}
+					tr.Sites = append(tr.Sites, sr)
+					tr.FinalServers = append(tr.FinalServers, s.Servers)
+					busy += m.Busy.Average()
+					capacity += float64(s.Servers)
+				}
+			}
+		} else {
+			rt := sharedRT[ti]
+			for i, s := range rt.stations {
+				m := s.Metrics()
+				res.Wait.Merge(&m.Wait)
+				tr.Wait.Merge(&m.Wait)
+				tr.Sites = append(tr.Sites, SiteResult{
+					Site:        i,
+					Wait:        m.Wait,
+					Utilization: m.Utilization(s.Servers),
+					Arrivals:    s.TotalArrivals(),
+					MeanRate:    m.Arrivals.Rate(),
+				})
+				tr.FinalServers = append(tr.FinalServers, s.Servers)
+				busy += m.Busy.Average()
+				capacity += float64(s.Servers)
+			}
+		}
+		if capacity > 0 {
+			tr.Utilization = busy / capacity
+		}
+		if rt := sharedRT[ti]; rt != nil && rt.scaler != nil {
+			tel := rt.scaler.Telemetry(res.Duration)
+			tr.ScalerPolicy = rt.spec.Scaler.Label()
+			tr.ScaleUps = tel.ScaleUps
+			tr.ScaleDowns = tel.ScaleDowns
+			tr.PeakServers = tel.PeakServers
+			tr.ServerSeconds = tel.ServerSeconds
+			tr.Events = rt.scaler.EventLog()
+		} else {
+			tr.ServerSeconds = capacity * res.Duration
+		}
+		priceTier(tr, plan.homeSlot[ti] >= 0, topo.Tiers[ti].PricePerServerHour, pricing, res.Duration)
+		res.TotalCost += tr.Cost
+		busyAll += busy
+		capAll += capacity
+	}
+	if capAll > 0 {
+		res.Utilization = busyAll / capAll
+	}
+	if res.Completed > 0 {
+		res.CostPerRequest = res.TotalCost / float64(res.Completed)
+	}
+	return res
+}
+
+// RunSharded replays the source through the topology on `shards`
+// parallel engines plus one serial shared phase, producing a result
+// that is bit-identical for every shard count (including 1). shards <=
+// 0 selects GOMAXPROCS; the count is clamped to the site count. See
+// Shardable for what disqualifies a topology.
+//
+// This is the barrier backend: phase 2 starts after every shard
+// finishes and the full boundary harvest is materialized. Setting
+// Options.Pipeline delegates to RunPipelined, which overlaps the
+// phases and bounds boundary memory by ring capacity — same results,
+// byte for byte.
+//
+// Options.TimelineBin and Options.Probe are not supported here: both
+// observe global event order, which sharding does not preserve.
+func RunSharded(src ShardedSource, topo Topology, opts Options, shards int) (*TopologyResult, error) {
+	if opts.Pipeline {
+		return RunPipelined(src, topo, opts, shards)
+	}
+	r, err := newShardRun(src, topo, opts, shards)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 1: all shards to completion, full harvests.
+	var wg sync.WaitGroup
+	for _, st := range r.states {
+		wg.Add(1)
+		go func(st *shardState) {
+			defer wg.Done()
+			runShardPhase1(r.topo, r.plan, st, src.Shard(st.lo, st.hi), r.opts, r.netSeeds, &harvestPublisher{st: st})
+		}(st)
+	}
+	wg.Wait()
+	for _, st := range r.states {
+		if st.err != nil {
+			return nil, st.err
+		}
+	}
+
+	// Phase 2: one serial engine over all shared tiers.
+	b, err := buildPhase2(r, r.plan.shared, deriveP2Streams(r.topo, r.plan, r.phase2Seed))
+	if err != nil {
+		return nil, err
+	}
+	perSite := newDigests(r.opts.Summary, r.sites)
+	b.sink.perSite = perSite
 
 	// Canonical k-way merge over the sorted per-shard buffers. heads
 	// maps heap entries to shard indices; pos tracks each shard's next
 	// unread record.
+	states := r.states
 	var total uint64
 	for _, st := range states {
 		total += uint64(len(st.boundary))
 	}
-	pos := make([]int, shards)
+	pos := make([]int, r.shards)
 	var heads []int
 	for k := range states {
 		if len(states[k].boundary) > 0 {
@@ -599,30 +950,30 @@ func RunSharded(src ShardedSource, topo Topology, opts Options, shards int) (*To
 
 	var drained bool
 	stopAll := func() {
-		if drained && sink2.consumed == total {
-			for _, c := range ctrls {
+		if drained && b.sink.consumed == total {
+			for _, c := range b.ctrls {
 				c.Stop()
 			}
 		}
 	}
-	if len(ctrls) > 0 {
-		sink2.pre = stopAll
+	if len(b.ctrls) > 0 {
+		b.sink.pre = stopAll
 	}
 	var nextID uint64
 	var pump sim.Event
 	pump = func(e *sim.Engine) {
 		rec := pending
-		req := pool2.Get()
+		req := b.pool.Get()
 		nextID++
 		req.ID = nextID
 		req.Site = rec.site
 		req.Generated = rec.generated
-		req.Done = sink2
+		req.Done = b.sink
 		req.NetworkRTT = rec.rtt
 		req.AuxRTT = rec.aux
 		req.ServiceTime = rec.service
 		req.Tag = uint64(rec.tier)
-		x.admit(rec.tier, req)
+		b.x.admit(rec.tier, req)
 		if advance() {
 			e.AtFront(pending.at, pump)
 		} else {
@@ -631,157 +982,15 @@ func RunSharded(src ShardedSource, topo Topology, opts Options, shards int) (*To
 		}
 	}
 	if advance() {
-		eng2.AtFront(pending.at, pump)
+		b.eng.AtFront(pending.at, pump)
 	} else {
 		drained = true
 		stopAll()
 	}
-	eng2.Run()
-	for _, c := range ctrls {
+	b.eng.Run()
+	for _, c := range b.ctrls {
 		c.Stop()
 	}
 
-	// Close every engine at the global end time, so time-weighted
-	// metrics (busy integrals, arrival rates) cover the same window for
-	// every shard count: the max over engines equals the max over
-	// per-site last-event times, which no partition changes.
-	globalDur := eng2.Now()
-	for _, st := range states {
-		if st.eng.Now() > globalDur {
-			globalDur = st.eng.Now()
-		}
-	}
-	for _, st := range states {
-		if st.eng.Now() < globalDur {
-			st.eng.RunUntil(globalDur)
-		}
-		for _, row := range st.stations {
-			for _, s := range row {
-				s.Finish()
-			}
-		}
-	}
-	if eng2.Now() < globalDur {
-		eng2.RunUntil(globalDur)
-	}
-	for _, ti := range plan.shared {
-		for _, s := range x.tiers[ti].stations {
-			s.Finish()
-		}
-	}
-	res.Duration = globalDur
-
-	// Harvest phase-1 counters.
-	for _, st := range states {
-		res.Offered += st.offered
-		res.Consumed += st.consumed
-		for slot, ti := range plan.home {
-			res.Tiers[ti].Served += st.served[slot]
-			res.Tiers[ti].Dropped += st.dropped[slot]
-			res.Tiers[ti].Spilled += st.spilled[slot]
-			res.Completed += st.served[slot]
-			res.Dropped += st.dropped[slot]
-		}
-	}
-
-	// Combined per-site end-to-end: home-phase completions then
-	// shared-phase completions, merged in global site order — a
-	// canonical order standing in for Run's completion order.
-	combined := newDigests(opts.Summary, sites)
-	for s := 0; s < sites; s++ {
-		for _, st := range states {
-			if s >= st.lo && s < st.hi {
-				combined[s].Merge(&st.perSite[s-st.lo])
-			}
-		}
-		combined[s].Merge(&sink2.perSite[s])
-		res.EndToEnd.Merge(&combined[s])
-	}
-	for slot, ti := range plan.home {
-		tier := &res.Tiers[ti]
-		for _, st := range states {
-			for ls := range st.tierSite[slot] {
-				tier.EndToEnd.Merge(&st.tierSite[slot][ls])
-			}
-		}
-	}
-
-	// Assemble per-tier station metrics in Run's exact order: tiers
-	// outer (declaration order), stations inner (global site order).
-	pricing := econ.DefaultPricing()
-	if opts.Pricing != nil {
-		pricing = *opts.Pricing
-	}
-	entryHome := plan.homeSlot[0] >= 0
-	var busyAll, capAll float64
-	for ti := range topo.Tiers {
-		tr := &res.Tiers[ti]
-		var busy, capacity float64
-		if slot := plan.homeSlot[ti]; slot >= 0 {
-			for _, st := range states {
-				for ls, s := range st.stations[slot] {
-					gs := st.lo + ls
-					m := s.Metrics()
-					res.Wait.Merge(&m.Wait)
-					tr.Wait.Merge(&m.Wait)
-					sr := SiteResult{
-						Site:        gs,
-						Wait:        m.Wait,
-						Utilization: m.Utilization(s.Servers),
-						Arrivals:    s.TotalArrivals(),
-						MeanRate:    m.Arrivals.Rate(),
-					}
-					if ti == 0 && entryHome && !opts.NoPerSiteLatency {
-						sr.EndToEnd = combined[gs]
-					}
-					tr.Sites = append(tr.Sites, sr)
-					tr.FinalServers = append(tr.FinalServers, s.Servers)
-					busy += m.Busy.Average()
-					capacity += float64(s.Servers)
-				}
-			}
-		} else {
-			rt := x.tiers[ti]
-			for i, s := range rt.stations {
-				m := s.Metrics()
-				res.Wait.Merge(&m.Wait)
-				tr.Wait.Merge(&m.Wait)
-				tr.Sites = append(tr.Sites, SiteResult{
-					Site:        i,
-					Wait:        m.Wait,
-					Utilization: m.Utilization(s.Servers),
-					Arrivals:    s.TotalArrivals(),
-					MeanRate:    m.Arrivals.Rate(),
-				})
-				tr.FinalServers = append(tr.FinalServers, s.Servers)
-				busy += m.Busy.Average()
-				capacity += float64(s.Servers)
-			}
-		}
-		if capacity > 0 {
-			tr.Utilization = busy / capacity
-		}
-		if rt := x.tiers[ti]; rt != nil && rt.scaler != nil {
-			tel := rt.scaler.Telemetry(res.Duration)
-			tr.ScalerPolicy = rt.spec.Scaler.Label()
-			tr.ScaleUps = tel.ScaleUps
-			tr.ScaleDowns = tel.ScaleDowns
-			tr.PeakServers = tel.PeakServers
-			tr.ServerSeconds = tel.ServerSeconds
-			tr.Events = rt.scaler.EventLog()
-		} else {
-			tr.ServerSeconds = capacity * res.Duration
-		}
-		priceTier(tr, plan.homeSlot[ti] >= 0, topo.Tiers[ti].PricePerServerHour, pricing, res.Duration)
-		res.TotalCost += tr.Cost
-		busyAll += busy
-		capAll += capacity
-	}
-	if capAll > 0 {
-		res.Utilization = busyAll / capAll
-	}
-	if res.Completed > 0 {
-		res.CostPerRequest = res.TotalCost / float64(res.Completed)
-	}
-	return res, nil
+	return finishSharded(r, []*p2build{b}, perSite), nil
 }

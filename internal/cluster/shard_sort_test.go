@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// harvestShapes builds boundary harvests spanning the shapes phase 1
+// actually produces: fully sorted (uniform detours), a sorted prefix
+// with a displaced tail (mixed detour offsets near the end), and fully
+// random (adversarial). Records get unique (at, site, seq) triples so
+// the canonical order is strict and the expected output unambiguous.
+func harvestShapes(rng *rand.Rand, n int) map[string][]boundaryRec {
+	mk := func() []boundaryRec {
+		recs := make([]boundaryRec, n)
+		at := 0.0
+		for i := range recs {
+			at += rng.Float64()
+			recs[i] = boundaryRec{at: at, site: rng.Intn(8), seq: uint64(i)}
+		}
+		return recs
+	}
+	sorted := mk()
+	displaced := mk()
+	for i := n * 3 / 4; i < n; i++ {
+		displaced[i].at = displaced[n*3/4].at * rng.Float64()
+	}
+	random := mk()
+	rng.Shuffle(len(random), func(i, j int) {
+		random[i], random[j] = random[j], random[i]
+	})
+	return map[string][]boundaryRec{
+		"sorted":    sorted,
+		"displaced": displaced,
+		"random":    random,
+	}
+}
+
+// TestSortBoundary: the sortedness-aware sort agrees with a plain
+// sort.Slice ground truth on every harvest shape and size, including
+// the empty and single-record edges.
+func TestSortBoundary(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for _, n := range []int{0, 1, 2, 3, 17, 256, 4097} {
+		shapes := harvestShapes(rng, n)
+		for label, recs := range shapes {
+			want := append([]boundaryRec(nil), recs...)
+			sort.Slice(want, func(i, j int) bool { return boundaryBefore(&want[i], &want[j]) })
+			got := append([]boundaryRec(nil), recs...)
+			sortBoundary(got)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d %s: record %d = %+v, want %+v", n, label, i, got[i], want[i])
+				}
+			}
+		}
+	}
+	// Duplicate displacement values: ties within the tail must still
+	// come out in the strict canonical order.
+	recs := make([]boundaryRec, 64)
+	for i := range recs {
+		recs[i] = boundaryRec{at: float64(i % 4), site: i % 8, seq: uint64(i)}
+	}
+	want := append([]boundaryRec(nil), recs...)
+	sort.Slice(want, func(i, j int) bool { return boundaryBefore(&want[i], &want[j]) })
+	sortBoundary(recs)
+	for i := range want {
+		if recs[i] != want[i] {
+			t.Fatalf("ties: record %d = %+v, want %+v", i, recs[i], want[i])
+		}
+	}
+}
+
+// BenchmarkSortBoundary measures the sortedness-aware sort against the
+// plain sort.Slice it replaced, on the three harvest shapes. The
+// "sorted" case is the common one (uniform detour offsets keep shard
+// event order canonical) and is where the O(n) verify pass pays off.
+func BenchmarkSortBoundary(b *testing.B) {
+	const n = 100_000
+	rng := rand.New(rand.NewSource(7))
+	shapes := harvestShapes(rng, n)
+	impls := []struct {
+		name string
+		fn   func([]boundaryRec)
+	}{
+		{"aware", sortBoundary},
+		{"stdsort", func(recs []boundaryRec) {
+			sort.Slice(recs, func(i, j int) bool { return boundaryBefore(&recs[i], &recs[j]) })
+		}},
+	}
+	for _, shape := range []string{"sorted", "displaced", "random"} {
+		src := shapes[shape]
+		for _, impl := range impls {
+			b.Run(shape+"/"+impl.name, func(b *testing.B) {
+				buf := make([]boundaryRec, n)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					copy(buf, src)
+					impl.fn(buf)
+				}
+			})
+		}
+	}
+}

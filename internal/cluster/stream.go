@@ -67,9 +67,12 @@ func Stream(spec GenSpec) Source {
 // record sequence.
 func streamRange(spec GenSpec, lo, hi int) Source {
 	// Validation, process derivation and per-site stream seeding are
-	// the helpers Generate uses, so the two paths cannot drift.
+	// the helpers Generate uses, so the two paths cannot drift. Only
+	// seeds are derived for all sites; rand.Rand state (~5KB each) is
+	// constructed just for [lo, hi), so a shard of a million-site spec
+	// pays for its own sites, not everyone's.
 	procs := deriveArrivals(&spec)
-	arrRng, svcRng := siteStreams(spec.Seed, spec.Sites)
+	arrSeed, svcSeed := siteSeeds(spec.Seed, spec.Sites)
 	if lo < 0 || hi > spec.Sites || lo > hi {
 		panic(fmt.Sprintf("cluster: stream range [%d,%d) outside %d sites", lo, hi, spec.Sites))
 	}
@@ -89,8 +92,8 @@ func streamRange(spec GenSpec, lo, hi int) Source {
 	for site := lo; site < hi; site++ {
 		g := &s.sites[site]
 		g.proc = procs[site]
-		g.arrRng = arrRng[site]
-		g.svcRng = svcRng[site]
+		g.arrRng = rand.New(rand.NewSource(arrSeed[site]))
+		g.svcRng = rand.New(rand.NewSource(svcSeed[site]))
 		if s.advance(site) {
 			s.heap.Push(site)
 		}

@@ -132,17 +132,32 @@ func deriveArrivals(spec *GenSpec) []workload.ArrivalProcess {
 	return procs
 }
 
-// siteStreams derives each site's (arrival, service) random streams
-// from the spec seed: the master stream hands every site an arrival
-// seed then a service seed, in site order. This derivation order is
-// part of the reproducibility contract Generate and Stream share.
-func siteStreams(seed int64, sites int) (arr, svc []*rand.Rand) {
+// siteSeeds derives each site's (arrival, service) stream seeds from
+// the spec seed: the master stream hands every site an arrival seed
+// then a service seed, in site order. This derivation order is part of
+// the reproducibility contract Generate and Stream share. Seeds are
+// cheap (16 bytes/site where a constructed rand.Rand costs ~5KB), so
+// range-restricted consumers derive all seeds and construct generators
+// only for the sites they replay.
+func siteSeeds(seed int64, sites int) (arrSeed, svcSeed []int64) {
 	rng := rand.New(rand.NewSource(seed))
+	arrSeed = make([]int64, sites)
+	svcSeed = make([]int64, sites)
+	for i := 0; i < sites; i++ {
+		arrSeed[i] = rng.Int63()
+		svcSeed[i] = rng.Int63()
+	}
+	return arrSeed, svcSeed
+}
+
+// siteStreams constructs every site's random streams from siteSeeds.
+func siteStreams(seed int64, sites int) (arr, svc []*rand.Rand) {
+	arrSeed, svcSeed := siteSeeds(seed, sites)
 	arr = make([]*rand.Rand, sites)
 	svc = make([]*rand.Rand, sites)
 	for i := 0; i < sites; i++ {
-		arr[i] = rand.New(rand.NewSource(rng.Int63()))
-		svc[i] = rand.New(rand.NewSource(rng.Int63()))
+		arr[i] = rand.New(rand.NewSource(arrSeed[i]))
+		svc[i] = rand.New(rand.NewSource(svcSeed[i]))
 	}
 	return arr, svc
 }

@@ -1,0 +1,180 @@
+package merge
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+type wrec struct {
+	t    float64
+	ring int
+	seq  int
+}
+
+func wless(a, b wrec) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	if a.ring != b.ring {
+		return a.ring < b.ring
+	}
+	return a.seq < b.seq
+}
+
+func wtime(r wrec) float64 { return r.t }
+
+// drain consumes the whole group on the caller's goroutine.
+func drain(g *Group[wrec]) []wrec {
+	var out []wrec
+	buf := make([]wrec, 0, 16)
+	for {
+		batch, ok := g.NextBatch(buf[:0], cap(buf))
+		if !ok {
+			return out
+		}
+		out = append(out, batch...)
+	}
+}
+
+// TestGroupMergesSorted pushes randomized per-ring sorted sequences with
+// frequent watermark advances and asserts the consumer sees the exact
+// global sort, for several ring counts and capacities.
+func TestGroupMergesSorted(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 8} {
+		for _, capacity := range []int{1, 4, 64} {
+			rng := rand.New(rand.NewSource(int64(k*100 + capacity)))
+			g := NewGroup(k, capacity, wless, wtime)
+			var want []wrec
+			var inputs [][]wrec
+			for i := 0; i < k; i++ {
+				n := rng.Intn(200)
+				recs := make([]wrec, n)
+				tm := 0.0
+				for j := range recs {
+					switch rng.Intn(4) {
+					case 0:
+						// Hold time: same-ring duplicates.
+					case 1:
+						// Jump to an integer grid point: cross-ring ties.
+						tm = float64(int(tm)) + float64(1+rng.Intn(3))
+					default:
+						tm += rng.Float64()
+					}
+					recs[j] = wrec{t: tm, ring: i, seq: j}
+				}
+				inputs = append(inputs, recs)
+				want = append(want, recs...)
+			}
+			sort.Slice(want, func(a, b int) bool { return wless(want[a], want[b]) })
+
+			var wg sync.WaitGroup
+			for i := 0; i < k; i++ {
+				wg.Add(1)
+				go func(i int, recs []wrec) {
+					defer wg.Done()
+					for len(recs) > 0 {
+						n := 1 + rand.New(rand.NewSource(int64(i)+int64(len(recs)))).Intn(5)
+						if n > len(recs) {
+							n = len(recs)
+						}
+						g.Push(i, recs[:n])
+						recs = recs[n:]
+						if len(recs) > 0 {
+							g.SetWatermark(i, recs[0].t)
+						}
+					}
+					g.Close(i)
+				}(i, inputs[i])
+			}
+			got := drain(g)
+			wg.Wait()
+			if len(got) != len(want) {
+				t.Fatalf("k=%d cap=%d: got %d records, want %d", k, capacity, len(got), len(want))
+			}
+			for j := range got {
+				if got[j] != want[j] {
+					t.Fatalf("k=%d cap=%d: record %d = %+v, want %+v", k, capacity, j, got[j], want[j])
+				}
+			}
+			if p := g.Peak(); p > k*capacity {
+				t.Fatalf("k=%d cap=%d: peak occupancy %d exceeds total capacity %d", k, capacity, p, k*capacity)
+			}
+		}
+	}
+}
+
+// TestGroupWatermarkGates checks the safety rule directly: a record must
+// not be emitted while a lagging empty ring's watermark still allows an
+// equal-time push that orders earlier.
+func TestGroupWatermarkGates(t *testing.T) {
+	g := NewGroup(2, 4, wless, wtime)
+	g.Push(1, []wrec{{t: 5, ring: 1}})
+	// Ring 0 is empty with watermark 0: nothing may be emitted yet, so
+	// the consumer below must stay blocked.
+	done := make(chan []wrec, 1)
+	go func() {
+		out, _ := g.NextBatch(nil, 4)
+		done <- out
+	}()
+	// Watermark 5 is NOT enough: ring 0 could still push t=5, ring 0,
+	// which orders before t=5, ring 1. Only a strictly greater watermark
+	// (or a close) releases the record.
+	g.SetWatermark(0, 5)
+	time.Sleep(10 * time.Millisecond)
+	select {
+	case out := <-done:
+		t.Fatalf("record released at equal watermark: %+v", out)
+	default:
+	}
+	g.SetWatermark(0, 5.1)
+	out := <-done
+	if len(out) != 1 || out[0].t != 5 || out[0].ring != 1 {
+		t.Fatalf("got %+v, want the t=5 ring-1 record", out)
+	}
+	g.Close(0)
+	g.Close(1)
+	if _, ok := g.NextBatch(nil, 4); ok {
+		t.Fatal("drained group still returned ok")
+	}
+}
+
+// TestGroupCloseReleases checks that closing an empty ring unblocks the
+// merge without a watermark.
+func TestGroupCloseReleases(t *testing.T) {
+	g := NewGroup(2, 2, wless, wtime)
+	g.Push(0, []wrec{{t: 1, ring: 0}, {t: 2, ring: 0}})
+	g.Close(0)
+	go g.Close(1) // ring 1 never produced
+	got := drain(g)
+	if len(got) != 2 || got[0].t != 1 || got[1].t != 2 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+// TestGroupBackpressure checks Push blocks at capacity and resumes once
+// the consumer pops.
+func TestGroupBackpressure(t *testing.T) {
+	g := NewGroup(1, 2, wless, wtime)
+	pushed := make(chan struct{})
+	go func() {
+		g.Push(0, []wrec{{t: 1}, {t: 2}, {t: 3}, {t: 4}})
+		g.Close(0)
+		close(pushed)
+	}()
+	select {
+	case <-pushed:
+		t.Fatal("push of 4 records into a capacity-2 ring did not block")
+	default:
+	}
+	got := drain(g)
+	<-pushed
+	if len(got) != 4 {
+		t.Fatalf("got %d records, want 4", len(got))
+	}
+	if p := g.Peak(); p > 2 {
+		t.Fatalf("peak %d exceeds ring capacity 2", p)
+	}
+}
