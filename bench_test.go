@@ -837,3 +837,94 @@ func BenchmarkBoundedQueueLoss(b *testing.B) {
 	}
 	b.ReportMetric(lossTheory*100, "loss%%-rho1.1-K11")
 }
+
+// broadcastBenchSpec builds a generation-bound workload: an NHPP
+// envelope whose peak sits ~1000x above its mean rate makes the
+// generator's thinning loop draw ~1000 candidates per accepted
+// arrival (thinning proposes at the envelope maximum), so generation —
+// not replay — dominates each pass. That is the regime broadcast
+// replay targets: N variant engines re-deriving this trace pay the
+// thinning cost N times, one broadcast pass pays it once.
+func broadcastBenchSpec(duration float64) cluster.GenSpec {
+	const sites = 4
+	envelope := make([]float64, 1000)
+	for i := range envelope {
+		envelope[i] = 0.1
+	}
+	envelope[999] = 4000 // one 0.3-second burst per 300-second cycle
+	procs := make([]workload.ArrivalProcess, sites)
+	for i := range procs {
+		procs[i] = workload.NewNHPP(envelope, 0.3, true)
+	}
+	return cluster.GenSpec{Sites: sites, Duration: duration, Seed: 91, Arrivals: procs}
+}
+
+// broadcastBenchVariants are deliberately cheap to replay (ample
+// servers, bounded summaries, no per-site digests), keeping the
+// benchmark generation-bound; the four shapes differ only in capacity.
+func broadcastBenchVariants() []cluster.Variant {
+	variants := make([]cluster.Variant, 4)
+	for i := range variants {
+		topo := cluster.EdgeTopology(cluster.EdgeConfig{
+			Sites: 4, ServersPerSite: 6 + 2*i, Path: netem.EdgePath,
+		})
+		topo.Name = fmt.Sprintf("fanout-%d", 6+2*i)
+		variants[i] = cluster.Variant{
+			Label:    topo.Name,
+			Topology: topo,
+			Opts: cluster.Options{
+				Warmup: 50, Seed: 92,
+				Summary: stats.Bounded, NoPerSiteLatency: true,
+			},
+		}
+	}
+	return variants
+}
+
+// BenchmarkBroadcastFanout measures the tentpole claim: comparing 4
+// deployment variants over one generation-bound trace via per-row
+// re-derivation (each variant re-runs the generator) versus one
+// broadcast pass fanning out to all 4 engines. The two paths produce
+// bit-identical rows (the broadcast equivalence suite asserts it), so
+// the ratio is pure generation savings: per-row costs 4·(G+S),
+// broadcast G+4·S, with generation G ≫ replay S by construction.
+// benchjson gates the broadcast/per-row ratio via BENCH_PR8.json. In
+// short mode (CI's short-bench step) the trace shrinks ~10x.
+func BenchmarkBroadcastFanout(b *testing.B) {
+	duration := 3000.0
+	if testing.Short() {
+		duration = 300
+	}
+	spec := broadcastBenchSpec(duration)
+	variants := broadcastBenchVariants()
+	b.Run("per-row", func(b *testing.B) {
+		b.ReportAllocs()
+		var offered uint64
+		for i := 0; i < b.N; i++ {
+			offered = 0
+			for _, v := range variants {
+				res, err := cluster.Run(cluster.Stream(spec), v.Topology, v.Opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				offered += res.Offered
+			}
+		}
+		b.ReportMetric(float64(offered), "requests")
+	})
+	b.Run("broadcast", func(b *testing.B) {
+		b.ReportAllocs()
+		var offered uint64
+		for i := 0; i < b.N; i++ {
+			offered = 0
+			runs, err := cluster.RunBroadcast(cluster.Stream(spec), variants, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, res := range runs {
+				offered += res.Offered
+			}
+		}
+		b.ReportMetric(float64(offered), "requests")
+	})
+}

@@ -3,7 +3,9 @@
 // machine-readable file per run and future changes can diff ns/op,
 // B/op, allocs/op and custom metrics across commits. Sub-benchmarks
 // named shards-N are additionally folded into a shard-count scaling
-// curve with speedups relative to shards-1.
+// curve with speedups relative to shards-1, and per-row/broadcast
+// sub-bench pairs into a broadcast-fanout speedup (per-row ns/op over
+// broadcast ns/op — the factor one shared generation pass saves).
 //
 //	go test -bench 'ShardedReplay1M' -benchmem . | benchjson -o BENCH_PR6.json
 //
@@ -61,6 +63,11 @@ type Report struct {
 	Pkg          string                  `json:"pkg,omitempty"`
 	Benchmarks   []Benchmark             `json:"benchmarks"`
 	ShardScaling map[string][]ScalePoint `json:"shard_scaling,omitempty"`
+	// BroadcastSpeedup maps each family with per-row and broadcast
+	// sub-benchmarks to ns/op(per-row) / ns/op(broadcast): the factor
+	// saved by fanning one generation pass out to every variant engine
+	// instead of re-deriving the trace per variant.
+	BroadcastSpeedup map[string]float64 `json:"broadcast_speedup,omitempty"`
 }
 
 // procSuffix is the -GOMAXPROCS tail the bench runner appends to every
@@ -68,8 +75,9 @@ type Report struct {
 // shards-8 end in digits that are NOT a proc suffix); shardSub matches
 // sub-benchmarks that form scaling curves.
 var (
-	procSuffix = regexp.MustCompile(`-(\d+)$`)
-	shardSub   = regexp.MustCompile(`^(.+)/shards-(\d+)$`)
+	procSuffix   = regexp.MustCompile(`-(\d+)$`)
+	shardSub     = regexp.MustCompile(`^(.+)/shards-(\d+)$`)
+	broadcastSub = regexp.MustCompile(`^(.+)/(per-row|broadcast)$`)
 )
 
 // stripProcSuffix removes the -GOMAXPROCS tail from every name, but
@@ -159,7 +167,47 @@ func parseBench(r io.Reader) (Report, error) {
 	}
 	stripProcSuffix(rep.Benchmarks)
 	rep.ShardScaling = scaling(rep.Benchmarks)
+	rep.BroadcastSpeedup = broadcastSpeedups(rep.Benchmarks)
 	return rep, nil
+}
+
+// broadcastSpeedups folds per-row/broadcast sub-benchmark pairs into
+// per-family speedups, averaging duplicates. Families missing either
+// side are skipped: half a pair carries no ratio.
+func broadcastSpeedups(benches []Benchmark) map[string]float64 {
+	type acc struct {
+		sum float64
+		n   int
+	}
+	families := map[string]map[string]*acc{}
+	for _, b := range benches {
+		m := broadcastSub.FindStringSubmatch(b.Name)
+		if m == nil {
+			continue
+		}
+		fam := families[m[1]]
+		if fam == nil {
+			fam = map[string]*acc{}
+			families[m[1]] = fam
+		}
+		if fam[m[2]] == nil {
+			fam[m[2]] = &acc{}
+		}
+		fam[m[2]].sum += b.NsPerOp
+		fam[m[2]].n++
+	}
+	var out map[string]float64
+	for name, fam := range families {
+		perRow, bcast := fam["per-row"], fam["broadcast"]
+		if perRow == nil || bcast == nil || bcast.sum <= 0 {
+			continue
+		}
+		if out == nil {
+			out = map[string]float64{}
+		}
+		out[name] = (perRow.sum / float64(perRow.n)) / (bcast.sum / float64(bcast.n))
+	}
+	return out
 }
 
 // scaling folds shards-N sub-benchmarks into per-family curves,

@@ -247,3 +247,42 @@ func TestRunDiff(t *testing.T) {
 		t.Error("missing baseline file: want an error")
 	}
 }
+
+func TestParseBenchBroadcastSpeedup(t *testing.T) {
+	const in = `goos: linux
+BenchmarkBroadcastFanout/per-row     	       1	 400000000 ns/op	    20072 requests
+BenchmarkBroadcastFanout/broadcast   	       1	 100000000 ns/op	    20072 requests
+BenchmarkBroadcastFanout/per-row     	       1	 440000000 ns/op	    20072 requests
+BenchmarkBroadcastFanout/broadcast   	       1	 110000000 ns/op	    20072 requests
+BenchmarkOther/per-row               	       1	 100000000 ns/op
+PASS
+`
+	rep, err := parseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("parseBench: %v", err)
+	}
+	got, ok := rep.BroadcastSpeedup["BenchmarkBroadcastFanout"]
+	if !ok {
+		t.Fatalf("no broadcast speedup folded: %+v", rep.BroadcastSpeedup)
+	}
+	// Duplicates average per side: 420ms / 105ms = 4x.
+	if math.Abs(got-4) > 1e-9 {
+		t.Errorf("speedup = %v, want 4", got)
+	}
+	// A family with only one side of the pair has no ratio.
+	if _, ok := rep.BroadcastSpeedup["BenchmarkOther"]; ok {
+		t.Error("half a per-row/broadcast pair should not fold")
+	}
+	// The fold must survive the JSON round trip the artifact takes.
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(back.BroadcastSpeedup["BenchmarkBroadcastFanout"]-4) > 1e-9 {
+		t.Errorf("speedup lost in round trip: %+v", back.BroadcastSpeedup)
+	}
+}

@@ -31,12 +31,26 @@
 // shared phase through watermarked bounded rings, overlapping the two
 // phases with bit-identical output; -v explains the engine selection
 // (in particular why -shards auto fell back to the single engine).
+//
+// -grid runs the crossover surface instead: every budget × depth
+// deployment shape plus a pooled-cloud baseline replays each swept
+// rate from ONE broadcast generation pass per distinct trace,
+// answering "which hierarchy depth delays inversion longest?":
+//
+//	edgesim -grid 6,12,18,24 -grid-budgets 10,15 -grid-depths 1,2,3
+//
+// -cpuprofile / -memprofile write pprof profiles of the run; replay
+// phases carry pprof labels (generate, phase-1, merge, phase-2) so
+// `go tool pprof -tagfocus phase=merge` isolates one pipeline stage.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -116,6 +130,16 @@ func main() {
 		"memory bounded by ring capacity instead of boundary count")
 	verbose := flag.Bool("v", false, "explain engine selection on stderr (e.g. why -shards auto fell back to the "+
 		"classic single engine)")
+	grid := flag.String("grid", "", "run a crossover grid over these per-site req/s rates (comma-separated): "+
+		"every -grid-budgets x -grid-depths deployment shape plus a pooled-cloud baseline replays each rate "+
+		"from one broadcast generation pass per distinct trace")
+	gridBudgets := flag.String("grid-budgets", "10,15", "with -grid: comma-separated total server budgets per shape")
+	gridDepths := flag.String("grid-depths", "1,2,3", "with -grid: comma-separated hierarchy depths "+
+		"(1=pure edge, 2=edge+cloud overflow, 3=edge+regional+cloud chain)")
+	gridReps := flag.Int("grid-reps", 1, "with -grid: independent trace replications averaged per cell")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file; replay phases carry pprof "+
+		"labels (generate, phase-1, merge, phase-2) for go tool pprof -tagfocus")
+	memprofile := flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 	flag.Parse()
 	shardsSet := false
 	flag.Visit(func(f *flag.Flag) {
@@ -183,6 +207,53 @@ func main() {
 		fmt.Fprintln(os.Stderr, "edgesim: warning: -stream with -summary exact retains every latency sample; "+
 			"use -summary bounded for O(1)-memory runs")
 	}
+	if *grid != "" {
+		for flagName, set := range map[string]bool{
+			"-topology": *topology != "", "-sweep": *sweep != "",
+			"-trace": *traceFile != "", "-azure": *azureFile != "",
+			"-stream": *stream, "-pipeline": *pipeline, "-shards": shardsSet,
+		} {
+			if set {
+				fail("-grid builds its own deployment shapes and sources; drop %s", flagName)
+			}
+		}
+		if *gridReps < 1 {
+			fail("-grid-reps must be >= 1 (got %d)", *gridReps)
+		}
+	}
+
+	// Profiles cover every run mode below. The deferred writers fire on
+	// main's normal return; fail() exits before any replay starts.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail("-cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail("-cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer writeMemProfile(*memprofile)
+
+	if *grid != "" {
+		rates, err := parseRates(*grid)
+		if err != nil {
+			fail("-grid: %v", err)
+		}
+		budgets, err := parseInts(*gridBudgets)
+		if err != nil {
+			fail("-grid-budgets: %v", err)
+		}
+		depths, err := parseInts(*gridDepths)
+		if err != nil {
+			fail("-grid-depths: %v", err)
+		}
+		runGridCLI(rates, budgets, depths, *gridReps, *sites,
+			*duration, *warmup, *arrivalSCV, *seed, model, mode)
+		return
+	}
+
 	if *sweep != "" {
 		if *topology == "" {
 			fail("-sweep requires -topology (the deployment graph to sweep)")
@@ -796,6 +867,124 @@ func sweepCrossover(topo, cloud []experiments.TopologyPoint, rates []float64,
 		prev = d
 	}
 	return 0, false, false
+}
+
+// runGridCLI evaluates the crossover surface (experiments.RunGrid) and
+// renders it as a heatmap of hierarchy-minus-pooled mean latency, the
+// per-column inversion points, and the best depth per budget.
+func runGridCLI(rates []float64, budgets, depths []int, reps, sites int,
+	duration, warmup, arrivalSCV float64, seed int64, model app.InferenceModel, mode stats.Mode) {
+	res, err := experiments.RunGrid(experiments.GridConfig{
+		Sites:        sites,
+		Rates:        rates,
+		Budgets:      budgets,
+		Depths:       depths,
+		Replications: reps,
+		Duration:     duration,
+		Warmup:       warmup,
+		Seed:         seed,
+		Model:        model,
+		ArrivalSCV:   arrivalSCV,
+		Summary:      mode,
+	})
+	if err != nil {
+		fail("-grid: %v", err)
+	}
+	cfg := res.Config
+
+	fmt.Printf("crossover grid: %d sites, %d rates x %d budgets x %d depths, %d replication(s); "+
+		"one broadcast generation pass per trace\n\n",
+		cfg.Sites, len(cfg.Rates), len(cfg.Budgets), len(cfg.Depths), cfg.Replications)
+
+	var rows []string
+	var values [][]float64
+	for _, b := range cfg.Budgets {
+		for _, d := range cfg.Depths {
+			rows = append(rows, fmt.Sprintf("b%d d%d", b, d))
+			var vs []float64
+			for _, rate := range cfg.Rates {
+				vs = append(vs, (res.Cell(rate, b, d).Mean-res.Baseline(rate, b).Mean)*1000)
+			}
+			values = append(values, vs)
+		}
+	}
+	cols := make([]string, len(cfg.Rates))
+	for i, r := range cfg.Rates {
+		cols[i] = fmt.Sprintf("%g", r)
+	}
+	asciiplot.Heatmap(os.Stdout,
+		"hierarchy mean - pooled-cloud mean (ms) vs per-site req/s (dark = inverted)",
+		rows, cols, values)
+
+	fmt.Println()
+	var out [][]interface{}
+	maxRate := cfg.Rates[len(cfg.Rates)-1]
+	for _, c := range res.Crossovers {
+		cross := "none in range"
+		switch {
+		case c.AtFloor:
+			cross = "inverted at floor"
+		case !math.IsNaN(c.Crossover):
+			cross = fmt.Sprintf("%.1f req/s", c.Crossover)
+		}
+		cell := res.Cell(maxRate, c.Budget, c.Depth)
+		base := res.Baseline(maxRate, c.Budget)
+		out = append(out, []interface{}{
+			c.Budget, c.Depth, cross,
+			cell.Mean * 1000, base.Mean * 1000, cell.Spilled, cell.Dropped,
+		})
+	}
+	asciiplot.Table(os.Stdout, []string{
+		"budget", "depth", "inversion at",
+		"mean @max (ms)", "pooled @max (ms)", "spilled", "dropped",
+	}, out)
+
+	fmt.Println()
+	for _, b := range cfg.Budgets {
+		d, at, ok := res.BestDepth(b)
+		switch {
+		case !ok:
+			fmt.Printf("budget %d: every depth already inverted at the lowest rate\n", b)
+		case math.IsInf(at, 1):
+			fmt.Printf("budget %d: depth %d delays inversion longest (past the swept range)\n", b, d)
+		default:
+			fmt.Printf("budget %d: depth %d delays inversion longest (to %.1f req/s)\n", b, d, at)
+		}
+	}
+}
+
+// writeMemProfile captures an end-of-run heap profile (after a GC, so
+// it reflects retained memory rather than garbage).
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "edgesim: -memprofile:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "edgesim: -memprofile:", err)
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q: %w", p, err)
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("value %d must be positive", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func parseRates(s string) ([]float64, error) {

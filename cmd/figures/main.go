@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	figures [-fig all|2|3|4|5|6|7|8|9|10|three-tier|scaler|validation|capacity|tail|cost]
+//	figures [-fig all|2|3|4|5|6|7|8|9|10|three-tier|scaler|grid|validation|capacity|tail|cost]
 //	        [-duration seconds] [-seed n] [-csv dir]
 //
 // Output is an ASCII rendering of each figure plus the underlying data
@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -29,7 +30,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate (2..10, three-tier, scaler, validation, capacity, tail, cost, all)")
+	fig := flag.String("fig", "all", "figure to regenerate (2..10, three-tier, scaler, grid, validation, capacity, tail, cost, all)")
 	duration := flag.Float64("duration", 600, "simulated seconds per sweep point")
 	seed := flag.Int64("seed", 42, "random seed")
 	csvDir := flag.String("csv", "", "directory to write CSV series into (optional)")
@@ -65,6 +66,7 @@ func main() {
 	run("10", func() { fig910(*seed, false) })
 	run("three-tier", func() { threeTier(*duration, *seed, *csvDir) })
 	run("scaler", func() { scalerFrontier(*duration, *seed, *csvDir) })
+	run("grid", func() { gridSurface(*duration, *seed, *csvDir) })
 	run("validation", func() { validation(*duration, *seed) })
 	run("capacity", func() { capacity() })
 	run("tail", func() { tailAnalytic() })
@@ -357,6 +359,89 @@ func scalerFrontier(duration float64, seed int64, csvDir string) {
 		if err == nil {
 			defer f.Close()
 			_ = asciiplot.WriteSeriesCSV(f, []asciiplot.Series{frontier})
+		}
+	}
+}
+
+// gridSurface renders the crossover grid: the rate × budget × depth
+// surface of hierarchy-vs-pooled-cloud latency, its per-column
+// inversion points, and the "which depth delays inversion longest?"
+// answer per budget. One broadcast generation pass feeds every cell
+// at a given rate (see experiments.RunGrid).
+func gridSurface(duration float64, seed int64, csvDir string) {
+	cfg := experiments.GridConfig{
+		Sites:    5,
+		Rates:    []float64{6, 12, 18, 21, 24},
+		Budgets:  []int{10, 15},
+		Depths:   []int{1, 2, 3},
+		Duration: duration,
+		Seed:     seed,
+	}
+	res, err := experiments.RunGrid(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+
+	// Heatmap of the surface itself: hierarchy mean minus pooled mean,
+	// in ms — dark cells are where the hierarchy has inverted.
+	var rows []string
+	var values [][]float64
+	var series []asciiplot.Series
+	for _, b := range cfg.Budgets {
+		for _, d := range cfg.Depths {
+			rows = append(rows, fmt.Sprintf("b%d d%d", b, d))
+			s := asciiplot.Series{Name: fmt.Sprintf("b%d-d%d", b, d)}
+			var vs []float64
+			for _, rate := range cfg.Rates {
+				diff := (res.Cell(rate, b, d).Mean - res.Baseline(rate, b).Mean) * 1000
+				vs = append(vs, diff)
+				s.X = append(s.X, rate)
+				s.Y = append(s.Y, res.Cell(rate, b, d).Mean*1000)
+			}
+			values = append(values, vs)
+			series = append(series, s)
+		}
+	}
+	cols := make([]string, len(cfg.Rates))
+	for i, r := range cfg.Rates {
+		cols[i] = fmt.Sprintf("%g", r)
+	}
+	asciiplot.Heatmap(os.Stdout,
+		"Crossover grid: hierarchy mean - pooled-cloud mean (ms) vs per-site req/s",
+		rows, cols, values)
+
+	var out [][]interface{}
+	for _, c := range res.Crossovers {
+		cross := "none in range"
+		switch {
+		case c.AtFloor:
+			cross = "inverted at floor"
+		case !math.IsNaN(c.Crossover):
+			cross = fmt.Sprintf("%.1f req/s", c.Crossover)
+		}
+		cell := res.Cell(cfg.Rates[len(cfg.Rates)-1], c.Budget, c.Depth)
+		out = append(out, []interface{}{
+			c.Budget, c.Depth, cross, cell.Mean * 1000, cell.Spilled,
+		})
+	}
+	asciiplot.Table(os.Stdout,
+		[]string{"budget", "depth", "inversion at", "mean @max rate (ms)", "spilled"}, out)
+	for _, b := range cfg.Budgets {
+		if d, at, ok := res.BestDepth(b); ok {
+			how := "past the swept range"
+			if !math.IsInf(at, 1) {
+				how = fmt.Sprintf("to %.1f req/s", at)
+			}
+			fmt.Printf("budget %d: depth %d delays inversion longest (%s)\n", b, d, how)
+		}
+	}
+
+	if csvDir != "" {
+		f, err := os.Create(filepath.Join(csvDir, "figgrid.csv"))
+		if err == nil {
+			defer f.Close()
+			_ = asciiplot.WriteSeriesCSV(f, series)
 		}
 	}
 }

@@ -165,6 +165,65 @@ func WriteSeriesCSV(w io.Writer, series []Series) error {
 	return cw.Error()
 }
 
+// Heatmap renders a matrix of values as a shaded grid: one labeled
+// row per Rows entry, one column per Cols entry, cells ramped from
+// light to dark across the matrix's finite range. NaN cells render as
+// "·". Values[r][c] is the cell at row r, column c.
+func Heatmap(w io.Writer, title string, rows, cols []string, values [][]float64) {
+	ramp := []byte(".:-=+*#%@")
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, row := range values {
+		for _, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if lo > hi {
+		fmt.Fprintf(w, "%s\n(no data)\n", title)
+		return
+	}
+	if lo == hi {
+		hi = lo + 1
+	}
+	labelW := 0
+	for _, r := range rows {
+		if len(r) > labelW {
+			labelW = len(r)
+		}
+	}
+	colW := 3
+	for _, c := range cols {
+		if len(c) > colW {
+			colW = len(c)
+		}
+	}
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-*s", labelW+1, "")
+	for _, c := range cols {
+		fmt.Fprintf(w, " %*s", colW, c)
+	}
+	fmt.Fprintln(w)
+	for ri, r := range rows {
+		fmt.Fprintf(w, "%-*s", labelW+1, r)
+		for ci := range cols {
+			cell := "·"
+			if ri < len(values) && ci < len(values[ri]) {
+				v := values[ri][ci]
+				if !math.IsNaN(v) && !math.IsInf(v, 0) {
+					k := int(math.Round((v - lo) / (hi - lo) * float64(len(ramp)-1)))
+					cell = strings.Repeat(string(ramp[k]), 2)
+				}
+			}
+			fmt.Fprintf(w, " %*s", colW, cell)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "scale: %c=%.4g … %c=%.4g\n", ramp[0], lo, ramp[len(ramp)-1], hi)
+}
+
 // BoxStrip renders a set of box plots as horizontal min──[Q1│med│Q3]──max
 // strips on a shared scale.
 type Box struct {

@@ -98,6 +98,33 @@ func TestWriteSeriesCSVErrors(t *testing.T) {
 	}
 }
 
+func TestHeatmap(t *testing.T) {
+	var buf bytes.Buffer
+	Heatmap(&buf, "surface", []string{"b10 d1", "b10 d2"}, []string{"2", "8"},
+		[][]float64{{-5, 10}, {math.NaN(), 0}})
+	out := buf.String()
+	if !strings.Contains(out, "surface") || !strings.Contains(out, "b10 d2") {
+		t.Error("title or row labels missing")
+	}
+	if !strings.Contains(out, "..") || !strings.Contains(out, "@@") {
+		t.Errorf("extreme cells should use the ramp ends:\n%s", out)
+	}
+	if !strings.Contains(out, "·") {
+		t.Error("NaN cell should render as ·")
+	}
+	if !strings.Contains(out, "scale:") {
+		t.Error("scale line missing")
+	}
+}
+
+func TestHeatmapEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	Heatmap(&buf, "none", nil, nil, nil)
+	if !strings.Contains(buf.String(), "no data") {
+		t.Error("empty heatmap should say so")
+	}
+}
+
 func TestBoxStrips(t *testing.T) {
 	var buf bytes.Buffer
 	BoxStrips(&buf, "boxes", []Box{

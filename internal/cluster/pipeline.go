@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"context"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 
@@ -354,14 +356,16 @@ func RunPipelined(src ShardedSource, topo Topology, opts Options, shards int) (*
 		func(rec boundaryRec) float64 { return rec.at })
 
 	// Phase 1: one goroutine per shard, publishing through its ring.
+	// The pprof phase labels separate the three overlapped stages in
+	// -cpuprofile/-memprofile output.
 	var shardWG sync.WaitGroup
 	for k, st := range r.states {
 		shardWG.Add(1)
-		go func(k int, st *shardState) {
+		go pprof.Do(context.Background(), pprof.Labels("phase", "phase-1"), func(context.Context) {
 			defer shardWG.Done()
 			pub := &pipePublisher{grp: grp, ring: k, gauge: gauge}
 			runShardPhase1(r.topo, r.plan, st, src.Shard(st.lo, st.hi), opts, r.netSeeds, pub)
-		}(k, st)
+		})
 	}
 
 	// Merger: pop watermark-safe records, assign canonical IDs, route
@@ -374,7 +378,7 @@ func RunPipelined(src ShardedSource, topo Topology, opts Options, shards int) (*
 		frees[p] = make(chan []p2rec, 4)
 	}
 	var total uint64
-	go func() {
+	go pprof.Do(context.Background(), pprof.Labels("phase", "merge"), func(context.Context) {
 		popped := make([]boundaryRec, 0, pipeBatch)
 		out := make([][]p2rec, len(parts))
 		var nextID uint64
@@ -407,16 +411,16 @@ func RunPipelined(src ShardedSource, topo Topology, opts Options, shards int) (*
 		for p := range feeds {
 			close(feeds[p])
 		}
-	}()
+	})
 
 	// Phase 2: one engine per partition, fed by the merger.
 	var p2WG sync.WaitGroup
 	for p, b := range builds {
 		p2WG.Add(1)
-		go func(p int, b *p2build) {
+		go pprof.Do(context.Background(), pprof.Labels("phase", "phase-2"), func(context.Context) {
 			defer p2WG.Done()
 			runPhase2Pump(b, feeds[p], frees[p], &total, gauge)
-		}(p, b)
+		})
 	}
 	shardWG.Wait()
 	p2WG.Wait()

@@ -1,9 +1,11 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"sync"
 
@@ -885,14 +887,16 @@ func RunSharded(src ShardedSource, topo Topology, opts Options, shards int) (*To
 		return nil, err
 	}
 
-	// Phase 1: all shards to completion, full harvests.
+	// Phase 1: all shards to completion, full harvests. The pprof
+	// label makes the parallel home-tier replay separable from the
+	// shared phase in -cpuprofile/-memprofile output.
 	var wg sync.WaitGroup
 	for _, st := range r.states {
 		wg.Add(1)
-		go func(st *shardState) {
+		go pprof.Do(context.Background(), pprof.Labels("phase", "phase-1"), func(context.Context) {
 			defer wg.Done()
 			runShardPhase1(r.topo, r.plan, st, src.Shard(st.lo, st.hi), r.opts, r.netSeeds, &harvestPublisher{st: st})
-		}(st)
+		})
 	}
 	wg.Wait()
 	for _, st := range r.states {
@@ -987,7 +991,11 @@ func RunSharded(src ShardedSource, topo Topology, opts Options, shards int) (*To
 		drained = true
 		stopAll()
 	}
-	b.eng.Run()
+	// The barrier backend interleaves the k-way merge with the shared
+	// replay inside the pump, so one label covers both.
+	pprof.Do(context.Background(), pprof.Labels("phase", "phase-2"), func(context.Context) {
+		b.eng.Run()
+	})
 	for _, c := range b.ctrls {
 		c.Stop()
 	}

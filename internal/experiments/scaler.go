@@ -74,11 +74,13 @@ type ScalerComparisonConfig struct {
 	Summary stats.Mode
 	// Workers bounds the worker pool (see SweepConfig.Workers).
 	Workers int
-	// Streaming replays every policy row from a fresh generator source
-	// derived from the same workload spec and seed, instead of
-	// materializing one shared trace: identical arrival sequences per
-	// row (cluster.Stream == Generate for equal specs), with memory
-	// independent of the request count — the mode for 10⁸-request
+	// Streaming replays every policy row from one shared generation
+	// pass instead of materializing a trace: a single streaming source
+	// (cluster.Stream) broadcasts to all rows through bounded rings
+	// (cluster.RunBroadcast), so each row sees the byte-identical
+	// record sequence a fresh per-row source would re-derive — at one
+	// generation pass total rather than one per row — with memory
+	// independent of the request count: the mode for 10⁸-request
 	// policy sweeps. The nhpp and azure families still hold their rate
 	// envelopes (O(Duration/binWidth) per site, nothing per request).
 	// Pair with stats.Bounded summaries so collectors stay O(1) too.
@@ -269,39 +271,58 @@ func RunScalerComparison(cfg ScalerComparisonConfig) (ScalerComparisonResult, er
 	// builder is the same one every later derivation uses, so a name
 	// cannot validate and then fail to derive. Every row replays the
 	// identical arrival sequence: either fresh iterators over one
-	// materialized trace, or — in streaming mode — a fresh generator
-	// source re-derived per row from the same spec and seed (stateful
-	// arrival processes are rebuilt each call, so rows never share or
-	// mutate generator state).
+	// materialized trace, or — in streaming mode — one generator
+	// source broadcast to every row through bounded rings (records are
+	// value types, so rows share nothing mutable).
 	build, err := scalerWorkloadBuilder(cfg.Workload)
 	if err != nil {
 		return ScalerComparisonResult{}, err
 	}
 	mkSpec := func() cluster.GenSpec { return scalerSpecFrom(cfg, build) }
-	var src cluster.SourceFactory
-	sizeHint := 0
-	if cfg.Streaming {
-		src = cluster.StreamFactory(mkSpec)
-	} else {
-		tr := cluster.Generate(mkSpec())
-		src = tr.Source
-		sizeHint = tr.Len()
-	}
-
-	res := ScalerComparisonResult{
-		Workload: cfg.Workload,
-		Rows:     make([]ScalerComparisonRow, len(specs)),
-	}
-	var mu sync.Mutex
-	var firstErr error
-	forEach(len(specs), cfg.Workers, func(i int) {
-		run, err := cluster.Run(src(), scalerTopology(cfg, specs[i]), cluster.Options{
+	rowOpts := func(sizeHint int) cluster.Options {
+		return cluster.Options{
 			Warmup:   cfg.Warmup,
 			Seed:     cfg.Seed + 1, // shared across specs: same streams, policy is the only delta
 			Summary:  cfg.Summary,
 			SizeHint: sizeHint,
 			Pricing:  &cfg.Pricing,
-		})
+		}
+	}
+	res := ScalerComparisonResult{
+		Workload: cfg.Workload,
+		Rows:     make([]ScalerComparisonRow, len(specs)),
+	}
+
+	if cfg.Streaming {
+		// One generation pass fans out to every policy row through
+		// cluster.RunBroadcast: each subscriber ring replays the
+		// byte-identical record sequence a per-row StreamFactory source
+		// would re-derive (the streaming equivalence tests pin rows
+		// against the materialized sweep), at 1/len(specs) of the
+		// generation cost.
+		variants := make([]cluster.Variant, len(specs))
+		for i, s := range specs {
+			variants[i] = cluster.Variant{
+				Label:    s.Label(),
+				Topology: scalerTopology(cfg, s),
+				Opts:     rowOpts(0),
+			}
+		}
+		runs, err := cluster.RunBroadcast(cluster.Stream(mkSpec()), variants, 0)
+		if err != nil {
+			return ScalerComparisonResult{}, err
+		}
+		for i, run := range runs {
+			res.Rows[i] = scalerRow(specs[i].Label(), run)
+		}
+		return res, nil
+	}
+
+	tr := cluster.Generate(mkSpec())
+	var mu sync.Mutex
+	var firstErr error
+	forEach(len(specs), cfg.Workers, func(i int) {
+		run, err := cluster.Run(tr.Source(), scalerTopology(cfg, specs[i]), rowOpts(tr.Len()))
 		if err != nil {
 			mu.Lock()
 			if firstErr == nil {
@@ -310,32 +331,37 @@ func RunScalerComparison(cfg ScalerComparisonConfig) (ScalerComparisonResult, er
 			mu.Unlock()
 			return
 		}
-		row := ScalerComparisonRow{
-			Policy:         specs[i].Label(),
-			Mean:           run.EndToEnd.Mean(),
-			P95:            run.EndToEnd.P95(),
-			Dropped:        run.Dropped,
-			TotalCost:      run.TotalCost,
-			CostPerRequest: run.CostPerRequest,
-		}
-		for _, tier := range run.Tiers {
-			row.Tiers = append(row.Tiers, ScalerTierRow{
-				Tier:          tier.Name,
-				Served:        tier.Served,
-				Spilled:       tier.Spilled,
-				ScaleUps:      tier.ScaleUps,
-				ScaleDowns:    tier.ScaleDowns,
-				PeakServers:   tier.PeakServers,
-				ServerSeconds: tier.ServerSeconds,
-				Cost:          tier.Cost,
-				CostPerHour:   tier.CostPerHour,
-				CostPerReq:    tier.CostPerReq,
-			})
-		}
-		res.Rows[i] = row
+		res.Rows[i] = scalerRow(specs[i].Label(), run)
 	})
 	if firstErr != nil {
 		return ScalerComparisonResult{}, firstErr
 	}
 	return res, nil
+}
+
+// scalerRow flattens one policy's run into a comparison row.
+func scalerRow(label string, run *cluster.TopologyResult) ScalerComparisonRow {
+	row := ScalerComparisonRow{
+		Policy:         label,
+		Mean:           run.EndToEnd.Mean(),
+		P95:            run.EndToEnd.P95(),
+		Dropped:        run.Dropped,
+		TotalCost:      run.TotalCost,
+		CostPerRequest: run.CostPerRequest,
+	}
+	for _, tier := range run.Tiers {
+		row.Tiers = append(row.Tiers, ScalerTierRow{
+			Tier:          tier.Name,
+			Served:        tier.Served,
+			Spilled:       tier.Spilled,
+			ScaleUps:      tier.ScaleUps,
+			ScaleDowns:    tier.ScaleDowns,
+			PeakServers:   tier.PeakServers,
+			ServerSeconds: tier.ServerSeconds,
+			Cost:          tier.Cost,
+			CostPerHour:   tier.CostPerHour,
+			CostPerReq:    tier.CostPerReq,
+		})
+	}
+	return row
 }

@@ -167,17 +167,41 @@ func RunTopologySweep(cfg TopologySweepConfig) (TopologySweepResult, error) {
 			src = func(cluster.GenSpec) cluster.Source { return tr.Source() }
 			sizeHint = tr.Len()
 		}
-		runPoint := func(topo cluster.Topology, shards int, seed int64) (*cluster.TopologyResult, error) {
-			opts := cluster.Options{
+		pointOpts := func(seed int64) cluster.Options {
+			return cluster.Options{
 				Warmup:   cfg.Warmup,
 				Seed:     seed,
 				Summary:  cfg.Summary,
 				SizeHint: sizeHint,
 			}
+		}
+		runPoint := func(topo cluster.Topology, shards int, seed int64) (*cluster.TopologyResult, error) {
 			if shards != 0 {
-				return cluster.RunSharded(cluster.GenShards(spec), topo, opts, shards)
+				return cluster.RunSharded(cluster.GenShards(spec), topo, pointOpts(seed), shards)
 			}
-			return cluster.Run(src(spec), topo, opts)
+			return cluster.Run(src(spec), topo, pointOpts(seed))
+		}
+		if cfg.Source != nil && cfg.Baseline != nil {
+			// Paired single-engine point over a factory source: one
+			// generation/decode pass broadcasts to the topology and its
+			// baseline instead of replaying the trace twice. Each
+			// subscriber ring yields the byte-identical sequence a
+			// fresh cfg.Source(spec) call would, with the same
+			// per-shape seeds, so the pairing — and every number — is
+			// unchanged (asserted by the sweep streaming tests).
+			runs, err := cluster.RunBroadcast(cfg.Source(spec), []cluster.Variant{
+				{Label: cfg.Topology.Name, Topology: cfg.Topology,
+					Opts: pointOpts(cfg.Seed + int64(i)*104729)},
+				{Label: "baseline", Topology: *cfg.Baseline,
+					Opts: pointOpts(cfg.Seed + int64(i)*1299709)},
+			}, 0)
+			if err != nil {
+				fail(err)
+				return
+			}
+			res.Points[i] = topologyPoint(cfg.Rates[i], runs[0])
+			res.Baseline[i] = topologyPoint(cfg.Rates[i], runs[1])
+			return
 		}
 		run, err := runPoint(cfg.Topology, topoShards, cfg.Seed+int64(i)*104729)
 		if err != nil {

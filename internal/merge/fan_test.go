@@ -1,0 +1,146 @@
+package merge
+
+import (
+	"sync"
+	"testing"
+)
+
+// Every consumer must observe the producer's exact sequence, however
+// the batch sizes on either side interleave.
+func TestFanAllConsumersSeeIdenticalSequence(t *testing.T) {
+	const n, k = 10000, 4
+	f := NewFan[int](k, 64)
+	go func() {
+		batch := make([]int, 0, 7)
+		for v := 0; v < n; v++ {
+			batch = append(batch, v)
+			if len(batch) == cap(batch) {
+				f.Publish(batch)
+				batch = batch[:0]
+			}
+		}
+		f.Publish(batch)
+		f.CloseProducer()
+	}()
+	var wg sync.WaitGroup
+	got := make([][]int, k)
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			buf := make([]int, 0, 13)
+			for {
+				out, ok := f.NextBatch(i, buf[:0], 13)
+				if !ok {
+					return
+				}
+				got[i] = append(got[i], out...)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < k; i++ {
+		if len(got[i]) != n {
+			t.Fatalf("consumer %d got %d records, want %d", i, len(got[i]), n)
+		}
+		for v, x := range got[i] {
+			if x != v {
+				t.Fatalf("consumer %d record %d = %d, want %d", i, v, x, v)
+			}
+		}
+	}
+}
+
+// Backpressure: resident records never exceed rings × capacity, no
+// matter how long the stream is.
+func TestFanBackpressureBoundsPeak(t *testing.T) {
+	const n, k, capacity = 50000, 3, 16
+	f := NewFan[int](k, capacity)
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			count := 0
+			for {
+				if _, ok := f.Next(i); !ok {
+					break
+				}
+				count++
+			}
+			if count != n {
+				t.Errorf("consumer %d drained %d records, want %d", i, count, n)
+			}
+		}(i)
+	}
+	one := make([]int, 1)
+	for v := 0; v < n; v++ {
+		one[0] = v
+		f.Publish(one)
+	}
+	f.CloseProducer()
+	wg.Wait()
+	if p := f.Peak(); p > k*capacity {
+		t.Fatalf("peak occupancy %d exceeds rings x capacity = %d", p, k*capacity)
+	}
+}
+
+// A canceled consumer must stop gating the producer: with one ring
+// never drained, Publish would block forever unless Cancel detaches it.
+func TestFanCancelUnblocksProducer(t *testing.T) {
+	f := NewFan[int](2, 4)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]int, 64)
+		for i := range buf {
+			buf[i] = i
+		}
+		f.Publish(buf) // blocks on ring 1 until it is canceled
+		f.CloseProducer()
+	}()
+	// Drain ring 0 concurrently; ring 1 is abandoned mid-stream.
+	go func() {
+		for {
+			if _, ok := f.Next(0); !ok {
+				return
+			}
+		}
+	}()
+	f.Cancel(1)
+	<-done
+	// Cancel is idempotent and NextBatch on a canceled ring reports
+	// end-of-stream.
+	f.Cancel(1)
+	if _, ok := f.Next(1); ok {
+		t.Fatal("canceled ring yielded a record")
+	}
+}
+
+// With every consumer canceled, Publish reports that nobody is
+// listening so the producer can stop generating.
+func TestFanPublishReportsNoConsumers(t *testing.T) {
+	f := NewFan[int](2, 4)
+	f.Cancel(0)
+	f.Cancel(1)
+	if f.Publish([]int{1, 2, 3}) {
+		t.Fatal("Publish reported attached consumers after all were canceled")
+	}
+}
+
+// End-of-stream: consumers drain buffered records after CloseProducer,
+// then see ok=false.
+func TestFanDrainAfterClose(t *testing.T) {
+	f := NewFan[int](1, 8)
+	f.Publish([]int{1, 2, 3})
+	f.CloseProducer()
+	for want := 1; want <= 3; want++ {
+		v, ok := f.Next(0)
+		if !ok || v != want {
+			t.Fatalf("Next = %d,%v want %d,true", v, ok, want)
+		}
+	}
+	if _, ok := f.Next(0); ok {
+		t.Fatal("Next yielded a record after the stream drained")
+	}
+}

@@ -6,7 +6,19 @@ import (
 )
 
 const (
-	cqMinBuckets = 4       // smallest ring; power of two for mask indexing
+	// cqMinBuckets is the smallest ring (power of two for mask
+	// indexing). It must sit well above typical steady-state event
+	// populations: small engines hold a handful of live events (one
+	// pending arrival per source, one completion per busy server, a
+	// pump), and a floor of 4 put that population astride both resize
+	// thresholds — grow at n > 2·len, shrink at n < len/4 — so nearly
+	// every push/pop pair triggered an allocating resize (~1 alloc per
+	// simulated request; the BENCH_PR7 shards-2 cliff: two 4-site
+	// engines thrashing at ~977k allocs/op where shards-4's 2-site
+	// engines, under every threshold, sat at ~2.6k). At 64 buckets a
+	// population must exceed 128 before the ring ever resizes. The cost
+	// is 64 slice headers (~1.5 KB) per engine, paid once.
+	cqMinBuckets = 64
 	cqMaxBuckets = 1 << 22 // growth cap: beyond this, buckets just get denser
 	cqMinWidth   = 1e-9    // floor keeps t/width finite and monotone
 )
@@ -144,7 +156,12 @@ func (q *calendarQueue) pop() *scheduledEvent {
 	q.n--
 	q.curT = ev.t
 	q.vb = q.vbucket(ev.t)
-	if q.n < len(q.buckets)/2 && len(q.buckets) > cqMinBuckets {
+	// Shrink at a quarter, not half, of the bucket count: growth
+	// doubles at n > 2·len, so a half-threshold shrink sits one pop
+	// away from the population that just grew the ring — an oscillating
+	// population would resize on nearly every push/pop pair. The
+	// quarter threshold requires a 4x swing between resizes.
+	if q.n < len(q.buckets)/4 && len(q.buckets) > cqMinBuckets {
 		q.resize(len(q.buckets) / 2)
 	}
 	return ev
@@ -168,7 +185,7 @@ func (q *calendarQueue) removeCanceled(release func(*scheduledEvent)) {
 	}
 	q.minCached = false
 	nb := len(q.buckets)
-	for nb > cqMinBuckets && q.n < nb/2 {
+	for nb > cqMinBuckets && q.n < nb/4 {
 		nb /= 2
 	}
 	if nb != len(q.buckets) {

@@ -217,3 +217,65 @@ func TestRunUntilAcrossBackends(t *testing.T) {
 		}
 	}
 }
+
+// TestCalendarQueueSmallPopulationAllocs pins the resize-thrash fix:
+// a small engine's live event population (a handful of pending
+// arrivals, completions, and a pump) oscillates by a few events per
+// simulated request, and with a 4-bucket floor and a half-count shrink
+// threshold that oscillation crossed a resize boundary on nearly every
+// push/pop pair — one allocating resize per simulated request (the
+// BENCH_PR7 shards-2 allocation cliff: ~977k allocs/op at two 4-site
+// engines vs ~2.6k at four 2-site ones). Small populations must never
+// resize: total allocations for tens of thousands of push/pop cycles
+// stay in the dozens, not the tens of thousands.
+func TestCalendarQueueSmallPopulationAllocs(t *testing.T) {
+	const cycles = 20000
+	// Pre-built event nodes, recycled through a free stack, so the
+	// workload itself allocates nothing.
+	free := make([]*scheduledEvent, 16)
+	for i := range free {
+		free[i] = &scheduledEvent{}
+	}
+	allocs := testing.AllocsPerRun(2, func() {
+		q := newCalendarQueue()
+		nfree := len(free)
+		var seq uint64
+		now := 0.0
+		push := func() {
+			nfree--
+			ev := free[nfree]
+			now += 0.05
+			ev.t = now
+			ev.seq = seq
+			ev.canceled = false
+			seq++
+			q.push(ev)
+		}
+		pop := func() {
+			free[nfree] = q.pop()
+			nfree++
+		}
+		// Oscillate the live population between 3 and 9 — the band a
+		// 4-site engine's calendar lives in.
+		for i := 0; i < 9; i++ {
+			push()
+		}
+		for c := 0; c < cycles; c++ {
+			for q.len() > 3 {
+				pop()
+			}
+			for q.len() < 9 {
+				push()
+			}
+		}
+		for q.len() > 0 {
+			pop()
+		}
+	})
+	// One bucket-ring allocation plus one-time bucket-slice growth
+	// across the ring: a few hundred at most. Resize thrash puts this
+	// at ~2 per cycle (~40000).
+	if allocs > 500 {
+		t.Fatalf("small-population churn allocated %.0f times over %d cycles; calendar is resize-thrashing", allocs, cycles)
+	}
+}

@@ -139,8 +139,15 @@ func (s *RequestSource) Count() uint64 { return s.n }
 // offered at a higher rate), factor > 1 stretches it. This is how the
 // CLI sweeps a recorded trace across its rate axis — generator sweeps
 // re-derive arrivals instead. The wrapper delegates Err, so a decode
-// failure in the underlying source still surfaces.
+// failure in the underlying source still surfaces. The factor must be
+// positive and finite: zero or negative factors would collapse or
+// reverse the timeline, breaking the nondecreasing-time contract every
+// replay engine relies on, so they panic here instead of corrupting a
+// replay downstream.
 func TimeScale(src cluster.Source, factor float64) cluster.Source {
+	if factor <= 0 || math.IsInf(factor, 1) || math.IsNaN(factor) {
+		panic(fmt.Sprintf("trace: TimeScale factor %v (want positive and finite)", factor))
+	}
 	return &timeScaleSource{src: src, factor: factor}
 }
 

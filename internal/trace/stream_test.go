@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 
@@ -367,5 +368,60 @@ func TestTimeScale(t *testing.T) {
 	}
 	if err := bad.(cluster.FallibleSource).Err(); err == nil {
 		t.Fatal("decode error lost by the TimeScale wrapper")
+	}
+}
+
+// TestTimeScaleRejectsDegenerateFactors: zero, negative and non-finite
+// factors would collapse or reverse the timeline, violating the
+// nondecreasing-time contract every replay engine assumes — they must
+// panic at construction, not corrupt a replay later.
+func TestTimeScaleRejectsDegenerateFactors(t *testing.T) {
+	for _, factor := range []float64{0, -1, -0.5, math.Inf(1), math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("TimeScale(%v) should panic", factor)
+				}
+			}()
+			TimeScale(StreamRequestsCSV(strings.NewReader("time,site,service\n1,0,0.5\n")), factor)
+		}()
+	}
+}
+
+// TestTimeScaleSingleRecord: the degenerate one-row trace scales and
+// terminates cleanly — no second Next needed to observe the end, no
+// spurious error.
+func TestTimeScaleSingleRecord(t *testing.T) {
+	src := TimeScale(StreamRequestsCSV(strings.NewReader("time,site,service\n2,0,0.5\n")), 0.25)
+	rec, ok := src.Next()
+	if !ok {
+		t.Fatal("single record should decode")
+	}
+	if rec.Time != 0.5 || rec.Site != 0 || rec.ServiceTime != 0.5 {
+		t.Errorf("scaled record = %+v, want time 0.5 site 0 service 0.5", rec)
+	}
+	if _, ok := src.Next(); ok {
+		t.Fatal("stream should end after its only record")
+	}
+	if err := src.(cluster.FallibleSource).Err(); err != nil {
+		t.Fatalf("clean single-record stream reports error: %v", err)
+	}
+}
+
+// TestTimeScaleRegressionPropagates: a time regression in the wrapped
+// stream is a decode error, and it must still abort a full topology
+// replay when the decoder is wrapped in TimeScale — scaling cannot
+// launder a broken timeline into a clean run.
+func TestTimeScaleRegressionPropagates(t *testing.T) {
+	const regressing = "time,site,service\n2,0,0.5\n1,0,0.5\n"
+	src := TimeScale(StreamRequestsCSV(strings.NewReader(regressing)), 0.5)
+	topo := cluster.EdgeTopology(cluster.EdgeConfig{Sites: 1, ServersPerSite: 1,
+		Path: netem.Constant("zero", 0)})
+	res, err := cluster.Run(src, topo, cluster.Options{})
+	if err == nil {
+		t.Fatalf("Run returned a clean result (%d offered) over a regressing scaled source", res.Offered)
+	}
+	if !strings.Contains(err.Error(), "time") {
+		t.Errorf("error should mention the time regression: %v", err)
 	}
 }
