@@ -6,6 +6,7 @@
 package edgebench_test
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 	"strconv"
@@ -926,5 +927,110 @@ func BenchmarkBroadcastFanout(b *testing.B) {
 			}
 		}
 		b.ReportMetric(float64(offered), "requests")
+	})
+}
+
+// drainCount pulls src dry, returning the record count.
+func drainCount(src cluster.Source) uint64 {
+	var n uint64
+	for {
+		if _, ok := src.Next(); !ok {
+			return n
+		}
+		n++
+	}
+}
+
+// BenchmarkParallelGen measures the PR 9 generation front-end on the
+// same generation-bound NHPP workload BenchmarkBroadcastFanout uses:
+// gen-serial drains cluster.Stream, gen-parallel the worker fan-out
+// through ParallelStream (bit-identical records; the equivalence suite
+// asserts it), and gen-piecewise the serial stream with the
+// PiecewiseEnvelope flag — exact per-segment simulation instead of
+// thinning against the 4000x envelope peak, the algorithmic half of
+// the speedup. benchjson folds the serial/parallel pair into
+// BENCH_PR9.json's gen_speedup; real speedup needs real cores — on a
+// single-CPU runner the workers serialize and the pair measures merge
+// overhead (parity acceptable). In short mode the trace shrinks ~10x.
+func BenchmarkParallelGen(b *testing.B) {
+	duration := 3000.0
+	if testing.Short() {
+		duration = 300
+	}
+	spec := broadcastBenchSpec(duration)
+	b.Run("gen-serial", func(b *testing.B) {
+		b.ReportAllocs()
+		var n uint64
+		for i := 0; i < b.N; i++ {
+			n = drainCount(cluster.Stream(spec))
+		}
+		b.ReportMetric(float64(n), "requests")
+	})
+	b.Run("gen-parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		var n uint64
+		for i := 0; i < b.N; i++ {
+			n = drainCount(cluster.ParallelStream(spec, 4))
+		}
+		b.ReportMetric(float64(n), "requests")
+	})
+	b.Run("gen-piecewise", func(b *testing.B) {
+		b.ReportAllocs()
+		pspec := spec
+		pspec.PiecewiseEnvelope = true
+		var n uint64
+		for i := 0; i < b.N; i++ {
+			n = drainCount(cluster.Stream(pspec))
+		}
+		b.ReportMetric(float64(n), "requests")
+	})
+}
+
+// BenchmarkTraceDecode measures replay-input decoding on a pre-encoded
+// ~200k-record trace: the request-CSV text decoder against the .etb
+// binary decoder over the identical records. The binary path's
+// acceptance bar is ≥5x less time and strictly fewer allocations per
+// drain (the allocs/op regression tests pin both decoders at a small
+// constant; -benchmem shows it here). Bytes-on-disk for each format
+// ride along as metrics. In short mode the trace shrinks ~10x.
+func BenchmarkTraceDecode(b *testing.B) {
+	duration := 1250.0 // 8 sites x 20 req/s x 1250 s = 200k records
+	if testing.Short() {
+		duration = 125
+	}
+	spec := cluster.GenSpec{Sites: 8, Duration: duration, PerSiteRate: 20, Seed: 93}
+	var csvBuf, etbBuf bytes.Buffer
+	if _, err := trace.WriteRequestsCSV(&csvBuf, cluster.Stream(spec)); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := trace.WriteBinary(&etbBuf, cluster.Stream(spec)); err != nil {
+		b.Fatal(err)
+	}
+	csvData, etbData := csvBuf.Bytes(), etbBuf.Bytes()
+	b.Run("csv", func(b *testing.B) {
+		b.ReportAllocs()
+		var n uint64
+		for i := 0; i < b.N; i++ {
+			src := trace.StreamRequestsCSV(bytes.NewReader(csvData))
+			n = drainCount(src)
+			if err := src.Err(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(n), "requests")
+		b.ReportMetric(float64(len(csvData)), "file-bytes")
+	})
+	b.Run("binary", func(b *testing.B) {
+		b.ReportAllocs()
+		var n uint64
+		for i := 0; i < b.N; i++ {
+			src := trace.StreamBinary(bytes.NewReader(etbData))
+			n = drainCount(src)
+			if err := src.Err(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(n), "requests")
+		b.ReportMetric(float64(len(etbData)), "file-bytes")
 	})
 }

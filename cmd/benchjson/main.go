@@ -3,9 +3,11 @@
 // machine-readable file per run and future changes can diff ns/op,
 // B/op, allocs/op and custom metrics across commits. Sub-benchmarks
 // named shards-N are additionally folded into a shard-count scaling
-// curve with speedups relative to shards-1, and per-row/broadcast
+// curve with speedups relative to shards-1, per-row/broadcast
 // sub-bench pairs into a broadcast-fanout speedup (per-row ns/op over
-// broadcast ns/op — the factor one shared generation pass saves).
+// broadcast ns/op — the factor one shared generation pass saves), and
+// gen-serial/gen-parallel pairs into a parallel-generation speedup
+// (serial ns/op over parallel ns/op).
 //
 //	go test -bench 'ShardedReplay1M' -benchmem . | benchjson -o BENCH_PR6.json
 //
@@ -68,6 +70,12 @@ type Report struct {
 	// saved by fanning one generation pass out to every variant engine
 	// instead of re-deriving the trace per variant.
 	BroadcastSpeedup map[string]float64 `json:"broadcast_speedup,omitempty"`
+	// GenSpeedup maps each family with gen-serial and gen-parallel
+	// sub-benchmarks to ns/op(gen-serial) / ns/op(gen-parallel): the
+	// factor the parallel generation front-end wins over the serial
+	// stream (~1.0 on a single-CPU runner, where the fan-out degrades
+	// to the merge overhead alone).
+	GenSpeedup map[string]float64 `json:"gen_speedup,omitempty"`
 }
 
 // procSuffix is the -GOMAXPROCS tail the bench runner appends to every
@@ -78,6 +86,7 @@ var (
 	procSuffix   = regexp.MustCompile(`-(\d+)$`)
 	shardSub     = regexp.MustCompile(`^(.+)/shards-(\d+)$`)
 	broadcastSub = regexp.MustCompile(`^(.+)/(per-row|broadcast)$`)
+	genSub       = regexp.MustCompile(`^(.+)/(gen-serial|gen-parallel)$`)
 )
 
 // stripProcSuffix removes the -GOMAXPROCS tail from every name, but
@@ -167,21 +176,23 @@ func parseBench(r io.Reader) (Report, error) {
 	}
 	stripProcSuffix(rep.Benchmarks)
 	rep.ShardScaling = scaling(rep.Benchmarks)
-	rep.BroadcastSpeedup = broadcastSpeedups(rep.Benchmarks)
+	rep.BroadcastSpeedup = pairSpeedups(rep.Benchmarks, broadcastSub, "per-row", "broadcast")
+	rep.GenSpeedup = pairSpeedups(rep.Benchmarks, genSub, "gen-serial", "gen-parallel")
 	return rep, nil
 }
 
-// broadcastSpeedups folds per-row/broadcast sub-benchmark pairs into
-// per-family speedups, averaging duplicates. Families missing either
-// side are skipped: half a pair carries no ratio.
-func broadcastSpeedups(benches []Benchmark) map[string]float64 {
+// pairSpeedups folds slow/fast sub-benchmark pairs (matched by sub,
+// whose second group names the side) into per-family speedups
+// ns/op(slow) / ns/op(fast), averaging duplicates. Families missing
+// either side are skipped: half a pair carries no ratio.
+func pairSpeedups(benches []Benchmark, sub *regexp.Regexp, slow, fast string) map[string]float64 {
 	type acc struct {
 		sum float64
 		n   int
 	}
 	families := map[string]map[string]*acc{}
 	for _, b := range benches {
-		m := broadcastSub.FindStringSubmatch(b.Name)
+		m := sub.FindStringSubmatch(b.Name)
 		if m == nil {
 			continue
 		}
@@ -198,14 +209,14 @@ func broadcastSpeedups(benches []Benchmark) map[string]float64 {
 	}
 	var out map[string]float64
 	for name, fam := range families {
-		perRow, bcast := fam["per-row"], fam["broadcast"]
-		if perRow == nil || bcast == nil || bcast.sum <= 0 {
+		s, f := fam[slow], fam[fast]
+		if s == nil || f == nil || f.sum <= 0 {
 			continue
 		}
 		if out == nil {
 			out = map[string]float64{}
 		}
-		out[name] = (perRow.sum / float64(perRow.n)) / (bcast.sum / float64(bcast.n))
+		out[name] = (s.sum / float64(s.n)) / (f.sum / float64(f.n))
 	}
 	return out
 }

@@ -286,3 +286,40 @@ PASS
 		t.Errorf("speedup lost in round trip: %+v", back.BroadcastSpeedup)
 	}
 }
+
+func TestParseBenchGenSpeedup(t *testing.T) {
+	const in = `goos: linux
+BenchmarkParallelGen/gen-serial     	       1	 600000000 ns/op	    30000 requests
+BenchmarkParallelGen/gen-parallel   	       1	 200000000 ns/op	    30000 requests
+BenchmarkParallelGen/gen-serial     	       1	 660000000 ns/op	    30000 requests
+BenchmarkParallelGen/gen-parallel   	       1	 220000000 ns/op	    30000 requests
+BenchmarkLonely/gen-parallel        	       1	 100000000 ns/op
+PASS
+`
+	rep, err := parseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("parseBench: %v", err)
+	}
+	got, ok := rep.GenSpeedup["BenchmarkParallelGen"]
+	if !ok {
+		t.Fatalf("no gen speedup folded: %+v", rep.GenSpeedup)
+	}
+	// Duplicates average per side: 630ms / 210ms = 3x.
+	if math.Abs(got-3) > 1e-9 {
+		t.Errorf("speedup = %v, want 3", got)
+	}
+	if _, ok := rep.GenSpeedup["BenchmarkLonely"]; ok {
+		t.Error("half a gen-serial/gen-parallel pair should not fold")
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(back.GenSpeedup["BenchmarkParallelGen"]-3) > 1e-9 {
+		t.Errorf("speedup lost in round trip: %+v", back.GenSpeedup)
+	}
+}

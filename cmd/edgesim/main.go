@@ -120,16 +120,23 @@ func main() {
 		"graph shards, the classic single engine otherwise. An explicit count forces that many sharded engines "+
 		"(bit-identical output for every count) and fails when the graph cannot shard; explicit 0 forces the "+
 		"classic single engine")
-	traceFile := flag.String("trace", "", "with -topology: replay a request CSV (time,site,service) instead of "+
-		"generating a workload; with -sweep, arrival times rescale so the trace hits each swept rate")
+	traceFile := flag.String("trace", "", "with -topology: replay a request CSV (time,site,service) or a "+
+		"compiled .etb binary trace (auto-detected by signature) instead of generating a workload; "+
+		"with -sweep, arrival times rescale so the trace hits each swept rate")
 	azureFile := flag.String("azure", "", "with -topology: replay an Azure-style per-bin count CSV "+
 		"(bin,site0,site1,...) instead of generating a workload; with -sweep, rescaled like -trace")
 	azureBin := flag.Float64("azure-bin", 60, "with -azure: seconds covered by each CSV bin row")
 	pipeline := flag.Bool("pipeline", false, "with -topology and sharded engines: overlap the shard and shared "+
 		"phases by streaming boundary records through watermarked bounded rings — bit-identical output, boundary "+
 		"memory bounded by ring capacity instead of boundary count")
+	genWorkers := flag.String("gen-workers", "serial", "parallel workers for synthetic workload generation: "+
+		"serial, auto (one per CPU), or an explicit count — every setting produces the bit-identical record "+
+		"sequence, so this only changes generation throughput")
+	compileOut := flag.String("compile", "", "convert the -trace/-azure input to this file and exit: a .csv "+
+		"extension writes the request CSV format, anything else the .etb binary trace format; replay the "+
+		"output later with -trace (the format is auto-detected)")
 	verbose := flag.Bool("v", false, "explain engine selection on stderr (e.g. why -shards auto fell back to the "+
-		"classic single engine)")
+		"classic single engine, or how -gen-workers auto resolved)")
 	grid := flag.String("grid", "", "run a crossover grid over these per-site req/s rates (comma-separated): "+
 		"every -grid-budgets x -grid-depths deployment shape plus a pooled-cloud baseline replays each rate "+
 		"from one broadcast generation pass per distinct trace")
@@ -148,6 +155,7 @@ func main() {
 		}
 	})
 	sh := shardChoice{set: shardsSet, n: *shards, verbose: *verbose}
+	gc := genChoice{arg: *genWorkers, verbose: *verbose}
 	in := workloadInput{tracePath: *traceFile, azurePath: *azureFile, azureBin: *azureBin, seed: *seed}
 
 	sc, ok := netem.ScenarioByName(*scenario)
@@ -191,14 +199,38 @@ func main() {
 	if *traceFile != "" && *azureFile != "" {
 		fail("-trace and -azure are mutually exclusive (one workload file per run)")
 	}
-	if in.active() && *topology == "" {
-		fail("%s requires -topology (workload files replay through deployment graphs)", in.flagName())
+	if in.active() && *topology == "" && *compileOut == "" {
+		fail("%s requires -topology (workload files replay through deployment graphs) or -compile", in.flagName())
 	}
 	if in.active() && *stream {
 		fail("-stream is redundant with %s: the file decoders already stream row by row", in.flagName())
 	}
 	if *azureBin <= 0 {
 		fail("-azure-bin must be positive (got %v)", *azureBin)
+	}
+	if _, err := (genChoice{arg: gc.arg}).resolve(1 << 20); err != nil {
+		// Validate the flag's syntax up front, silently (the huge site
+		// count avoids clamping chatter); the real, narrated resolution
+		// happens at each generation site with its actual site count.
+		fail("%v", err)
+	}
+	if gc.arg != "serial" && in.active() {
+		fail("-gen-workers applies to synthetic generation; %s replays a recorded file", in.flagName())
+	}
+	if *compileOut != "" {
+		if !in.active() {
+			fail("-compile needs a -trace or -azure input to convert")
+		}
+		for flagName, set := range map[string]bool{
+			"-topology": *topology != "", "-sweep": *sweep != "", "-grid": *grid != "",
+			"-stream": *stream, "-pipeline": *pipeline, "-shards": shardsSet,
+		} {
+			if set {
+				fail("-compile only converts the input file; drop %s", flagName)
+			}
+		}
+		runCompile(in, *compileOut)
+		return
 	}
 	if *stream && mode == stats.Exact {
 		// Legitimate at modest scales (exact quantiles without the
@@ -249,7 +281,7 @@ func main() {
 		if err != nil {
 			fail("-grid-depths: %v", err)
 		}
-		runGridCLI(rates, budgets, depths, *gridReps, *sites,
+		runGridCLI(rates, budgets, depths, *gridReps, *sites, gc,
 			*duration, *warmup, *arrivalSCV, *seed, model, mode)
 		return
 	}
@@ -258,12 +290,12 @@ func main() {
 		if *topology == "" {
 			fail("-sweep requires -topology (the deployment graph to sweep)")
 		}
-		runTopologySweepCLI(*topology, *sweep, *scaler, *autoscaleMax, *stream, in, sh, sc,
+		runTopologySweepCLI(*topology, *sweep, *scaler, *autoscaleMax, *stream, in, sh, gc, sc,
 			*duration, *warmup, *arrivalSCV, *seed, model, mode)
 		return
 	}
 	if *topology != "" {
-		runTopology(*topology, *scaler, *autoscaleMax, *stream, *pipeline, in, sh, *sites, *servers, *rate,
+		runTopology(*topology, *scaler, *autoscaleMax, *stream, *pipeline, in, sh, gc, *sites, *servers, *rate,
 			*duration, *warmup, *arrivalSCV, *seed, model, mode)
 		return
 	}
@@ -301,7 +333,11 @@ func main() {
 		}
 		spec.Arrivals = procs
 	}
-	tr := cluster.Generate(spec)
+	gw, err := gc.resolve(spec.Sites)
+	if err != nil {
+		fail("%v", err)
+	}
+	tr := generate(spec, gw)
 
 	// The edge and cloud replays share the trace but nothing else; run
 	// them concurrently through the paired runner.
@@ -498,7 +534,7 @@ func loadTopologyWithScaler(arg, scalerArg string, maxFlag int, mu float64) (clu
 // bit-identical for every shard count; pipeline additionally overlaps
 // the shard and shared phases through watermarked bounded rings.
 func runTopology(arg, scalerArg string, maxFlag int, stream, pipeline bool, in workloadInput, sh shardChoice,
-	sites, servers int, rate, duration, warmup, arrivalSCV float64, seed int64,
+	gc genChoice, sites, servers int, rate, duration, warmup, arrivalSCV float64, seed int64,
 	model app.InferenceModel, mode stats.Mode) {
 	topo, err := loadTopologyWithScaler(arg, scalerArg, maxFlag, model.Mu())
 	if err != nil {
@@ -529,11 +565,16 @@ func runTopology(arg, scalerArg string, maxFlag int, stream, pipeline bool, in w
 			perSite = ingress.ServersPerSite
 		}
 	}
+	gw, err := gc.resolve(genSites)
+	if err != nil {
+		fail("%v", err)
+	}
 	opts := cluster.Options{
-		Warmup:   warmup,
-		Seed:     seed + 1,
-		Summary:  mode,
-		Pipeline: pipeline,
+		Warmup:     warmup,
+		Seed:       seed + 1,
+		Summary:    mode,
+		Pipeline:   pipeline,
+		GenWorkers: gw,
 	}
 	var res *cluster.TopologyResult
 	var tr *cluster.WorkloadTrace
@@ -580,9 +621,9 @@ func runTopology(arg, scalerArg string, maxFlag int, stream, pipeline bool, in w
 		res, err = cluster.RunSharded(cluster.GenShards(genSpec(genSites, perSite, rate, duration, arrivalSCV, seed, model)),
 			topo, opts, nShards)
 	case stream:
-		res, err = cluster.Run(cluster.Stream(genSpec(genSites, perSite, rate, duration, arrivalSCV, seed, model)), topo, opts)
+		res, err = cluster.Run(opts.GenSource(genSpec(genSites, perSite, rate, duration, arrivalSCV, seed, model)), topo, opts)
 	default:
-		tr = cluster.Generate(genSpec(genSites, perSite, rate, duration, arrivalSCV, seed, model))
+		tr = generate(genSpec(genSites, perSite, rate, duration, arrivalSCV, seed, model), gw)
 		opts.SizeHint = tr.Len()
 		res, err = cluster.Run(tr.Source(), topo, opts)
 	}
@@ -678,6 +719,16 @@ func runTopology(arg, scalerArg string, maxFlag int, stream, pipeline bool, in w
 		res.Consumed-res.Completed-res.Dropped)
 }
 
+// generate materializes a trace through the resolved -gen-workers
+// count: parallel workers when gw > 1, the classic serial generator
+// otherwise — identical output either way.
+func generate(spec cluster.GenSpec, gw int) *cluster.WorkloadTrace {
+	if gw > 1 {
+		return cluster.GenerateParallel(spec, gw)
+	}
+	return cluster.Generate(spec)
+}
+
 // genSpec assembles the generator spec the topology runners share.
 func genSpec(sites, perSite int, rate, duration, arrivalSCV float64, seed int64,
 	model app.InferenceModel) cluster.GenSpec {
@@ -697,7 +748,7 @@ func genSpec(sites, perSite int, rate, duration, arrivalSCV float64, seed int64,
 // of equal total capacity on the -scenario's cloud path — the paper's
 // edge-vs-cloud question generalized to arbitrary hierarchies.
 func runTopologySweepCLI(arg, sweepArg, scalerArg string, maxFlag int, stream bool,
-	in workloadInput, sh shardChoice, sc netem.Scenario,
+	in workloadInput, sh shardChoice, gc genChoice, sc netem.Scenario,
 	duration, warmup, arrivalSCV float64, seed int64, model app.InferenceModel, mode stats.Mode) {
 	topo, err := loadTopologyWithScaler(arg, scalerArg, maxFlag, model.Mu())
 	if err != nil {
@@ -764,7 +815,18 @@ func runTopologySweepCLI(arg, sweepArg, scalerArg string, maxFlag int, stream bo
 	if stream {
 		// Each point (and its paired baseline) re-derives a generator
 		// source from the same spec: identical sequences, O(1) memory.
-		sweepCfg.Source = cluster.Stream
+		// The -gen-workers choice rides along — ParallelStream emits the
+		// bit-identical sequence, so the sweep's pairing is unaffected.
+		genSites := topo.Tiers[0].Sites
+		if topo.Tiers[0].Dispatch != "" {
+			genSites = 1 << 20 // dispatcher ingress: sites come from the spec; skip clamping
+		}
+		gw, err := gc.resolve(genSites)
+		if err != nil {
+			fail("%v", err)
+		}
+		genOpts := cluster.Options{GenWorkers: gw}
+		sweepCfg.Source = genOpts.GenSource
 	}
 	if in.active() {
 		// A recorded trace carries one rate; the sweep replays it with
@@ -872,8 +934,12 @@ func sweepCrossover(topo, cloud []experiments.TopologyPoint, rates []float64,
 // runGridCLI evaluates the crossover surface (experiments.RunGrid) and
 // renders it as a heatmap of hierarchy-minus-pooled mean latency, the
 // per-column inversion points, and the best depth per budget.
-func runGridCLI(rates []float64, budgets, depths []int, reps, sites int,
+func runGridCLI(rates []float64, budgets, depths []int, reps, sites int, gc genChoice,
 	duration, warmup, arrivalSCV float64, seed int64, model app.InferenceModel, mode stats.Mode) {
+	gw, err := gc.resolve(sites)
+	if err != nil {
+		fail("%v", err)
+	}
 	res, err := experiments.RunGrid(experiments.GridConfig{
 		Sites:        sites,
 		Rates:        rates,
@@ -886,6 +952,7 @@ func runGridCLI(rates []float64, budgets, depths []int, reps, sites int,
 		Model:        model,
 		ArrivalSCV:   arrivalSCV,
 		Summary:      mode,
+		GenWorkers:   gw,
 	})
 	if err != nil {
 		fail("-grid: %v", err)

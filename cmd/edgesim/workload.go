@@ -1,13 +1,18 @@
 package main
 
 // CLI workload plumbing for -topology runs: the -trace/-azure file
-// decoders, the -shards engine choice, and the pre-scan that lets a
-// -sweep rescale a recorded trace onto its rate axis.
+// decoders (with binary .etb auto-detection), the -shards engine
+// choice, the -gen-workers generator choice, the -compile format
+// converter, and the pre-scan that lets a -sweep rescale a recorded
+// trace onto its rate axis.
 
 import (
+	"bufio"
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 
 	"repro/internal/cluster"
 	"repro/internal/trace"
@@ -56,7 +61,20 @@ func (in workloadInput) factory(limitSites int) cluster.SourceFactory {
 			return errorSource{err: err}
 		}
 		if in.tracePath != "" {
-			src := trace.StreamRequestsCSV(f)
+			// -trace auto-detects the format: a .etb signature selects
+			// the binary decoder, anything else the request-CSV one (a
+			// peek never consumes, so the chosen decoder sees the whole
+			// file; files shorter than the magic fall through to CSV,
+			// whose header check reports them).
+			br := bufio.NewReader(f)
+			if head, _ := br.Peek(len(trace.BinaryMagic)); string(head) == trace.BinaryMagic {
+				src := trace.StreamBinary(br)
+				if limitSites > 0 {
+					src.LimitSites(limitSites)
+				}
+				return src
+			}
+			src := trace.StreamRequestsCSV(br)
 			if limitSites > 0 {
 				src.LimitSites(limitSites)
 			}
@@ -168,4 +186,108 @@ func (sh shardChoice) resolve(topo cluster.Topology) (int, error) {
 		return sh.n, err
 	}
 	return sh.n, nil
+}
+
+// genChoice is the parsed -gen-workers flag: how many goroutines the
+// synthetic-workload generator fans out across. Unlike -shards, every
+// setting is bit-identical — ParallelStream merges the per-site
+// substreams back into serial Stream's exact sequence — so the choice
+// is purely about generation throughput. verbose (-v) narrates the
+// resolution on stderr, mirroring the -shards auto explanation.
+type genChoice struct {
+	arg     string
+	verbose bool
+}
+
+// resolve maps the flag onto an Options.GenWorkers value for a
+// generator over sites per-site streams: 0 means the serial generator,
+// n > 1 that many parallel workers. "auto" picks one worker per CPU
+// and degrades to serial on a single-CPU machine (pass -v to hear
+// which happened); an explicit count is clamped to one worker per
+// site, the fan-out's natural maximum.
+func (g genChoice) resolve(sites int) (int, error) {
+	var n int
+	switch g.arg {
+	case "", "serial":
+		return 0, nil
+	case "auto":
+		n = runtime.GOMAXPROCS(0)
+		if n <= 1 {
+			if g.verbose {
+				fmt.Fprintln(os.Stderr, "edgesim: -gen-workers auto: falling back to the serial generator (GOMAXPROCS=1)")
+			}
+			return 0, nil
+		}
+	default:
+		v, err := strconv.Atoi(g.arg)
+		if err != nil || v < 0 {
+			return 0, fmt.Errorf("-gen-workers: want serial, auto, or a nonnegative count (got %q)", g.arg)
+		}
+		n = v
+		if n <= 1 {
+			return 0, nil
+		}
+	}
+	if n > sites {
+		if g.verbose {
+			fmt.Fprintf(os.Stderr, "edgesim: -gen-workers: clamping %d to %d (one worker per site)\n", n, sites)
+		}
+		n = sites
+		if n <= 1 {
+			if g.verbose {
+				fmt.Fprintln(os.Stderr, "edgesim: -gen-workers: single site; using the serial generator")
+			}
+			return 0, nil
+		}
+	}
+	if g.verbose {
+		fmt.Fprintf(os.Stderr, "edgesim: -gen-workers: %d parallel generator workers (bit-identical to serial)\n", n)
+	}
+	return n, nil
+}
+
+// siteCounter is the decoder face runCompile reads the site count
+// from; every trace decoder implements it.
+type siteCounter interface{ Sites() int }
+
+// runCompile converts the -trace/-azure input into the format the
+// output path's extension selects — ".csv" the request-CSV text
+// format, anything else (conventionally ".etb") the binary trace
+// format — then prints what it wrote and exits. Compiling an Azure
+// count file bakes its synthesized arrivals (and the -seed's service
+// times) into replayable records; compiling a CSV to .etb is the
+// "parse once" step that lets every later replay skip text decoding.
+// A decode or write failure removes the partial output, so a bad
+// input never leaves a plausible-looking compiled file behind.
+func runCompile(in workloadInput, outPath string) {
+	src := in.factory(0)()
+	out, err := os.Create(outPath)
+	if err != nil {
+		fail("-compile: %v", err)
+	}
+	var n int
+	if strings.HasSuffix(outPath, ".csv") {
+		n, err = trace.WriteRequestsCSV(out, src)
+	} else {
+		n, err = trace.WriteBinary(out, src)
+	}
+	if err == nil {
+		err = out.Close()
+	} else {
+		out.Close()
+	}
+	if err != nil {
+		os.Remove(outPath)
+		fail("-compile: %v", err)
+	}
+	size := int64(-1)
+	if st, statErr := os.Stat(outPath); statErr == nil {
+		size = st.Size()
+	}
+	sites := 0
+	if sc, ok := src.(siteCounter); ok {
+		sites = sc.Sites()
+	}
+	fmt.Printf("compiled %s -> %s: %d records, %d sites, %d bytes\n",
+		in.path(), outPath, n, sites, size)
 }

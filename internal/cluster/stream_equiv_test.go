@@ -69,6 +69,18 @@ func streamScenarios(t *testing.T) map[string]func() cluster.GenSpec {
 			}
 			return cluster.GenSpec{Sites: 4, Duration: 150, Seed: 23, Arrivals: procs}
 		},
+		"nhpp-piecewise": func() cluster.GenSpec {
+			// The exact per-segment NHPP mode: not bit-identical to the
+			// thinning family above (different random-stream use), but
+			// Generate/Stream/ParallelStream must still agree with each
+			// other on it exactly.
+			procs := make([]workload.ArrivalProcess, 4)
+			for i := range procs {
+				procs[i] = workload.NewNHPP([]float64{4, 0, 18, 9, 2}, 30, false)
+			}
+			return cluster.GenSpec{Sites: 4, Duration: 150, Seed: 29, Arrivals: procs,
+				PiecewiseEnvelope: true}
+		},
 		"batch": func() cluster.GenSpec {
 			// Same-instant batches tie exactly on (Time, Site): the case
 			// that forces the stable merge order.

@@ -90,6 +90,16 @@ type GenSpec struct {
 	// Arrivals optionally supplies one arrival process per site,
 	// overriding PerSiteRate/ArrivalSCV (e.g. NHPP trace envelopes).
 	Arrivals []workload.ArrivalProcess
+	// PiecewiseEnvelope switches every NHPP arrival process to exact
+	// per-segment simulation instead of thinning against the envelope
+	// maximum — orders of magnitude fewer random draws on spiky
+	// envelopes. The generated process is still exactly the envelope's
+	// NHPP (gated by distributional KS tests), but it consumes random
+	// streams differently, so traces generated with and without the
+	// flag are NOT bit-identical to each other. Generate, Stream and
+	// ParallelStream all honor it and remain bit-identical to one
+	// another for either setting. Non-NHPP processes are unaffected.
+	PiecewiseEnvelope bool
 }
 
 // DefaultArrivalSCV is the squared CoV of the load generator's
@@ -128,6 +138,23 @@ func deriveArrivals(spec *GenSpec) []workload.ArrivalProcess {
 		}
 	} else if len(procs) != spec.Sites {
 		panic(fmt.Sprintf("cluster: %d arrival processes for %d sites", len(procs), spec.Sites))
+	}
+	if spec.PiecewiseEnvelope {
+		// Flip NHPP processes to piecewise on private copies: the
+		// caller's slice stays untouched, so concurrent range-restricted
+		// derivations (parallel generation workers share one spec value)
+		// never write to a shared process.
+		flipped := make([]workload.ArrivalProcess, len(procs))
+		for i, p := range procs {
+			if nh, ok := p.(*workload.NHPP); ok && !nh.Piecewise {
+				pc := *nh
+				pc.Piecewise = true
+				flipped[i] = &pc
+			} else {
+				flipped[i] = p
+			}
+		}
+		procs = flipped
 	}
 	return procs
 }

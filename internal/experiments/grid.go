@@ -57,6 +57,14 @@ type GridConfig struct {
 	Workers int
 	// Ring bounds each broadcast subscriber's buffer (<= 0 default).
 	Ring int
+	// GenWorkers parallelizes each group's generation pass (see
+	// cluster.Options.GenWorkers): > 1 fans the per-site generator
+	// streams across that many goroutines, -1 one per CPU, 0/1 the
+	// serial generator. Every setting feeds the broadcast the
+	// bit-identical record sequence, so cells are unaffected — this
+	// only overlaps generation with replay when groups are fewer than
+	// CPUs.
+	GenWorkers int
 }
 
 // GridCell is one (rate, budget, depth) cell of the surface,
@@ -310,7 +318,8 @@ func RunGrid(cfg GridConfig) (GridResult, error) {
 				Summary: cfg.Summary,
 			}
 		}
-		runs, err := cluster.RunBroadcast(cluster.Stream(spec), vs, cfg.Ring)
+		genOpts := cluster.Options{GenWorkers: cfg.GenWorkers}
+		runs, err := cluster.RunBroadcast(genOpts.GenSource(spec), vs, cfg.Ring)
 		if err != nil {
 			mu.Lock()
 			if firstErr == nil {

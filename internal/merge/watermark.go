@@ -19,14 +19,15 @@ import "sync"
 // the inequality must be strict because Less may break Time ties on
 // fields a lagging producer could still undercut.
 type Group[T any] struct {
-	mu     sync.Mutex
-	change *sync.Cond // any state change: pushes, pops, watermarks, closes
-	less   func(a, b T) bool
-	time   func(T) float64
-	rings  []wring[T]
-	open   int
-	occ    int // buffered records across all rings
-	peak   int // high-water mark of occ
+	mu       sync.Mutex
+	change   *sync.Cond // any state change: pushes, pops, watermarks, closes
+	less     func(a, b T) bool
+	time     func(T) float64
+	rings    []wring[T]
+	open     int
+	occ      int  // buffered records across all rings
+	peak     int  // high-water mark of occ
+	canceled bool // consumer abandoned: pushes drop, batches end
 }
 
 // wring is one producer's bounded circular buffer.
@@ -55,17 +56,25 @@ func NewGroup[T any](k, capacity int, less func(a, b T) bool, time func(T) float
 
 // Push appends recs — which must continue ring i's nondecreasing Less
 // order and respect its watermark — blocking whenever the ring is full
-// until the consumer frees space.
-func (g *Group[T]) Push(i int, recs []T) {
+// until the consumer frees space. It reports whether the group is still
+// live: after Cancel it drops the records and returns false, so a
+// producer loop can stop generating instead of blocking forever on a
+// ring nobody will drain.
+func (g *Group[T]) Push(i int, recs []T) bool {
 	if len(recs) == 0 {
-		return
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		return !g.canceled
 	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	r := &g.rings[i]
 	for len(recs) > 0 {
-		for r.n == len(r.buf) {
+		for r.n == len(r.buf) && !g.canceled {
 			g.change.Wait()
+		}
+		if g.canceled {
+			return false
 		}
 		take := len(r.buf) - r.n
 		if take > len(recs) {
@@ -80,6 +89,20 @@ func (g *Group[T]) Push(i int, recs []T) {
 		if g.occ > g.peak {
 			g.peak = g.occ
 		}
+		g.change.Broadcast()
+	}
+	return true
+}
+
+// Cancel abandons the group: every blocked or future Push drops its
+// records and returns false, and NextBatch reports the stream ended.
+// It lets a consumer walk away early (an error mid-replay, a bounded
+// probe) without stranding producers on full rings. Idempotent.
+func (g *Group[T]) Cancel() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.canceled {
+		g.canceled = true
 		g.change.Broadcast()
 	}
 }
@@ -114,6 +137,9 @@ func (g *Group[T]) NextBatch(dst []T, max int) ([]T, bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	for {
+		if g.canceled {
+			return dst, false
+		}
 		popped := 0
 		for popped < max {
 			best := -1

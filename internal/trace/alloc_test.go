@@ -1,0 +1,102 @@
+package trace
+
+// Allocation regression tests for the streaming decoders, in the
+// TestCalendarQueueSmallPopulationAllocs mold: a multi-thousand-row
+// drain must cost a small CONSTANT number of heap allocations — the
+// decoder structures, one line/payload buffer, nothing per row. A
+// per-row allocation sneaking back in (e.g. reverting to encoding/csv,
+// or a string conversion that escapes) multiplies the count by the row
+// count and fails these immediately.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// allocFixtures pre-encodes the same ~10k-record workload in every
+// format, outside the measured region.
+func allocFixtures(t *testing.T) (csvData, etbData, azureData []byte, records int) {
+	t.Helper()
+	spec := cluster.GenSpec{Sites: 8, Duration: 300, PerSiteRate: 5, Seed: 31}
+	var csvBuf, etbBuf bytes.Buffer
+	n, err := WriteRequestsCSV(&csvBuf, cluster.Stream(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 5000 {
+		t.Fatalf("fixture has %d records; too small to expose per-row allocations", n)
+	}
+	if _, err := WriteBinary(&etbBuf, cluster.Stream(spec)); err != nil {
+		t.Fatal(err)
+	}
+	var azureBuf bytes.Buffer
+	azureBuf.WriteString("bin,site0,site1,site2,site3\n")
+	for bin := 0; bin < 500; bin++ {
+		fmt.Fprintf(&azureBuf, "%d,7,3,5,2\n", bin)
+	}
+	return csvBuf.Bytes(), etbBuf.Bytes(), azureBuf.Bytes(), n
+}
+
+// drainAllocs measures allocations of one full drain of the source mk
+// builds (construction included — it is part of the constant).
+func drainAllocs(t *testing.T, mk func() cluster.Source) float64 {
+	t.Helper()
+	run := func() {
+		src := mk()
+		for {
+			if _, ok := src.Next(); !ok {
+				break
+			}
+		}
+		if fs, ok := src.(cluster.FallibleSource); ok {
+			if err := fs.Err(); err != nil {
+				panic(err)
+			}
+		}
+	}
+	run() // warm lazy runtime state out of the measurement
+	return testing.AllocsPerRun(5, run)
+}
+
+func TestStreamRequestsCSVAllocs(t *testing.T) {
+	csvData, _, _, n := allocFixtures(t)
+	got := drainAllocs(t, func() cluster.Source {
+		return StreamRequestsCSV(bytes.NewReader(csvData))
+	})
+	// The constant: reader + scanner + source + field slice + slack.
+	// 10k+ rows through encoding/csv cost >10k allocations here.
+	const bound = 64
+	if got > bound {
+		t.Errorf("CSV drain of %d records allocated %.0f times, want <= %d (per-row allocation crept back in)",
+			n, got, bound)
+	}
+}
+
+func TestStreamBinaryAllocs(t *testing.T) {
+	_, etbData, _, n := allocFixtures(t)
+	got := drainAllocs(t, func() cluster.Source {
+		return StreamBinary(bytes.NewReader(etbData))
+	})
+	const bound = 16
+	if got > bound {
+		t.Errorf("binary drain of %d records allocated %.0f times, want <= %d",
+			n, got, bound)
+	}
+}
+
+func TestStreamAzureCSVAllocs(t *testing.T) {
+	_, _, azureData, _ := allocFixtures(t)
+	got := drainAllocs(t, func() cluster.Source {
+		return StreamAzureCSV(bytes.NewReader(azureData), AzureStreamOptions{BinWidth: 60, Seed: 9})
+	})
+	// The Azure synthesis owns per-site rng streams (built once at the
+	// header) on top of the scanner constant; 8500 synthesized records
+	// must not add to it.
+	const bound = 96
+	if got > bound {
+		t.Errorf("azure drain allocated %.0f times, want <= %d", got, bound)
+	}
+}

@@ -1,12 +1,11 @@
 package trace
 
 import (
-	"encoding/csv"
+	"bytes"
 	"fmt"
 	"io"
 	"math"
 	"math/rand"
-	"strconv"
 
 	"repro/internal/cluster"
 	"repro/internal/dist"
@@ -42,7 +41,7 @@ type AzureStreamOptions struct {
 // problems end the stream and are reported by Err; the source never
 // panics and never silently drops rows.
 type AzureSource struct {
-	cr   *csv.Reader
+	sc   *lineScanner
 	opts AzureStreamOptions
 
 	nSites int
@@ -76,17 +75,19 @@ func StreamAzureCSV(r io.Reader, opts AzureStreamOptions) *AzureSource {
 	if opts.Service == nil {
 		opts.Service = ExecTimeDist(1.0/13, 1)
 	}
-	cr := csv.NewReader(r)
-	cr.ReuseRecord = true
-	s := &AzureSource{cr: cr, opts: opts, lastBin: -1}
-	row, err := cr.Read()
+	s := &AzureSource{sc: newLineScanner(r), opts: opts, lastBin: -1}
+	line, ok := s.sc.scan()
+	var row [][]byte
+	if ok {
+		row = s.sc.split(line)
+	}
 	switch {
-	case err == io.EOF:
+	case !ok && s.sc.err != nil:
+		s.fail(fmt.Errorf("trace: azure CSV header: %w", s.sc.err))
+	case !ok:
 		s.fail(fmt.Errorf("trace: azure CSV is empty"))
-	case err != nil:
-		s.fail(fmt.Errorf("trace: azure CSV header: %w", err))
-	case len(row) < 2 || row[0] != "bin":
-		s.fail(fmt.Errorf("trace: azure CSV header %v, want \"bin,site0,...\"", row))
+	case len(row) < 2 || !bytes.Equal(row[0], []byte("bin")):
+		s.fail(fmt.Errorf("trace: azure CSV header %q, want \"bin,site0,...\"", line))
 	default:
 		s.nSites = len(row) - 1
 		s.counts = make([]int64, s.nSites)
@@ -119,21 +120,21 @@ func (s *AzureSource) fail(err error) {
 // nextRow decodes the next data row into counts, returning false at a
 // clean EOF or on error (recorded in err).
 func (s *AzureSource) nextRow() bool {
-	row, err := s.cr.Read()
-	if err == io.EOF {
+	lineBytes, ok := s.sc.scan()
+	if !ok {
 		s.done = true
+		if s.sc.err != nil {
+			s.err = fmt.Errorf("trace: azure CSV: %w", s.sc.err)
+		}
 		return false
 	}
-	if err != nil {
-		s.fail(fmt.Errorf("trace: azure CSV: %w", err))
-		return false
-	}
-	line, _ := s.cr.FieldPos(0)
+	line := s.sc.line
+	row := s.sc.split(lineBytes)
 	if len(row) != s.nSites+1 {
 		s.fail(fmt.Errorf("trace: azure CSV line %d: %d fields, want %d", line, len(row), s.nSites+1))
 		return false
 	}
-	bin, err := strconv.Atoi(row[0])
+	bin, err := parseIntField(row[0])
 	if err != nil || bin < 0 {
 		s.fail(fmt.Errorf("trace: azure CSV line %d: bad bin index %q", line, row[0]))
 		return false
@@ -144,7 +145,7 @@ func (s *AzureSource) nextRow() bool {
 		return false
 	}
 	for i := 0; i < s.nSites; i++ {
-		v, err := strconv.ParseFloat(row[i+1], 64)
+		v, err := parseFloatField(row[i+1])
 		if err != nil || math.IsNaN(v) || v < 0 || v > maxBinCount {
 			s.fail(fmt.Errorf("trace: azure CSV line %d: bad count %q for site %d", line, row[i+1], i))
 			return false

@@ -11,6 +11,8 @@ import (
 	"bytes"
 	"math"
 	"testing"
+
+	"repro/internal/cluster"
 )
 
 // fuzzDrainLimit bounds how many records a harness pulls, so inputs
@@ -110,6 +112,88 @@ func FuzzStreamAzureCSV(f *testing.F) {
 				}
 				if tr.Len() != n {
 					t.Fatalf("slurped %d records, streamed %d", tr.Len(), n)
+				}
+			}
+		}
+	})
+}
+
+// fuzzBinarySeed encodes a small generated workload so the corpus
+// contains at least one fully valid .etb stream for the mutator to
+// start from.
+func fuzzBinarySeed() []byte {
+	var buf bytes.Buffer
+	_, err := WriteBinary(&buf, cluster.Stream(cluster.GenSpec{
+		Sites: 3, Duration: 40, PerSiteRate: 5, Seed: 77,
+	}))
+	if err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+func FuzzStreamBinary(f *testing.F) {
+	valid := fuzzBinarySeed()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])           // truncated mid-stream
+	f.Add(valid[:len(BinaryMagic)+1])     // header only
+	f.Add(append([]byte{}, valid[4:]...)) // magic stripped
+	f.Add([]byte("ETB1\x01\x00"))         // empty but well-formed
+	f.Add([]byte("ETB1\x02\x00"))         // future version
+	f.Add([]byte("ETB1\x01\x05\x00"))     // block claiming records, no payload
+	f.Add([]byte("time,site,service\n1,0,0.1\n"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		src := StreamBinary(bytes.NewReader(data))
+		last := math.Inf(-1)
+		n := 0
+		for n < fuzzDrainLimit {
+			rec, ok := src.Next()
+			if !ok {
+				break
+			}
+			if rec.Time < last {
+				t.Fatalf("yielded time regression: %v after %v", rec.Time, last)
+			}
+			if rec.Time < 0 || math.IsNaN(rec.Time) || math.IsInf(rec.Time, 0) ||
+				rec.Site < 0 || rec.ServiceTime < 0 ||
+				math.IsNaN(rec.ServiceTime) || math.IsInf(rec.ServiceTime, 0) {
+				t.Fatalf("yielded invalid record %+v", rec)
+			}
+			last = rec.Time
+			n++
+		}
+		if n < fuzzDrainLimit {
+			if _, ok := src.Next(); ok {
+				t.Fatal("ended source yielded another record")
+			}
+			if src.Err() == nil {
+				// A clean decode must agree with the slurping counterpart
+				// AND re-encode to a stream that round-trips to the same
+				// records (write→read is the identity on valid data).
+				tr, err := ReadBinary(bytes.NewReader(data))
+				if err != nil {
+					t.Fatalf("streamed decode clean but slurped decode failed: %v", err)
+				}
+				if tr.Len() != n {
+					t.Fatalf("slurped %d records, streamed %d", tr.Len(), n)
+				}
+				var buf bytes.Buffer
+				if _, err := WriteBinary(&buf, tr.Source()); err != nil {
+					t.Fatalf("re-encode of a clean decode failed: %v", err)
+				}
+				again, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+				if err != nil {
+					t.Fatalf("re-encoded stream failed to decode: %v", err)
+				}
+				if again.Len() != tr.Len() {
+					t.Fatalf("re-encode round trip lost records: %d vs %d", again.Len(), tr.Len())
+				}
+				for i := range tr.Records {
+					if again.Records[i] != tr.Records[i] {
+						t.Fatalf("re-encode round trip altered record %d: %+v vs %+v",
+							i, again.Records[i], tr.Records[i])
+					}
 				}
 			}
 		}

@@ -1,0 +1,98 @@
+package trace
+
+// lineScanner is the allocation-free substrate under the text decoders:
+// it hands out one line at a time as byte slices into a reused buffer
+// and splits them into comma fields in place, so a steady-state decode
+// performs zero per-row heap allocations (encoding/csv costs 1–2 even
+// with ReuseRecord). The price is a deliberately narrower dialect than
+// encoding/csv — no quoting, no skipped blank lines — which matches
+// what the package's own writers emit; anything else fails the field
+// parsers, satisfying the decoders' error-never-panic contract.
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"unsafe"
+)
+
+type lineScanner struct {
+	r      *bufio.Reader
+	spill  []byte   // reused overflow for lines crossing the bufio window
+	fields [][]byte // reused per-line field slices
+	line   int      // 1-based number of the line scan last returned
+	err    error    // sticky read error (never io.EOF)
+}
+
+func newLineScanner(r io.Reader) *lineScanner {
+	return &lineScanner{r: bufio.NewReader(r)}
+}
+
+// scan returns the next line with its trailing newline (and any \r)
+// stripped, sharing the reader's buffer whenever the line fits. ok is
+// false at end of input or on a read error (recorded in err); a final
+// line without a newline is still returned.
+func (s *lineScanner) scan() ([]byte, bool) {
+	line, err := s.r.ReadSlice('\n')
+	if err == bufio.ErrBufferFull {
+		s.spill = append(s.spill[:0], line...)
+		for err == bufio.ErrBufferFull {
+			line, err = s.r.ReadSlice('\n')
+			s.spill = append(s.spill, line...)
+		}
+		line = s.spill
+	}
+	if err != nil && err != io.EOF {
+		s.err = err
+		return nil, false
+	}
+	if len(line) == 0 {
+		return nil, false
+	}
+	s.line++
+	if n := len(line); n > 0 && line[n-1] == '\n' {
+		line = line[:n-1]
+		if n := len(line); n > 0 && line[n-1] == '\r' {
+			line = line[:n-1]
+		}
+	}
+	return line, true
+}
+
+// split breaks line into its comma-separated fields, reusing the
+// scanner's field slice. The returned slices alias line and are only
+// valid until the next scan.
+func (s *lineScanner) split(line []byte) [][]byte {
+	s.fields = s.fields[:0]
+	for {
+		i := 0
+		for i < len(line) && line[i] != ',' {
+			i++
+		}
+		s.fields = append(s.fields, line[:i])
+		if i == len(line) {
+			return s.fields
+		}
+		line = line[i+1:]
+	}
+}
+
+// fieldString is a zero-copy string view of a scanned field, valid only
+// until the next scan — callers hand it straight to strconv and never
+// retain it (error messages re-copy via %q formatting, which is eager).
+func fieldString(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
+}
+
+// parseFloatField parses a field as a float64 without allocating.
+func parseFloatField(b []byte) (float64, error) {
+	return strconv.ParseFloat(fieldString(b), 64)
+}
+
+// parseIntField parses a field as an int without allocating.
+func parseIntField(b []byte) (int, error) {
+	return strconv.Atoi(fieldString(b))
+}

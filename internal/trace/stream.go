@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"bytes"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -19,11 +20,14 @@ var requestCSVHeader = []string{"time", "site", "service"}
 // RequestSource streams cluster.RequestRecords decoded from an
 // io.Reader one row at a time — a cluster.Source over a trace file that
 // never holds more than the current row, so replay memory is
-// independent of file length. Decoding problems (malformed fields,
-// time regressions, truncated rows) end the stream and are reported by
-// Err; the source never panics and never silently drops rows.
+// independent of file length. Rows are scanned into a reused buffer and
+// parsed with strconv directly (no encoding/csv), so the steady-state
+// decode is allocation-free; the dialect is the plain unquoted one the
+// package's writers emit. Decoding problems (malformed fields, time
+// regressions, truncated rows) end the stream and are reported by Err;
+// the source never panics and never silently drops rows.
 type RequestSource struct {
-	cr       *csv.Reader
+	sc       *lineScanner
 	err      error
 	done     bool
 	last     float64
@@ -37,22 +41,24 @@ type RequestSource struct {
 // lazily by Next. Callers must check Err after the source drains to
 // distinguish end-of-file from a decode failure.
 func StreamRequestsCSV(r io.Reader) *RequestSource {
-	cr := csv.NewReader(r)
-	cr.FieldsPerRecord = len(requestCSVHeader)
-	cr.ReuseRecord = true
-	s := &RequestSource{cr: cr, last: math.Inf(-1)}
-	row, err := cr.Read()
+	s := &RequestSource{sc: newLineScanner(r), last: math.Inf(-1)}
+	line, ok := s.sc.scan()
 	switch {
-	case err == io.EOF:
+	case !ok && s.sc.err != nil:
+		s.fail(fmt.Errorf("trace: request CSV header: %w", s.sc.err))
+	case !ok:
 		s.fail(fmt.Errorf("trace: request CSV is empty"))
-	case err != nil:
-		s.fail(fmt.Errorf("trace: request CSV header: %w", err))
 	default:
-		for i, want := range requestCSVHeader {
-			if row[i] != want {
-				s.fail(fmt.Errorf("trace: request CSV header %v, want %v", row, requestCSVHeader))
+		row := s.sc.split(line)
+		bad := len(row) != len(requestCSVHeader)
+		for i := range requestCSVHeader {
+			if bad || !bytes.Equal(row[i], []byte(requestCSVHeader[i])) {
+				bad = true
 				break
 			}
+		}
+		if bad {
+			s.fail(fmt.Errorf("trace: request CSV header %q, want %v", line, requestCSVHeader))
 		}
 	}
 	return s
@@ -70,17 +76,22 @@ func (s *RequestSource) Next() (cluster.RequestRecord, bool) {
 	if s.done {
 		return cluster.RequestRecord{}, false
 	}
-	row, err := s.cr.Read()
-	if err == io.EOF {
+	lineBytes, ok := s.sc.scan()
+	if !ok {
 		s.done = true
+		if s.sc.err != nil {
+			s.err = fmt.Errorf("trace: request CSV: %w", s.sc.err)
+		}
 		return cluster.RequestRecord{}, false
 	}
-	if err != nil {
-		s.fail(fmt.Errorf("trace: request CSV: %w", err))
+	line := s.sc.line
+	row := s.sc.split(lineBytes)
+	if len(row) != len(requestCSVHeader) {
+		s.fail(fmt.Errorf("trace: request CSV line %d: %d fields, want %d",
+			line, len(row), len(requestCSVHeader)))
 		return cluster.RequestRecord{}, false
 	}
-	line, _ := s.cr.FieldPos(0)
-	t, err := strconv.ParseFloat(row[0], 64)
+	t, err := parseFloatField(row[0])
 	if err != nil || t < 0 || math.IsNaN(t) || math.IsInf(t, 0) {
 		// Negative times are rejected outright: the replay engine
 		// panics on events scheduled before time zero, and this decoder
@@ -93,7 +104,7 @@ func (s *RequestSource) Next() (cluster.RequestRecord, bool) {
 			line, t, s.last))
 		return cluster.RequestRecord{}, false
 	}
-	site, err := strconv.Atoi(row[1])
+	site, err := parseIntField(row[1])
 	if err != nil || site < 0 {
 		s.fail(fmt.Errorf("trace: request CSV line %d: bad site %q", line, row[1]))
 		return cluster.RequestRecord{}, false
@@ -103,7 +114,7 @@ func (s *RequestSource) Next() (cluster.RequestRecord, bool) {
 			line, site, s.maxSites))
 		return cluster.RequestRecord{}, false
 	}
-	svc, err := strconv.ParseFloat(row[2], 64)
+	svc, err := parseFloatField(row[2])
 	if err != nil || svc < 0 || math.IsNaN(svc) || math.IsInf(svc, 0) {
 		s.fail(fmt.Errorf("trace: request CSV line %d: bad service time %q", line, row[2]))
 		return cluster.RequestRecord{}, false

@@ -151,9 +151,20 @@ type NHPP struct {
 	Rates    []float64
 	BinWidth float64
 	Cycle    bool
-	maxRate  float64
-	gap      dist.Dist // exponential at maxRate, the thinning proposal
-	thin     dist.Dist // uniform on [0, 1], the acceptance draw
+	// Piecewise switches Next from thinning to exact per-segment
+	// simulation: draw an exponential gap at the current bin's own rate
+	// and restart (memorylessly) at each bin boundary. One draw per
+	// accepted arrival plus one per crossed bin, instead of one
+	// rejection per unit of peak/local rate ratio — on spiky envelopes
+	// (peak >> mean) this removes almost every draw. The process is
+	// still exactly the envelope's NHPP, but it consumes the random
+	// stream differently, so it is NOT sample-path-identical to the
+	// thinning mode; the distributional KS suite gates it instead of
+	// the bit-identity suite.
+	Piecewise bool
+	maxRate   float64
+	gap       dist.Dist // exponential at maxRate, the thinning proposal
+	thin      dist.Dist // uniform on [0, 1], the acceptance draw
 }
 
 // NewNHPP builds a nonhomogeneous Poisson process from a rate envelope.
@@ -199,10 +210,14 @@ func (p *NHPP) rateAt(t float64) (float64, bool) {
 	return p.Rates[idx], true
 }
 
-// Next draws the next arrival by thinning against the envelope maximum.
+// Next draws the next arrival — by thinning against the envelope
+// maximum, or per-segment exact simulation when Piecewise is set.
 func (p *NHPP) Next(t float64, rng *rand.Rand) (float64, bool) {
 	if p.maxRate == 0 {
 		return 0, false
+	}
+	if p.Piecewise {
+		return p.nextPiecewise(t, rng)
 	}
 	for i := 0; i < 1_000_000; i++ {
 		t += p.gap.Sample(rng)
@@ -213,6 +228,56 @@ func (p *NHPP) Next(t float64, rng *rand.Rand) (float64, bool) {
 		if p.thin.Sample(rng) <= r/p.maxRate {
 			return t, true
 		}
+	}
+	return 0, false
+}
+
+// exp1 is the unit exponential every piecewise segment draw rescales —
+// stateless, so one package value serves all goroutines.
+var exp1 = dist.NewExponential(1)
+
+// nextPiecewise simulates the envelope exactly, segment by segment: in
+// a bin of rate r the gap to the next arrival is Exp(r); when the gap
+// overshoots the bin boundary the clock restarts at the boundary
+// (memorylessness makes the restart exact, the same argument MMPP's
+// regime switches use), and zero-rate bins are skipped outright.
+func (p *NHPP) nextPiecewise(t float64, rng *rand.Rand) (float64, bool) {
+	if t < 0 {
+		t = 0
+	}
+	d := p.Duration()
+	for i := 0; i < 1_000_000; i++ {
+		// Locate t's bin: phase within the (possibly cycled) envelope,
+		// plus the absolute offset of the cycle it falls in.
+		phase, base := t, 0.0
+		if phase >= d {
+			if !p.Cycle {
+				return 0, false
+			}
+			base = math.Floor(phase/d) * d
+			phase -= base
+			if phase >= d { // float fuzz at an exact multiple of d
+				base += d
+				phase = 0
+			}
+		}
+		idx := int(phase / p.BinWidth)
+		if idx >= len(p.Rates) {
+			idx = len(p.Rates) - 1
+		}
+		segEnd := base + float64(idx+1)*p.BinWidth
+		if segEnd <= t {
+			// Rounding pinned t at (or past) its own bin's end; nudge
+			// forward so the loop always makes progress.
+			t = math.Nextafter(t, math.Inf(1))
+			continue
+		}
+		if r := p.Rates[idx]; r > 0 {
+			if next := t + exp1.Sample(rng)/r; next < segEnd {
+				return next, true
+			}
+		}
+		t = segEnd
 	}
 	return 0, false
 }
