@@ -13,6 +13,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/admit"
 	"repro/internal/app"
 	"repro/internal/autoscale"
 	"repro/internal/cluster"
@@ -1033,4 +1034,61 @@ func BenchmarkTraceDecode(b *testing.B) {
 		b.ReportMetric(float64(n), "requests")
 		b.ReportMetric(float64(len(etbData)), "file-bytes")
 	})
+}
+
+// BenchmarkAdmissionOverhead prices the ISSUE 10 admission gate on the
+// streaming replay core: the same 10⁶-request replay with no
+// admission, with a never-rejecting entry token bucket (pure
+// policy-check overhead — the event sequence is bit-identical, as the
+// admission equivalence suite asserts), and with an active bucket
+// shedding ~a third of traffic (rejections shortcut the service path,
+// bounding the other side). benchjson gates all three against the
+// committed BENCH_PR10.json. In short mode the replay scales to 10⁵
+// requests.
+func BenchmarkAdmissionOverhead(b *testing.B) {
+	const sites = 8
+	duration := 6250.0 // 8 sites × 20 req/s × 6250 s = 10⁶ requests
+	if testing.Short() {
+		duration = 625
+	}
+	spec := cluster.GenSpec{Sites: sites, Duration: duration, PerSiteRate: 20, Seed: 81}
+	cloud := netem.CloudTypical
+	topology := func(a *admit.Spec) cluster.Topology {
+		return cluster.Topology{
+			Name: "bench-admit",
+			Tiers: []cluster.Tier{
+				{Name: "edge", Sites: sites, ServersPerSite: 2, Path: netem.EdgePath,
+					Admission: a},
+				{Name: "cloud", Sites: 1, ServersPerSite: 8, Path: cloud,
+					Dispatch: cluster.CentralQueueDispatch},
+			},
+			Spills: []cluster.SpillEdge{
+				{From: "edge", To: "cloud", Threshold: 3, DetourPath: &cloud},
+			},
+		}
+	}
+	opts := cluster.Options{Warmup: 100, Seed: 82, Summary: stats.Bounded, NoPerSiteLatency: true}
+	for _, tc := range []struct {
+		name string
+		spec *admit.Spec
+	}{
+		{"admit-off", nil},
+		{"admit-noop", &admit.Spec{Policy: admit.TokenBucket, Rate: 1e9}},
+		{"admit-active", &admit.Spec{Policy: admit.TokenBucket, Rate: 13}},
+	} {
+		topo := topology(tc.spec)
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var offered, rejected uint64
+			for i := 0; i < b.N; i++ {
+				res, err := cluster.Run(cluster.Stream(spec), topo, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				offered, rejected = res.Offered, res.Rejected
+			}
+			b.ReportMetric(float64(offered), "requests")
+			b.ReportMetric(float64(rejected), "rejected")
+		})
+	}
 }

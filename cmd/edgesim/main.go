@@ -55,11 +55,13 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/admit"
 	"repro/internal/app"
 	"repro/internal/asciiplot"
 	"repro/internal/autoscale"
 	"repro/internal/cluster"
 	"repro/internal/dist"
+	"repro/internal/econ"
 	"repro/internal/experiments"
 	"repro/internal/forecast"
 	"repro/internal/lb"
@@ -112,6 +114,11 @@ func main() {
 	scaler := flag.String("scaler", "", "attach a capacity scaler to the edge (entry) tier: "+
 		"reactive | predictive[:forecaster] (forecasters: "+strings.Join(forecast.Names(), "|")+"); "+
 		"bounds are servers..4x servers, or -autoscale-max when set")
+	admitFlag := flag.String("admit", "", "with -topology: attach an admission policy to the entry tier: "+
+		"token-bucket:rate=R[,burst=B] | queue-length:threshold=N | priority:threshold=N[,cutoff=C] "+
+		"(spec files set per-tier \"admission\" blocks directly)")
+	rejectPenalty := flag.Float64("reject-penalty", 0, "with -topology: dollars charged per admission-rejected "+
+		"request in the cost overlay (0 = rejections are free)")
 	sweep := flag.String("sweep", "", "with -topology: comma-separated req/s-per-server rates to sweep, "+
 		"printing per-tier metrics and the inversion crossover vs an equal-capacity pooled cloud")
 	stream := flag.Bool("stream", false, "with -topology: generate the workload on the fly instead of "+
@@ -189,6 +196,15 @@ func main() {
 	}
 	if *pipeline && *topology == "" {
 		fail("-pipeline requires -topology (it selects the pipelined sharded replay backend)")
+	}
+	if *admitFlag != "" && *topology == "" {
+		fail("-admit requires -topology (admission policies attach to the entry tier of a deployment graph)")
+	}
+	if *rejectPenalty != 0 && *topology == "" {
+		fail("-reject-penalty requires -topology (the cost overlay prices rejections on graph replays)")
+	}
+	if *rejectPenalty != 0 && *sweep != "" {
+		fail("-reject-penalty cannot combine with -sweep (sweep points price capacity with default rates)")
 	}
 	if *pipeline && *sweep != "" {
 		fail("-pipeline cannot combine with -sweep (sweep points replay through the barrier backend)")
@@ -290,13 +306,13 @@ func main() {
 		if *topology == "" {
 			fail("-sweep requires -topology (the deployment graph to sweep)")
 		}
-		runTopologySweepCLI(*topology, *sweep, *scaler, *autoscaleMax, *stream, in, sh, gc, sc,
+		runTopologySweepCLI(*topology, *sweep, *scaler, *admitFlag, *autoscaleMax, *stream, in, sh, gc, sc,
 			*duration, *warmup, *arrivalSCV, *seed, model, mode)
 		return
 	}
 	if *topology != "" {
-		runTopology(*topology, *scaler, *autoscaleMax, *stream, *pipeline, in, sh, gc, *sites, *servers, *rate,
-			*duration, *warmup, *arrivalSCV, *seed, model, mode)
+		runTopology(*topology, *scaler, *admitFlag, *autoscaleMax, *stream, *pipeline, in, sh, gc, *sites, *servers, *rate,
+			*duration, *warmup, *arrivalSCV, *seed, *rejectPenalty, model, mode)
 		return
 	}
 
@@ -501,9 +517,54 @@ func parseScalerSpec(arg string, minServers, maxFlag int, mu float64) (autoscale
 	return spec, spec.Validate()
 }
 
-// loadTopologyWithScaler resolves -topology and, when -scaler is set,
-// attaches (or replaces) the entry tier's capacity controller.
-func loadTopologyWithScaler(arg, scalerArg string, maxFlag int, mu float64) (cluster.Topology, error) {
+// parseAdmitSpec resolves the -admit flag: "policy[:k=v,...]" — e.g.
+// "token-bucket:rate=6,burst=3", "queue-length:threshold=4", or
+// "priority:threshold=4,cutoff=1".
+func parseAdmitSpec(arg string) (admit.Spec, error) {
+	policy, params := arg, ""
+	if i := strings.IndexByte(arg, ':'); i >= 0 {
+		policy, params = arg[:i], arg[i+1:]
+	}
+	spec := admit.Spec{Policy: policy}
+	if params != "" {
+		for _, kv := range strings.Split(params, ",") {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return admit.Spec{}, fmt.Errorf("parameter %q is not key=value", kv)
+			}
+			switch k {
+			case "rate", "burst":
+				f, err := strconv.ParseFloat(v, 64)
+				if err != nil {
+					return admit.Spec{}, fmt.Errorf("%s: %v", k, err)
+				}
+				if k == "rate" {
+					spec.Rate = f
+				} else {
+					spec.Burst = f
+				}
+			case "threshold", "cutoff":
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					return admit.Spec{}, fmt.Errorf("%s: %v", k, err)
+				}
+				if k == "threshold" {
+					spec.Threshold = n
+				} else {
+					spec.Cutoff = n
+				}
+			default:
+				return admit.Spec{}, fmt.Errorf("unknown parameter %q (want rate, burst, threshold, cutoff)", k)
+			}
+		}
+	}
+	return spec, spec.Validate()
+}
+
+// loadTopologyWithScaler resolves -topology and, when -scaler or
+// -admit is set, attaches (or replaces) the entry tier's capacity
+// controller and admission policy.
+func loadTopologyWithScaler(arg, scalerArg, admitArg string, maxFlag int, mu float64) (cluster.Topology, error) {
 	topo, err := loadTopology(arg)
 	if err != nil {
 		return cluster.Topology{}, err
@@ -520,6 +581,13 @@ func loadTopologyWithScaler(arg, scalerArg string, maxFlag int, mu float64) (clu
 		}
 		entry.Scaler = &spec
 	}
+	if admitArg != "" {
+		spec, err := parseAdmitSpec(admitArg)
+		if err != nil {
+			return cluster.Topology{}, fmt.Errorf("-admit: %w", err)
+		}
+		topo.Tiers[0].Admission = &spec
+	}
 	return topo, nil
 }
 
@@ -533,10 +601,10 @@ func loadTopologyWithScaler(arg, scalerArg string, maxFlag int, mu float64) (clu
 // resolution the replay fans out across engines via cluster.RunSharded,
 // bit-identical for every shard count; pipeline additionally overlaps
 // the shard and shared phases through watermarked bounded rings.
-func runTopology(arg, scalerArg string, maxFlag int, stream, pipeline bool, in workloadInput, sh shardChoice,
+func runTopology(arg, scalerArg, admitArg string, maxFlag int, stream, pipeline bool, in workloadInput, sh shardChoice,
 	gc genChoice, sites, servers int, rate, duration, warmup, arrivalSCV float64, seed int64,
-	model app.InferenceModel, mode stats.Mode) {
-	topo, err := loadTopologyWithScaler(arg, scalerArg, maxFlag, model.Mu())
+	rejectPenalty float64, model app.InferenceModel, mode stats.Mode) {
+	topo, err := loadTopologyWithScaler(arg, scalerArg, admitArg, maxFlag, model.Mu())
 	if err != nil {
 		fail("-topology: %v", err)
 	}
@@ -575,6 +643,11 @@ func runTopology(arg, scalerArg string, maxFlag int, stream, pipeline bool, in w
 		Summary:    mode,
 		Pipeline:   pipeline,
 		GenWorkers: gw,
+	}
+	if rejectPenalty != 0 {
+		pricing := econ.DefaultPricing()
+		pricing.RejectPenalty = rejectPenalty
+		opts.Pricing = &pricing
 	}
 	var res *cluster.TopologyResult
 	var tr *cluster.WorkloadTrace
@@ -698,12 +771,48 @@ func runTopology(arg, scalerArg string, maxFlag int, stream, pipeline bool, in w
 		asciiplot.Table(os.Stdout, header, siteRows)
 	}
 
+	// Per-SLO-class tables (classful topologies only): how each class
+	// fared at each tier it touched, plus the tier's Jain fairness
+	// index over per-class served counts.
+	for _, tier := range res.Tiers {
+		var classTotal uint64
+		for _, c := range tier.Classes {
+			classTotal += c.Served + c.Dropped + c.Rejected
+		}
+		if classTotal == 0 {
+			continue
+		}
+		fmt.Println()
+		var classRows [][]interface{}
+		served := make([]float64, 0, len(tier.Classes))
+		for _, c := range tier.Classes {
+			classRows = append(classRows, []interface{}{
+				tier.Name + "/" + c.Name, int(c.Served), int(c.Dropped), int(c.Rejected),
+				c.EndToEnd.Mean() * 1000, c.EndToEnd.P95() * 1000,
+			})
+			served = append(served, float64(c.Served))
+		}
+		asciiplot.Table(os.Stdout,
+			[]string{"class", "served", "dropped", "rejected", "mean (ms)", "p95 (ms)"}, classRows)
+		fmt.Printf("fairness[%s]: Jain index %.3f over per-class served counts\n",
+			tier.Name, stats.Jain(served))
+	}
+
 	fmt.Println()
 	if res.Redirected > 0 {
 		fmt.Printf("geographic LB redirected %d requests\n", res.Redirected)
 	}
 	if res.Dropped > 0 {
 		fmt.Printf("bounded queues dropped %d requests\n", res.Dropped)
+	}
+	if res.Rejected > 0 {
+		fmt.Printf("admission rejected %d requests\n", res.Rejected)
+		for i, tier := range res.Tiers {
+			if tier.Rejected > 0 && topo.Tiers[i].Admission != nil {
+				fmt.Printf("  %s [%s]: %d rejected\n",
+					tier.Name, topo.Tiers[i].Admission.Label(), tier.Rejected)
+			}
+		}
 	}
 	for _, tier := range res.Tiers {
 		if tier.ScalerPolicy != "" {
@@ -714,9 +823,22 @@ func runTopology(arg, scalerArg string, maxFlag int, stream, pipeline bool, in w
 	}
 	fmt.Printf("cost: $%.4f total capacity spend (%.4f $/kreq)\n",
 		res.TotalCost, res.CostPerRequest*1000)
-	fmt.Printf("conservation: offered %d = served %d + dropped %d + warmup-discarded %d\n",
-		res.Offered, res.Completed, res.Dropped,
-		res.Consumed-res.Completed-res.Dropped)
+	var rejCost float64
+	for _, tier := range res.Tiers {
+		rejCost += tier.RejectionCost
+	}
+	if rejCost > 0 {
+		fmt.Printf("  includes $%.4f admission-rejection penalty\n", rejCost)
+	}
+	if res.Rejected > 0 {
+		fmt.Printf("conservation: offered %d = served %d + dropped %d + rejected %d + warmup-discarded %d\n",
+			res.Offered, res.Completed, res.Dropped, res.Rejected,
+			res.Consumed-res.Completed-res.Dropped-res.Rejected)
+	} else {
+		fmt.Printf("conservation: offered %d = served %d + dropped %d + warmup-discarded %d\n",
+			res.Offered, res.Completed, res.Dropped,
+			res.Consumed-res.Completed-res.Dropped)
+	}
 }
 
 // generate materializes a trace through the resolved -gen-workers
@@ -747,10 +869,10 @@ func genSpec(sites, perSite int, rate, duration, arrivalSCV float64, seed int64,
 // per-tier tables, plus the inversion crossover against a pooled cloud
 // of equal total capacity on the -scenario's cloud path — the paper's
 // edge-vs-cloud question generalized to arbitrary hierarchies.
-func runTopologySweepCLI(arg, sweepArg, scalerArg string, maxFlag int, stream bool,
+func runTopologySweepCLI(arg, sweepArg, scalerArg, admitArg string, maxFlag int, stream bool,
 	in workloadInput, sh shardChoice, gc genChoice, sc netem.Scenario,
 	duration, warmup, arrivalSCV float64, seed int64, model app.InferenceModel, mode stats.Mode) {
-	topo, err := loadTopologyWithScaler(arg, scalerArg, maxFlag, model.Mu())
+	topo, err := loadTopologyWithScaler(arg, scalerArg, admitArg, maxFlag, model.Mu())
 	if err != nil {
 		fail("-topology: %v", err)
 	}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	figures [-fig all|2|3|4|5|6|7|8|9|10|three-tier|scaler|grid|validation|capacity|tail|cost]
+//	figures [-fig all|2|3|4|5|6|7|8|9|10|three-tier|scaler|grid|validation|capacity|tail|cost|admission]
 //	        [-duration seconds] [-seed n] [-csv dir]
 //
 // Output is an ASCII rendering of each figure plus the underlying data
@@ -19,8 +19,11 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/admit"
 	"repro/internal/app"
 	"repro/internal/asciiplot"
+	"repro/internal/autoscale"
+	"repro/internal/cluster"
 	"repro/internal/econ"
 	"repro/internal/experiments"
 	"repro/internal/netem"
@@ -30,7 +33,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate (2..10, three-tier, scaler, grid, validation, capacity, tail, cost, all)")
+	fig := flag.String("fig", "all", "figure to regenerate (2..10, three-tier, scaler, grid, validation, capacity, tail, cost, admission, all)")
 	duration := flag.Float64("duration", 600, "simulated seconds per sweep point")
 	seed := flag.Int64("seed", 42, "random seed")
 	csvDir := flag.String("csv", "", "directory to write CSV series into (optional)")
@@ -71,6 +74,95 @@ func main() {
 	run("capacity", func() { capacity() })
 	run("tail", func() { tailAnalytic() })
 	run("cost", func() { cost() })
+	run("admission", func() { admissionCost(*duration, *seed, *csvDir) })
+}
+
+// admissionCost renders the rejection-vs-cost trade: one overloaded
+// workload broadcast through the same edge hierarchy under
+// progressively tighter entry admission, with rejected traffic priced
+// by the econ penalty. Loose admission spends on queueing misery;
+// tight admission converts it into explicit rejection cost — the view
+// shows the p95 relief each rejected kilorequest buys.
+func admissionCost(duration float64, seed int64, csvDir string) {
+	const sites, offered = 5, 13
+	pricing := econ.DefaultPricing()
+	pricing.RejectPenalty = 0.0005
+	fmt.Printf("Pricing: cloud $%.3f/server-hour, edge $%.3f/server-hour, rejection $%.4f/request\n",
+		pricing.CloudPerServerHour, pricing.EdgePerServerHour, pricing.RejectPenalty)
+	fmt.Printf("Workload: %d sites offering %g req/s each into 1 edge server/site "+
+		"(spill to a pooled cloud at threshold 3)\n\n", sites, float64(offered))
+
+	cloudPath := netem.CloudTypical
+	topology := func(rate float64) cluster.Topology {
+		// A reactive scaler on the edge makes shed traffic save real
+		// capacity dollars, so the two cost components actually trade.
+		scaler := autoscale.ReactiveSpec(autoscale.DefaultConfig(1, 4))
+		topo := cluster.Topology{
+			Name: "admit-frontier",
+			Tiers: []cluster.Tier{
+				{Name: "edge", Sites: sites, ServersPerSite: 1, Path: netem.EdgePath,
+					Scaler: &scaler},
+				{Name: "cloud", Sites: 1, ServersPerSite: sites, Path: cloudPath,
+					Dispatch: cluster.CentralQueueDispatch},
+			},
+			Spills: []cluster.SpillEdge{{From: "edge", To: "cloud", Threshold: 3,
+				DetourPath: &cloudPath}},
+		}
+		if rate > 0 {
+			topo.Tiers[0].Admission = &admit.Spec{Policy: admit.TokenBucket, Rate: rate}
+		}
+		return topo
+	}
+	rates := []float64{0, 14, 12, 11, 10, 9, 8, 7} // 0 = admission off
+	variants := make([]cluster.Variant, len(rates))
+	for i, r := range rates {
+		label := "off"
+		if r > 0 {
+			label = fmt.Sprintf("rate=%g", r)
+		}
+		variants[i] = cluster.Variant{Label: label, Topology: topology(r),
+			Opts: cluster.Options{Seed: seed + 1, Pricing: &pricing, Summary: stats.Bounded}}
+	}
+	spec := cluster.GenSpec{Sites: sites, Duration: duration, PerSiteRate: offered, Seed: seed}
+	results, err := cluster.RunBroadcast(cluster.Stream(spec), variants, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures: admission:", err)
+		return
+	}
+
+	series := []asciiplot.Series{{Name: "total $ (capacity + penalty)"}, {Name: "capacity $"}}
+	var rows [][]interface{}
+	for i, res := range results {
+		var rejCost float64
+		for _, tier := range res.Tiers {
+			rejCost += tier.RejectionCost
+		}
+		rejPct := 100 * float64(res.Rejected) / float64(res.Offered)
+		rows = append(rows, []interface{}{
+			variants[i].Label, int(res.Rejected), fmt.Sprintf("%.1f%%", rejPct),
+			res.Result.P95Latency() * 1000,
+			res.TotalCost - rejCost, rejCost, res.TotalCost,
+		})
+		// Chart against admitted fraction so "off" (100% admitted)
+		// anchors the right edge and tightening admission walks left.
+		x := 100 - rejPct
+		series[0].X = append(series[0].X, x)
+		series[0].Y = append(series[0].Y, res.TotalCost)
+		series[1].X = append(series[1].X, x)
+		series[1].Y = append(series[1].Y, res.TotalCost-rejCost)
+	}
+	asciiplot.Table(os.Stdout,
+		[]string{"admission", "rejected", "reject %", "p95 (ms)", "capacity $", "penalty $", "total $"}, rows)
+	fmt.Println()
+	asciiplot.LineChart(os.Stdout, "Admission: total cost ($) vs admitted traffic (%)", series, 72, 16)
+
+	if csvDir != "" {
+		f, err := os.Create(filepath.Join(csvDir, "admission.csv"))
+		if err == nil {
+			defer f.Close()
+			_ = asciiplot.WriteSeriesCSV(f, series)
+		}
+	}
 }
 
 // tailAnalytic prints the analytic tail-inversion extension: exact M/M

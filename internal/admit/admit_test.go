@@ -1,0 +1,166 @@
+package admit
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPoliciesKnown(t *testing.T) {
+	for _, name := range Policies() {
+		if !Known(name) {
+			t.Errorf("Known(%q) = false for a registered policy", name)
+		}
+	}
+	if Known("drop-everything") {
+		t.Error("Known accepted an unregistered policy")
+	}
+}
+
+// TestSpecValidate: every policy's parameter space is checked, and the
+// NaN/Inf holes that ordered comparisons miss are rejected explicitly.
+func TestSpecValidate(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := []struct {
+		name    string
+		spec    Spec
+		wantErr string // "" = valid
+	}{
+		{"token-bucket ok", Spec{Policy: TokenBucket, Rate: 5}, ""},
+		{"token-bucket burst ok", Spec{Policy: TokenBucket, Rate: 5, Burst: 20}, ""},
+		{"queue-length ok", Spec{Policy: QueueLength, Threshold: 3}, ""},
+		{"priority ok", Spec{Policy: Priority, Threshold: 3, Cutoff: 1}, ""},
+		{"priority cutoff zero ok", Spec{Policy: Priority, Threshold: 1}, ""},
+
+		{"empty policy", Spec{}, "no policy"},
+		{"unknown policy", Spec{Policy: "leaky-bucket"}, "unknown policy"},
+		{"zero rate", Spec{Policy: TokenBucket}, "positive finite Rate"},
+		{"negative rate", Spec{Policy: TokenBucket, Rate: -1}, "positive finite Rate"},
+		{"nan rate", Spec{Policy: TokenBucket, Rate: nan}, "positive finite Rate"},
+		{"inf rate", Spec{Policy: TokenBucket, Rate: inf}, "positive finite Rate"},
+		{"-inf rate", Spec{Policy: TokenBucket, Rate: -inf}, "positive finite Rate"},
+		{"nan burst", Spec{Policy: TokenBucket, Rate: 5, Burst: nan}, "Burst"},
+		{"inf burst", Spec{Policy: TokenBucket, Rate: 5, Burst: inf}, "Burst"},
+		{"negative burst", Spec{Policy: TokenBucket, Rate: 5, Burst: -2}, "Burst"},
+		{"queue-length no threshold", Spec{Policy: QueueLength}, "Threshold"},
+		{"queue-length negative", Spec{Policy: QueueLength, Threshold: -1}, "Threshold"},
+		{"priority no threshold", Spec{Policy: Priority, Cutoff: 1}, "Threshold"},
+		{"priority negative cutoff", Spec{Policy: Priority, Threshold: 2, Cutoff: -1}, "Cutoff"},
+	}
+	for _, tc := range cases {
+		err := tc.spec.Validate()
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %v, want mention of %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestNewRejectsInvalid(t *testing.T) {
+	if _, err := New(Spec{Policy: "nope"}, 1); err == nil {
+		t.Error("New accepted an unknown policy")
+	}
+	if _, err := New(Spec{Policy: QueueLength, Threshold: 2}, 0); err == nil {
+		t.Error("New accepted zero buckets")
+	}
+}
+
+// TestTokenBucket: burst admissions at one instant, refill over time,
+// and per-bucket independence.
+func TestTokenBucket(t *testing.T) {
+	p, err := New(Spec{Policy: TokenBucket, Rate: 1, Burst: 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bucket 0 starts full with 2 tokens: two admissions, then empty.
+	for i := 0; i < 2; i++ {
+		if !p.Admit(0, 0, 0, 0) {
+			t.Fatalf("admission %d refused with a full bucket", i)
+		}
+	}
+	if p.Admit(0, 0, 0, 0) {
+		t.Error("admission granted from an empty bucket")
+	}
+	// Bucket 1 is untouched by bucket 0's spending.
+	if !p.Admit(0, 1, 0, 0) {
+		t.Error("bucket 1 refused despite independent state")
+	}
+	// Refill: 1 token/s, so at t=0.5 still empty, at t=1 one admission.
+	if p.Admit(0.5, 0, 0, 0) {
+		t.Error("admission granted before a full token refilled")
+	}
+	if !p.Admit(1.5, 0, 0, 0) {
+		t.Error("admission refused after a full token refilled")
+	}
+	if p.Admit(1.5, 0, 0, 0) {
+		t.Error("second same-instant admission granted from one token")
+	}
+}
+
+// TestTokenBucketDefaultBurst: Burst 0 defaults to max(1, Rate).
+func TestTokenBucketDefaultBurst(t *testing.T) {
+	p, err := New(Spec{Policy: TokenBucket, Rate: 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	granted := 0
+	for i := 0; i < 5; i++ {
+		if p.Admit(0, 0, 0, 0) {
+			granted++
+		}
+	}
+	if granted != 3 {
+		t.Errorf("default burst granted %d same-instant admissions, want 3 (= Rate)", granted)
+	}
+	// Sub-unit rate still allows one admission from a full bucket.
+	p, err = New(Spec{Policy: TokenBucket, Rate: 0.25}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Admit(0, 0, 0, 0) {
+		t.Error("sub-unit rate refused its single burst token")
+	}
+}
+
+func TestQueueLength(t *testing.T) {
+	p, err := New(Spec{Policy: QueueLength, Threshold: 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for waiting, want := range map[int]bool{0: true, 2: true, 3: false, 10: false} {
+		if got := p.Admit(0, 0, waiting, 0); got != want {
+			t.Errorf("waiting=%d: admit=%v, want %v", waiting, got, want)
+		}
+	}
+}
+
+// TestPriority: everything passes below the threshold; at or beyond it
+// only classes ranked before the cutoff survive.
+func TestPriority(t *testing.T) {
+	p, err := New(Spec{Policy: Priority, Threshold: 2, Cutoff: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Admit(0, 0, 1, 5) {
+		t.Error("low-priority class refused below the pressure threshold")
+	}
+	if !p.Admit(0, 0, 2, 0) {
+		t.Error("class 0 refused under pressure despite ranking before the cutoff")
+	}
+	if p.Admit(0, 0, 2, 1) {
+		t.Error("class 1 admitted under pressure at cutoff 1")
+	}
+	// Cutoff 0 sheds every class under pressure.
+	p, err = New(Spec{Policy: Priority, Threshold: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Admit(0, 0, 1, 0) {
+		t.Error("cutoff 0 admitted under pressure")
+	}
+}

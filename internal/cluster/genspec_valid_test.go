@@ -1,0 +1,46 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+)
+
+// TestGenSpecRejectsBadNumbers: deriveArrivals must panic on the
+// NaN/Inf holes that ordered comparisons miss — a NaN duration passes
+// "<= 0" and would generate forever; a NaN rate or SCV poisons every
+// inter-arrival draw.
+func TestGenSpecRejectsBadNumbers(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := map[string]GenSpec{
+		"zero sites":    {Duration: 10, PerSiteRate: 5},
+		"zero duration": {Sites: 2, PerSiteRate: 5},
+		"nan duration":  {Sites: 2, Duration: nan, PerSiteRate: 5},
+		"inf duration":  {Sites: 2, Duration: inf, PerSiteRate: 5},
+		"zero rate":     {Sites: 2, Duration: 10},
+		"nan rate":      {Sites: 2, Duration: 10, PerSiteRate: nan},
+		"inf rate":      {Sites: 2, Duration: 10, PerSiteRate: inf},
+		"negative rate": {Sites: 2, Duration: 10, PerSiteRate: -3},
+		"nan scv":       {Sites: 2, Duration: 10, PerSiteRate: 5, ArrivalSCV: nan},
+		"inf scv":       {Sites: 2, Duration: 10, PerSiteRate: 5, ArrivalSCV: inf},
+		"negative scv":  {Sites: 2, Duration: 10, PerSiteRate: 5, ArrivalSCV: -0.4},
+	}
+	for name, spec := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: deriveArrivals accepted an invalid spec", name)
+				}
+			}()
+			deriveArrivals(&spec)
+		}()
+	}
+	// The happy path still derives: default SCV and an explicit one.
+	for _, spec := range []GenSpec{
+		{Sites: 2, Duration: 10, PerSiteRate: 5},
+		{Sites: 2, Duration: 10, PerSiteRate: 5, ArrivalSCV: 1.2},
+	} {
+		if got := deriveArrivals(&spec); len(got) != 2 {
+			t.Errorf("valid spec derived %d processes, want 2", len(got))
+		}
+	}
+}

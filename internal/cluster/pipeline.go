@@ -282,6 +282,7 @@ func runPhase2Pump(b *p2build, feed <-chan []p2rec, free chan<- []p2rec, total *
 		req.AuxRTT = rec.aux
 		req.ServiceTime = rec.service
 		req.Tag = uint64(rec.tier)
+		req.Class = rec.class
 		b.x.admit(rec.tier, req)
 		if gauge != nil {
 			gauge.add(-1)

@@ -103,6 +103,9 @@ type Result struct {
 	Timeline    *stats.TimeSeries // nil unless TimelineBin was set
 	Redirected  uint64            // jockeyed requests (edge with geographic LB)
 	Dropped     uint64            // requests rejected by bounded queues
+	// Rejected counts requests refused by tier admission policies before
+	// they reached any station (topology runs only; warmup included).
+	Rejected uint64
 }
 
 // MeanLatency returns the mean end-to-end latency in seconds.

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/admit"
 	"repro/internal/autoscale"
 	"repro/internal/econ"
 	"repro/internal/lb"
@@ -122,6 +123,7 @@ type boundaryRec struct {
 	aux       float64 // pre-sampled entry-spill detour (Request.AuxRTT)
 	generated float64
 	tier      int // target tier index
+	class     int // SLO class rank (Request.Class)
 }
 
 // boundaryBefore is the canonical merge order: arrival time, then home
@@ -223,6 +225,16 @@ type shardState struct {
 	served   []uint64 // per home slot, measured
 	dropped  []uint64
 	spilled  []uint64
+	rejected []uint64 // per home slot, admission refusals (warmup included)
+
+	// Per-class counters and digests, nil when the topology declares no
+	// classes. classSite keeps one digest per (slot, class, local site)
+	// so finishSharded can merge per-class latency in canonical global
+	// site order, independent of the shard partition.
+	classServed   [][]uint64
+	classDropped  [][]uint64
+	classRejected [][]uint64
+	classSite     [][][]stats.Digest
 
 	tierSite [][]stats.Digest // per home slot, per local site e2e
 	perSite  []stats.Digest   // per local site, home-phase e2e
@@ -234,12 +246,20 @@ type shardState struct {
 // Consume implements queue.Sink.
 func (st *shardState) Consume(e *sim.Engine, r *queue.Request) {
 	st.consumed++
+	if r.Rejected {
+		// Already counted at the rejection instant in the admission gate;
+		// only the conservation counter above sees it here.
+		return
+	}
 	if r.Departure < st.warmup {
 		return
 	}
 	slot := st.slot[r.Tag]
 	if r.Dropped {
 		st.dropped[slot]++
+		if st.classDropped != nil {
+			st.classDropped[slot][r.Class]++
+		}
 		return
 	}
 	e2e := r.EndToEnd()
@@ -247,6 +267,10 @@ func (st *shardState) Consume(e *sim.Engine, r *queue.Request) {
 	st.perSite[ls].Add(e2e)
 	st.tierSite[slot][ls].Add(e2e)
 	st.served[slot]++
+	if st.classServed != nil {
+		st.classServed[slot][r.Class]++
+		st.classSite[slot][r.Class][ls].Add(e2e)
+	}
 }
 
 // runShardPhase1 replays one shard's sites through the home tiers,
@@ -264,6 +288,22 @@ func runShardPhase1(topo Topology, plan shardPlan, st *shardState, src Source, o
 	st.served = make([]uint64, len(plan.home))
 	st.dropped = make([]uint64, len(plan.home))
 	st.spilled = make([]uint64, len(plan.home))
+	st.rejected = make([]uint64, len(plan.home))
+	if nclass := len(topo.Classes); nclass > 0 {
+		st.classServed = make([][]uint64, len(plan.home))
+		st.classDropped = make([][]uint64, len(plan.home))
+		st.classRejected = make([][]uint64, len(plan.home))
+		st.classSite = make([][][]stats.Digest, len(plan.home))
+		for slot := range plan.home {
+			st.classServed[slot] = make([]uint64, nclass+1)
+			st.classDropped[slot] = make([]uint64, nclass+1)
+			st.classRejected[slot] = make([]uint64, nclass+1)
+			st.classSite[slot] = make([][]stats.Digest, nclass+1)
+			for c := range st.classSite[slot] {
+				st.classSite[slot][c] = newDigests(opts.Summary, width)
+			}
+		}
+	}
 	st.siteSeq = make([]uint64, width)
 	st.perSite = newDigests(opts.Summary, width)
 	st.tierSite = make([][]stats.Digest, len(plan.home))
@@ -310,16 +350,34 @@ func runShardPhase1(topo Topology, plan shardPlan, st *shardState, src Source, o
 		}
 	}
 
+	// Admission policies for the home tiers, one per slot. Buckets are
+	// the shard's local sites: token-bucket state is per-site, so a
+	// local-site key observes exactly the sequence the serial policy's
+	// global-site bucket would — admission is partition-independent.
+	adms := make([]admit.Policy, len(plan.home))
+	for slot, ti := range plan.home {
+		if sp := topo.Tiers[ti].Admission; sp != nil {
+			a, err := admit.New(*sp, width)
+			if err != nil {
+				panic(fmt.Sprintf("cluster: tier %q admission passed Validate but not New: %v",
+					topo.Tiers[ti].Name, err))
+			}
+			adms[slot] = a
+		}
+	}
+
 	// Site-pinned classes only: planShards rejected Bernoulli fractions,
-	// so classification is deterministic per record.
-	classify := func(rec RequestRecord) int {
-		for _, c := range topo.Classes {
+	// so classification is deterministic per record. Returns the entry
+	// tier and the class rank (matched rule index, or the rule count for
+	// unclassified traffic).
+	classify := func(rec RequestRecord) (int, int) {
+		for ci, c := range topo.Classes {
 			if c.Sites != nil && !containsInt(c.Sites, rec.Site) {
 				continue
 			}
-			return topo.tierIndex(c.Tier)
+			return topo.tierIndex(c.Tier), ci
 		}
-		return 0
+		return 0, len(topo.Classes)
 	}
 
 	capture := func(at float64, req *queue.Request, target int, service float64) {
@@ -333,6 +391,7 @@ func runShardPhase1(topo Topology, plan shardPlan, st *shardState, src Source, o
 			aux:       req.AuxRTT,
 			generated: req.Generated,
 			tier:      target,
+			class:     req.Class,
 		})
 		st.siteSeq[ls]++
 		pool.Put(req)
@@ -344,12 +403,28 @@ func runShardPhase1(topo Topology, plan shardPlan, st *shardState, src Source, o
 		ti := int(req.Tag)
 		if plan.isShared(ti) {
 			// Class-pinned straight into the shared phase; ServiceTime is
-			// already scaled to the target tier by prep.
+			// already scaled to the target tier by prep. The shared tier's
+			// admission policy runs in phase 2, where it observes the
+			// canonical merged order — exactly what the serial run sees.
 			capture(e.Now(), req, ti, req.ServiceTime)
 			return
 		}
 		slot := plan.homeSlot[ti]
 		ls := req.Site - st.lo
+		// Admission before the spill check, mirroring topoExec.admit: a
+		// refused request is rejected outright, never spilled.
+		if a := adms[slot]; a != nil &&
+			!a.Admit(e.Now(), ls, st.stations[slot][ls].QueueLength(), req.Class) {
+			st.rejected[slot]++
+			if st.classRejected != nil {
+				st.classRejected[slot][req.Class]++
+			}
+			req.Rejected = true
+			req.Departure = e.Now()
+			st.Consume(e, req)
+			pool.Put(req)
+			return
+		}
 		if hs := spills[slot]; hs != nil && st.stations[slot][ls].Load() >= hs.spec.Threshold {
 			st.spilled[slot]++
 			slow := topo.Tiers[ti].SlowdownFactor
@@ -390,9 +465,9 @@ func runShardPhase1(topo Topology, plan shardPlan, st *shardState, src Source, o
 			// from here on carries at >= rec.Time, which is what lets the
 			// pipelined publisher release and watermark.
 			pub.advance(rec.Time)
-			entry := 0
+			entry, class := 0, 0
 			if len(topo.Classes) > 0 {
-				entry = classify(rec)
+				entry, class = classify(rec)
 			}
 			et := topo.Tiers[entry]
 			path := et.Path
@@ -409,6 +484,7 @@ func runShardPhase1(topo Topology, plan shardPlan, st *shardState, src Source, o
 			}
 			req.ServiceTime = rec.ServiceTime * et.SlowdownFactor
 			req.Tag = uint64(entry)
+			req.Class = class
 		},
 		admit: admitEv,
 	}
@@ -447,6 +523,11 @@ func (s *phase2Sink) Consume(e *sim.Engine, r *queue.Request) {
 	if s.pre != nil {
 		s.pre()
 	}
+	if r.Rejected {
+		// Already counted at the rejection instant (topoExec.reject);
+		// only the conservation counter above sees it here.
+		return
+	}
 	if r.Departure < s.warmup {
 		return
 	}
@@ -454,6 +535,9 @@ func (s *phase2Sink) Consume(e *sim.Engine, r *queue.Request) {
 	if r.Dropped {
 		s.dropped++
 		tier.Dropped++
+		if tier.Classes != nil {
+			tier.Classes[r.Class].Dropped++
+		}
 		return
 	}
 	e2e := r.EndToEnd()
@@ -463,6 +547,11 @@ func (s *phase2Sink) Consume(e *sim.Engine, r *queue.Request) {
 	s.completed++
 	tier.Served++
 	tier.EndToEnd.Add(e2e)
+	if tier.Classes != nil {
+		c := &tier.Classes[r.Class]
+		c.Served++
+		c.EndToEnd.Add(e2e)
+	}
 }
 
 // shardRun is the state the barrier and pipelined backends share: the
@@ -500,10 +589,10 @@ func newShardRun(src ShardedSource, topo Topology, opts Options, shards int) (*s
 	if opts.Probe != nil {
 		return nil, fmt.Errorf("cluster: RunSharded does not support Options.Probe; use Run")
 	}
-	if opts.Pricing != nil &&
-		(opts.Pricing.CloudPerServerHour <= 0 || opts.Pricing.EdgePerServerHour <= 0) {
-		return nil, fmt.Errorf("cluster: Options.Pricing needs positive cloud and edge rates, got %+v",
-			*opts.Pricing)
+	if opts.Pricing != nil {
+		if err := opts.Pricing.Check(); err != nil {
+			return nil, fmt.Errorf("cluster: Options.Pricing: %w", err)
+		}
 	}
 	sites := src.Sites()
 	if sites <= 0 {
@@ -541,10 +630,12 @@ func newShardRun(src ShardedSource, topo Topology, opts Options, shards int) (*s
 	// Result skeleton; phase 2 writes its tier counters directly.
 	res := &TopologyResult{Result: *newResult(topo.Name, opts.Summary, opts.SizeHint)}
 	res.Tiers = make([]TierResult, len(topo.Tiers))
+	names := classNamesOf(topo)
 	for i := range res.Tiers {
 		res.Tiers[i].Name = topo.Tiers[i].Name
 		res.Tiers[i].EndToEnd = stats.NewDigest(opts.Summary, 0)
 		res.Tiers[i].Wait = stats.NewDigest(opts.Summary, 0)
+		res.Tiers[i].Classes = newClassResults(names, opts.Summary)
 	}
 
 	return &shardRun{
@@ -613,13 +704,20 @@ func buildPhase2(r *shardRun, tiers []int, streams p2streams) (*p2build, error) 
 	topo, opts := r.topo, r.opts
 	eng := sim.NewEngineBackend(r.phase2Seed, opts.Backend)
 	pool := &queue.FreeList{}
-	x := &topoExec{eng: eng, tiers: make([]*tierRuntime, len(topo.Tiers)), res: r.res}
+	x := &topoExec{eng: eng, tiers: make([]*tierRuntime, len(topo.Tiers)), res: r.res, pool: pool}
 	for _, ti := range tiers {
 		t := topo.Tiers[ti]
 		rt := &tierRuntime{
 			spec:    t,
 			central: t.Dispatch == CentralQueueDispatch,
 			slow:    t.SlowdownFactor,
+		}
+		if t.Admission != nil {
+			a, err := admit.New(*t.Admission, admitBuckets(t))
+			if err != nil {
+				return nil, fmt.Errorf("cluster: tier %q admission: %w", t.Name, err)
+			}
+			rt.adm = a
 		}
 		rt.stations = make([]*queue.Station, t.Sites)
 		rt.servers = make([]queue.Server, t.Sites)
@@ -749,11 +847,20 @@ func finishSharded(r *shardRun, builds []*p2build, perSite []stats.Digest) *Topo
 		res.Offered += st.offered
 		res.Consumed += st.consumed
 		for slot, ti := range plan.home {
-			res.Tiers[ti].Served += st.served[slot]
-			res.Tiers[ti].Dropped += st.dropped[slot]
-			res.Tiers[ti].Spilled += st.spilled[slot]
+			tier := &res.Tiers[ti]
+			tier.Served += st.served[slot]
+			tier.Dropped += st.dropped[slot]
+			tier.Spilled += st.spilled[slot]
+			tier.Rejected += st.rejected[slot]
 			res.Completed += st.served[slot]
 			res.Dropped += st.dropped[slot]
+			if tier.Classes != nil && st.classServed != nil {
+				for c := range tier.Classes {
+					tier.Classes[c].Served += st.classServed[slot][c]
+					tier.Classes[c].Dropped += st.classDropped[slot][c]
+					tier.Classes[c].Rejected += st.classRejected[slot][c]
+				}
+			}
 		}
 	}
 	for _, b := range builds {
@@ -780,6 +887,21 @@ func finishSharded(r *shardRun, builds []*p2build, perSite []stats.Digest) *Topo
 		for _, st := range r.states {
 			for ls := range st.tierSite[slot] {
 				tier.EndToEnd.Merge(&st.tierSite[slot][ls])
+			}
+		}
+		if tier.Classes == nil {
+			continue
+		}
+		// Per-class latency in canonical order: class outer, then shards
+		// ascending (= global site order) — independent of the partition.
+		for c := range tier.Classes {
+			for _, st := range r.states {
+				if st.classSite == nil {
+					continue
+				}
+				for ls := range st.classSite[slot][c] {
+					tier.Classes[c].EndToEnd.Merge(&st.classSite[slot][c][ls])
+				}
 			}
 		}
 	}
@@ -851,7 +973,8 @@ func finishSharded(r *shardRun, builds []*p2build, perSite []stats.Digest) *Topo
 			tr.ServerSeconds = capacity * res.Duration
 		}
 		priceTier(tr, plan.homeSlot[ti] >= 0, topo.Tiers[ti].PricePerServerHour, pricing, res.Duration)
-		res.TotalCost += tr.Cost
+		res.Rejected += tr.Rejected
+		res.TotalCost += tr.Cost + tr.RejectionCost
 		busyAll += busy
 		capAll += capacity
 	}
@@ -977,6 +1100,7 @@ func RunSharded(src ShardedSource, topo Topology, opts Options, shards int) (*To
 		req.AuxRTT = rec.aux
 		req.ServiceTime = rec.service
 		req.Tag = uint64(rec.tier)
+		req.Class = rec.class
 		b.x.admit(rec.tier, req)
 		if advance() {
 			e.AtFront(pending.at, pump)

@@ -157,6 +157,9 @@ func compareTopologyResults(t *testing.T, name string, want, got *cluster.Topolo
 		t.Errorf("%s: completed/dropped %d/%d != %d/%d",
 			name, got.Completed, got.Dropped, want.Completed, want.Dropped)
 	}
+	if got.Rejected != want.Rejected {
+		t.Errorf("%s: rejected %d != %d", name, got.Rejected, want.Rejected)
+	}
 	if got.Duration != want.Duration {
 		t.Errorf("%s: duration %v != %v", name, got.Duration, want.Duration)
 	}
@@ -192,6 +195,25 @@ func compareTopologyResults(t *testing.T, name string, want, got *cluster.Topolo
 		if g.Utilization != w.Utilization || g.ServerSeconds != w.ServerSeconds || g.Cost != w.Cost {
 			t.Errorf("%s/%s: util/server-sec/cost %v/%v/%v != %v/%v/%v", name, w.Name,
 				g.Utilization, g.ServerSeconds, g.Cost, w.Utilization, w.ServerSeconds, w.Cost)
+		}
+		if g.Rejected != w.Rejected || g.RejectionCost != w.RejectionCost {
+			t.Errorf("%s/%s: rejected/cost %d/%v != %d/%v", name, w.Name,
+				g.Rejected, g.RejectionCost, w.Rejected, w.RejectionCost)
+		}
+		if len(g.Classes) != len(w.Classes) {
+			t.Fatalf("%s/%s: %d classes != %d", name, w.Name, len(g.Classes), len(w.Classes))
+		}
+		for c := range w.Classes {
+			wc, gc := &w.Classes[c], &g.Classes[c]
+			if gc.Served != wc.Served || gc.Dropped != wc.Dropped || gc.Rejected != wc.Rejected {
+				t.Errorf("%s/%s/%s: served/dropped/rejected %d/%d/%d != %d/%d/%d", name, w.Name,
+					wc.Name, gc.Served, gc.Dropped, gc.Rejected, wc.Served, wc.Dropped, wc.Rejected)
+			}
+			if gc.EndToEnd.N() != wc.EndToEnd.N() || gc.EndToEnd.Mean() != wc.EndToEnd.Mean() ||
+				gc.EndToEnd.P95() != wc.EndToEnd.P95() {
+				t.Errorf("%s/%s/%s: class digest diverges: n %d/%d mean %v/%v", name, w.Name,
+					wc.Name, gc.EndToEnd.N(), wc.EndToEnd.N(), gc.EndToEnd.Mean(), wc.EndToEnd.Mean())
+			}
 		}
 	}
 }

@@ -2,7 +2,9 @@ package cluster
 
 import (
 	"fmt"
+	"math"
 
+	"repro/internal/admit"
 	"repro/internal/autoscale"
 	"repro/internal/lb"
 	"repro/internal/netem"
@@ -66,6 +68,14 @@ type Tier struct {
 	// overlay (currency per server-hour). 0 selects the run pricing's
 	// edge price for home-routed tiers and its cloud price otherwise.
 	PricePerServerHour float64
+	// Admission, when set, gates entry to the tier: requests the policy
+	// refuses are rejected on the spot — no queueing, no service, no
+	// spill — and counted in TierResult.Rejected. The decision happens
+	// at the tier-entry instant, before the spill check, so a rejected
+	// request never crosses a spill edge either. Token buckets are
+	// per-site on home-routed tiers and tier-wide elsewhere (see
+	// admit.New).
+	Admission *admit.Spec
 }
 
 // homeRouted reports whether requests route to their home station.
@@ -190,6 +200,15 @@ func (tp Topology) Validate() error {
 		if t.JockeyThreshold > 0 && !t.homeRouted() {
 			return fmt.Errorf("cluster: tier %q sets a jockey threshold but is not home-routed", t.Name)
 		}
+		if t.QueueCap < 0 {
+			return fmt.Errorf("cluster: tier %q has a negative queue cap %d", t.Name, t.QueueCap)
+		}
+		// NaN slips through normalized()'s "<= 0 means default" floor —
+		// every ordered comparison against NaN is false — so non-finite
+		// factors must be rejected by name here.
+		if math.IsNaN(t.SlowdownFactor) || math.IsInf(t.SlowdownFactor, 0) {
+			return fmt.Errorf("cluster: tier %q has a non-finite slowdown factor %v", t.Name, t.SlowdownFactor)
+		}
 		if t.homeRouted() {
 			if homeSites >= 0 && t.Sites != homeSites {
 				return fmt.Errorf("cluster: home-routed tiers disagree on site count (%d vs %d)",
@@ -202,8 +221,15 @@ func (tp Topology) Validate() error {
 				return fmt.Errorf("cluster: tier %q scaler: %w", t.Name, err)
 			}
 		}
-		if t.PricePerServerHour < 0 {
-			return fmt.Errorf("cluster: tier %q has a negative server-hour price", t.Name)
+		if t.PricePerServerHour < 0 ||
+			math.IsNaN(t.PricePerServerHour) || math.IsInf(t.PricePerServerHour, 0) {
+			return fmt.Errorf("cluster: tier %q has an invalid server-hour price %v",
+				t.Name, t.PricePerServerHour)
+		}
+		if t.Admission != nil {
+			if err := t.Admission.Validate(); err != nil {
+				return fmt.Errorf("cluster: tier %q admission: %w", t.Name, err)
+			}
 		}
 	}
 	outEdge := map[string]bool{}
@@ -245,7 +271,11 @@ func (tp Topology) Validate() error {
 		if tp.tierIndex(c.Tier) < 0 {
 			return fmt.Errorf("cluster: class %q pins to unknown tier %q", c.Name, c.Tier)
 		}
-		if c.Fraction < 0 || c.Fraction > 1 {
+		// The NaN check is load-bearing: "x < 0 || x > 1" is false for
+		// NaN, and NaN also fails classify's "(0,1) means Bernoulli"
+		// test, so a NaN fraction used to slip through validation and
+		// silently pin every eligible request to the class's tier.
+		if math.IsNaN(c.Fraction) || c.Fraction < 0 || c.Fraction > 1 {
 			return fmt.Errorf("cluster: class %q fraction %v outside [0,1]", c.Name, c.Fraction)
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/admit"
 	"repro/internal/autoscale"
 	"repro/internal/econ"
 	"repro/internal/lb"
@@ -89,6 +90,11 @@ type TierResult struct {
 	Served  uint64
 	Spilled uint64
 	Dropped uint64
+	// Rejected counts requests the tier's admission policy refused at
+	// their entry instant (warmup included, like Spilled). A rejected
+	// request never reaches a station and never spills, so station
+	// arrivals across the run equal Offered minus total rejections.
+	Rejected uint64
 	// EndToEnd collects client-observed latency of requests served at
 	// this tier; Wait merges queueing delay across the tier's
 	// stations.
@@ -119,6 +125,29 @@ type TierResult struct {
 	Cost        float64
 	CostPerHour float64
 	CostPerReq  float64
+	// RejectionCost prices the tier's rejected traffic at the run
+	// pricing's per-request penalty (econ.Pricing.RejectPenalty): what
+	// the shed load cost in lost requests, to weigh against the
+	// server-hours the shedding saved. 0 without admission or penalty.
+	RejectionCost float64
+	// Classes breaks the tier's traffic down by SLO class when the
+	// topology declares class rules: one entry per rule in declaration
+	// order plus a final "unclassified" bucket for requests no rule
+	// matched. Nil when the topology has no classes.
+	Classes []ClassResult
+}
+
+// ClassResult is one SLO class's share of a tier: measured completions
+// and queue drops (warmup excluded, like Served/Dropped) plus admission
+// rejections (warmup included, like Rejected) and the class's
+// end-to-end latency digest at this tier. Feed per-class means or
+// rates to stats.Jain for a fairness index.
+type ClassResult struct {
+	Name     string
+	Served   uint64
+	Dropped  uint64
+	Rejected uint64
+	EndToEnd stats.Digest
 }
 
 // TopologyResult is a full topology run: the aggregate Result plus
@@ -132,10 +161,11 @@ type TopologyResult struct {
 	// Every offered request is eventually consumed.
 	Offered  uint64
 	Consumed uint64
-	// TotalCost sums the per-tier cost overlay (capacity spend for the
-	// whole run, in the pricing's currency units); CostPerRequest
-	// divides it across all measured completions. Per-tier costs are
-	// conserved: TotalCost == Σ Tiers[i].Cost.
+	// TotalCost sums the per-tier cost overlay (capacity spend plus the
+	// lost-request penalty on rejected traffic, in the pricing's
+	// currency units); CostPerRequest divides it across all measured
+	// completions. Per-tier costs are conserved:
+	// TotalCost == Σ (Tiers[i].Cost + Tiers[i].RejectionCost).
 	TotalCost      float64
 	CostPerRequest float64
 }
@@ -162,6 +192,7 @@ type tierRuntime struct {
 	scaler     autoscale.Scaler
 	spill      *spillRuntime
 	slow       float64
+	adm        admit.Policy
 }
 
 // spillRuntime is one spill edge's live state.
@@ -179,7 +210,47 @@ type topoExec struct {
 	eng     *sim.Engine
 	tiers   []*tierRuntime
 	res     *TopologyResult
+	pool    *queue.FreeList
 	admitEv sim.PayloadEvent
+}
+
+// admPressure returns the admission bucket key and pressure signal for
+// a request entering the tier: home-routed tiers are site-local (the
+// home station's waiting queue), any other tier is tier-wide (bucket
+// 0, the least-loaded station's queue — so a queue-length policy
+// rejects only when no station is below its threshold, mirroring
+// wouldSpill's all-stations rule).
+func admPressure(t *tierRuntime, req *queue.Request) (bucket, waiting int) {
+	if t.home {
+		return req.Site, t.stations[req.Site].QueueLength()
+	}
+	min := t.stations[0].QueueLength()
+	for _, s := range t.stations[1:] {
+		if q := s.QueueLength(); q < min {
+			min = q
+		}
+	}
+	return 0, min
+}
+
+// reject refuses a request at tier entry: counted at the rejection
+// instant (warmup included, like Spilled), consumed through the
+// request's sink, and recycled without ever reaching a station. Only
+// tier-indexed counters are touched here — phase-2 partitions share
+// one result across engines, and tier entries are partition-exclusive
+// where aggregate scalars are not.
+func (x *topoExec) reject(ti int, req *queue.Request) {
+	tr := &x.res.Tiers[ti]
+	tr.Rejected++
+	if tr.Classes != nil {
+		tr.Classes[req.Class].Rejected++
+	}
+	req.Rejected = true
+	req.Departure = x.eng.Now()
+	if req.Done != nil {
+		req.Done.Consume(x.eng, req)
+	}
+	x.pool.Put(req)
 }
 
 // wouldSpill reports whether the tier is saturated for this request: a
@@ -199,11 +270,19 @@ func (x *topoExec) wouldSpill(t *tierRuntime, req *queue.Request) bool {
 	return true
 }
 
-// admit routes a request at its arrival instant at tier ti: spill
+// admit routes a request at its arrival instant at tier ti: admission
+// policy first (a refused request is rejected outright), then spill
 // across the tier's edge if saturated, otherwise dispatch into the
 // tier's stations.
 func (x *topoExec) admit(ti int, req *queue.Request) {
 	t := x.tiers[ti]
+	if t.adm != nil {
+		bucket, waiting := admPressure(t, req)
+		if !t.adm.Admit(x.eng.Now(), bucket, waiting, req.Class) {
+			x.reject(ti, req)
+			return
+		}
+	}
 	if t.spill != nil && x.wouldSpill(t, req) {
 		sp := t.spill
 		x.res.Tiers[ti].Spilled++
@@ -253,6 +332,11 @@ func (s *topoSink) Consume(e *sim.Engine, r *queue.Request) {
 	if s.pre != nil {
 		s.pre()
 	}
+	if r.Rejected {
+		// Already counted at the rejection instant (topoExec.reject);
+		// only the conservation counter above sees it here.
+		return
+	}
 	if r.Departure < s.warmup {
 		return
 	}
@@ -260,6 +344,9 @@ func (s *topoSink) Consume(e *sim.Engine, r *queue.Request) {
 	if r.Dropped {
 		s.res.Dropped++
 		tier.Dropped++
+		if tier.Classes != nil {
+			tier.Classes[r.Class].Dropped++
+		}
 		return
 	}
 	e2e := r.EndToEnd()
@@ -270,6 +357,11 @@ func (s *topoSink) Consume(e *sim.Engine, r *queue.Request) {
 	s.res.Completed++
 	tier.Served++
 	tier.EndToEnd.Add(e2e)
+	if tier.Classes != nil {
+		c := &tier.Classes[r.Class]
+		c.Served++
+		c.EndToEnd.Add(e2e)
+	}
 	if s.res.Timeline != nil {
 		s.res.Timeline.Add(r.Generated, e2e)
 	}
@@ -286,10 +378,10 @@ func Run(src Source, topo Topology, opts Options) (*TopologyResult, error) {
 	if err := topo.Validate(); err != nil {
 		return nil, err
 	}
-	if opts.Pricing != nil &&
-		(opts.Pricing.CloudPerServerHour <= 0 || opts.Pricing.EdgePerServerHour <= 0) {
-		return nil, fmt.Errorf("cluster: Options.Pricing needs positive cloud and edge rates, got %+v",
-			*opts.Pricing)
+	if opts.Pricing != nil {
+		if err := opts.Pricing.Check(); err != nil {
+			return nil, fmt.Errorf("cluster: Options.Pricing: %w", err)
+		}
 	}
 
 	eng := sim.NewEngineBackend(opts.Seed, opts.Backend)
@@ -333,6 +425,13 @@ func Run(src Source, topo Topology, opts Options) (*TopologyResult, error) {
 				return nil, fmt.Errorf("cluster: tier %q: %w", t.Name, err)
 			}
 			rt.dispatcher = d
+		}
+		if t.Admission != nil {
+			p, err := admit.New(*t.Admission, admitBuckets(t))
+			if err != nil {
+				return nil, fmt.Errorf("cluster: tier %q: %w", t.Name, err)
+			}
+			rt.adm = p
 		}
 		x.tiers[ti] = rt
 	}
@@ -383,13 +482,16 @@ func Run(src Source, topo Topology, opts Options) (*TopologyResult, error) {
 	if opts.TimelineBin > 0 {
 		res.Timeline = stats.NewTimeSeries(0, opts.TimelineBin)
 	}
+	names := classNamesOf(topo)
 	res.Tiers = make([]TierResult, len(topo.Tiers))
 	for i := range res.Tiers {
 		res.Tiers[i].Name = topo.Tiers[i].Name
 		res.Tiers[i].EndToEnd = stats.NewDigest(opts.Summary, 0)
 		res.Tiers[i].Wait = stats.NewDigest(opts.Summary, 0)
+		res.Tiers[i].Classes = newClassResults(names, opts.Summary)
 	}
 	x.res = res
+	x.pool = pool
 
 	entry0 := x.tiers[0]
 	var perSite []stats.Digest
@@ -402,17 +504,21 @@ func Run(src Source, topo Topology, opts Options) (*TopologyResult, error) {
 		x.admit(int(req.Tag), req)
 	}
 
-	classify := func(rec RequestRecord) int {
-		for _, c := range topo.Classes {
+	// classify resolves a record's entry tier and SLO class rank: the
+	// matched rule's index, or the rule count for unclassified traffic.
+	// The Bernoulli draws happen in record order regardless of outcome,
+	// so the random sequence matches the pre-class-rank engine exactly.
+	classify := func(rec RequestRecord) (entry, class int) {
+		for ci, c := range topo.Classes {
 			if c.Sites != nil && !containsInt(c.Sites, rec.Site) {
 				continue
 			}
 			if c.Fraction > 0 && c.Fraction < 1 && classRng.Float64() >= c.Fraction {
 				continue
 			}
-			return topo.tierIndex(c.Tier)
+			return topo.tierIndex(c.Tier), ci
 		}
-		return 0
+		return 0, len(topo.Classes)
 	}
 
 	f := &feeder{
@@ -420,10 +526,11 @@ func Run(src Source, topo Topology, opts Options) (*TopologyResult, error) {
 		pool: pool,
 		sink: sink,
 		prep: func(rec RequestRecord, req *queue.Request) {
-			entry := 0
+			entry, class := 0, 0
 			if len(topo.Classes) > 0 {
-				entry = classify(rec)
+				entry, class = classify(rec)
 			}
+			req.Class = class
 			et := x.tiers[entry]
 			path := et.spec.Path
 			if et.spec.PerSitePaths != nil {
@@ -528,7 +635,8 @@ func Run(src Source, topo Topology, opts Options) (*TopologyResult, error) {
 			tr.ServerSeconds = capacity * res.Duration
 		}
 		priceTier(tr, rt.home, rt.spec.PricePerServerHour, pricing, res.Duration)
-		res.TotalCost += tr.Cost
+		res.Rejected += tr.Rejected
+		res.TotalCost += tr.Cost + tr.RejectionCost
 		busyAll += busy
 		capAll += capacity
 	}
@@ -543,8 +651,9 @@ func Run(src Source, topo Topology, opts Options) (*TopologyResult, error) {
 
 // priceTier applies the cost overlay to one assembled tier: capacity
 // integral priced at the tier's override or the run pricing's rate for
-// its shape. Shared by Run and RunSharded so the two paths cannot
-// drift.
+// its shape, plus the lost-request penalty on rejected traffic. Shared
+// by Run and RunSharded so the two paths cannot drift. The tier's
+// Rejected counter must be final before this runs.
 func priceTier(tr *TierResult, home bool, override float64, pricing econ.Pricing, duration float64) {
 	price := override
 	if price <= 0 {
@@ -561,6 +670,45 @@ func priceTier(tr *TierResult, home bool, override float64, pricing econ.Pricing
 	if tr.Served > 0 {
 		tr.CostPerReq = tr.Cost / float64(tr.Served)
 	}
+	tr.RejectionCost = float64(tr.Rejected) * pricing.RejectPenalty
+}
+
+// admitBuckets returns the tier's admission bucket count: one per site
+// on home-routed tiers (site-local state, the shardable shape), one
+// for the whole tier elsewhere.
+func admitBuckets(t Tier) int {
+	if t.homeRouted() {
+		return t.Sites
+	}
+	return 1
+}
+
+// classNamesOf lists the topology's SLO class buckets — one per rule
+// plus a trailing "unclassified" — or nil when it declares no classes.
+func classNamesOf(topo Topology) []string {
+	if len(topo.Classes) == 0 {
+		return nil
+	}
+	names := make([]string, len(topo.Classes)+1)
+	for i, c := range topo.Classes {
+		names[i] = c.Name
+	}
+	names[len(topo.Classes)] = "unclassified"
+	return names
+}
+
+// newClassResults builds empty per-class result rows in the given
+// summary mode; nil names yields nil.
+func newClassResults(names []string, mode stats.Mode) []ClassResult {
+	if names == nil {
+		return nil
+	}
+	out := make([]ClassResult, len(names))
+	for i := range out {
+		out[i].Name = names[i]
+		out[i].EndToEnd = stats.NewDigest(mode, 0)
+	}
+	return out
 }
 
 func containsInt(xs []int, v int) bool {

@@ -2,9 +2,11 @@ package cluster
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"testing"
 
+	"repro/internal/admit"
 	"repro/internal/autoscale"
 	"repro/internal/netem"
 	"repro/internal/queue"
@@ -82,6 +84,36 @@ func TestTopologyValidate(t *testing.T) {
 		"class fraction out of range": {
 			Tiers:   []Tier{edge, cloud},
 			Classes: []ClassRule{{Name: "x", Tier: "cloud", Fraction: 1.5}},
+		},
+		// NaN fails every ordered comparison, so "< 0 || > 1" alone
+		// accepted it — and a NaN fraction silently became an
+		// unconditional match in classify. Must be rejected explicitly.
+		"class fraction NaN": {
+			Tiers:   []Tier{edge, cloud},
+			Classes: []ClassRule{{Name: "x", Tier: "cloud", Fraction: math.NaN()}},
+		},
+		"negative queue cap": {
+			Tiers: []Tier{{Name: "edge", Sites: 5, QueueCap: -1}},
+		},
+		"NaN slowdown": {
+			Tiers: []Tier{{Name: "edge", Sites: 5, SlowdownFactor: math.NaN()}},
+		},
+		"Inf slowdown": {
+			Tiers: []Tier{{Name: "edge", Sites: 5, SlowdownFactor: math.Inf(1)}},
+		},
+		"NaN price": {
+			Tiers: []Tier{{Name: "edge", Sites: 5, PricePerServerHour: math.NaN()}},
+		},
+		"negative price": {
+			Tiers: []Tier{{Name: "edge", Sites: 5, PricePerServerHour: -0.1}},
+		},
+		"unknown admission policy": {
+			Tiers: []Tier{{Name: "edge", Sites: 5,
+				Admission: &admit.Spec{Policy: "leaky-bucket"}}},
+		},
+		"NaN admission rate": {
+			Tiers: []Tier{{Name: "edge", Sites: 5,
+				Admission: &admit.Spec{Policy: admit.TokenBucket, Rate: math.NaN()}}},
 		},
 	}
 	for name, topo := range cases {

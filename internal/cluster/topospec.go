@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/admit"
 	"repro/internal/autoscale"
 	"repro/internal/netem"
 	"repro/internal/queue"
@@ -59,6 +60,32 @@ type TierSpec struct {
 	// PricePerServerHour prices the tier's capacity for the cost
 	// overlay (0 = the run pricing's default for the tier's shape).
 	PricePerServerHour float64 `json:"pricePerServerHour,omitempty"`
+	// Admission gates entry to the tier with an admit policy (see
+	// admit.Policies); rejected requests count in TierResult.Rejected.
+	Admission *AdmitSpec `json:"admission,omitempty"`
+}
+
+// AdmitSpec serializes an admit.Spec: the policy name plus the union
+// of all policies' parameters. Rate is in admissions per second (per
+// home site on a home-routed tier, tier-wide elsewhere) — already the
+// simulator's units, so no millisecond conversion applies.
+type AdmitSpec struct {
+	Policy    string  `json:"policy"`
+	Rate      float64 `json:"rate,omitempty"`
+	Burst     float64 `json:"burst,omitempty"`
+	Threshold int     `json:"threshold,omitempty"`
+	Cutoff    int     `json:"cutoff,omitempty"`
+}
+
+// spec converts the JSON block to the admit layer's Spec.
+func (s AdmitSpec) spec() admit.Spec {
+	return admit.Spec{
+		Policy:    s.Policy,
+		Rate:      s.Rate,
+		Burst:     s.Burst,
+		Threshold: s.Threshold,
+		Cutoff:    s.Cutoff,
+	}
 }
 
 // AutoscaleSpec serializes an autoscale.Config (legacy reactive block).
@@ -186,6 +213,10 @@ func (s TopologySpec) Build() (Topology, error) {
 			}
 		}
 		t.PricePerServerHour = ts.PricePerServerHour
+		if a := ts.Admission; a != nil {
+			spec := a.spec()
+			t.Admission = &spec
+		}
 		if ts.Autoscale != nil && ts.Scaler != nil {
 			return Topology{}, fmt.Errorf("cluster: tier %q sets both the legacy %q and the %q block; use %q",
 				ts.Name, "autoscale", "scaler", "scaler")

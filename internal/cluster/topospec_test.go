@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/admit"
 	"repro/internal/autoscale"
 )
 
@@ -84,6 +85,86 @@ func TestTopologySpecRoundTrip(t *testing.T) {
 	}
 }
 
+// admitSpecJSON exercises the admission block: a rate-limited edge and
+// a queue-gated cloud with a class-aware priority rule.
+const admitSpecJSON = `{
+	"name": "admitted",
+	"tiers": [
+		{
+			"name": "edge", "sites": 3, "servers": 1, "rttMs": 1, "jitterMs": 0.2,
+			"admission": {"policy": "token-bucket", "rate": 6, "burst": 3}
+		},
+		{
+			"name": "cloud", "sites": 1, "servers": 3, "rttMs": 25,
+			"dispatch": "central-queue",
+			"admission": {"policy": "priority", "threshold": 4, "cutoff": 1}
+		}
+	],
+	"spills": [{"from": "edge", "to": "cloud", "threshold": 3, "sampleToRtt": true}],
+	"classes": [{"name": "gold", "sites": [0], "tier": "cloud"}]
+}`
+
+func TestTopologySpecAdmissionBlockBuilds(t *testing.T) {
+	topo, err := ParseTopology([]byte(admitSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	edge := topo.Tiers[0]
+	if edge.Admission == nil || edge.Admission.Policy != admit.TokenBucket ||
+		edge.Admission.Rate != 6 || edge.Admission.Burst != 3 {
+		t.Fatalf("edge admission = %+v, want token-bucket rate=6 burst=3", edge.Admission)
+	}
+	cloud := topo.Tiers[1]
+	if cloud.Admission == nil || cloud.Admission.Policy != admit.Priority ||
+		cloud.Admission.Threshold != 4 || cloud.Admission.Cutoff != 1 {
+		t.Fatalf("cloud admission = %+v, want priority threshold=4 cutoff=1", cloud.Admission)
+	}
+}
+
+func TestTopologySpecAdmissionRoundTrip(t *testing.T) {
+	spec, err := ParseTopologySpec([]byte(admitSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseTopologySpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(spec, back) {
+		t.Errorf("round trip diverges:\n  out:  %+v\n  back: %+v", spec, back)
+	}
+}
+
+func TestTopologySpecUnknownAdmissionPolicy(t *testing.T) {
+	spec := `{"name":"x","tiers":[{"name":"e","sites":1,"servers":1,"rttMs":1,
+		"admission":{"policy":"leaky-bucket","rate":5}}]}`
+	if _, err := ParseTopology([]byte(spec)); err == nil {
+		t.Fatal("unknown admission policy accepted")
+	} else if !strings.Contains(err.Error(), "leaky-bucket") ||
+		!strings.Contains(err.Error(), admit.TokenBucket) {
+		t.Errorf("error %q should name the bad policy and list the registry", err)
+	}
+}
+
+func TestTopologySpecAdmissionBadParams(t *testing.T) {
+	for name, spec := range map[string]string{
+		"zero rate": `{"name":"x","tiers":[{"name":"e","sites":1,"servers":1,"rttMs":1,
+			"admission":{"policy":"token-bucket"}}]}`,
+		"no threshold": `{"name":"x","tiers":[{"name":"e","sites":1,"servers":1,"rttMs":1,
+			"admission":{"policy":"queue-length"}}]}`,
+		"negative cutoff": `{"name":"x","tiers":[{"name":"e","sites":1,"servers":1,"rttMs":1,
+			"admission":{"policy":"priority","threshold":2,"cutoff":-1}}]}`,
+	} {
+		if _, err := ParseTopology([]byte(spec)); err == nil {
+			t.Errorf("%s: invalid admission block accepted", name)
+		}
+	}
+}
+
 func TestTopologySpecUnknownScalerPolicy(t *testing.T) {
 	spec := `{"name":"x","tiers":[{"name":"e","sites":1,"servers":1,"rttMs":1,
 		"scaler":{"policy":"oracle","intervalS":5,"min":1,"max":2}}]}`
@@ -144,6 +225,7 @@ func TestLegacyAutoscaleBlockDecodes(t *testing.T) {
 // error paths are total.
 func FuzzParseTopologySpec(f *testing.F) {
 	f.Add([]byte(scalerSpecJSON))
+	f.Add([]byte(admitSpecJSON))
 	for _, s := range presetSpecs {
 		data, err := json.Marshal(s)
 		if err != nil {

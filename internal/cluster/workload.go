@@ -8,6 +8,7 @@ package cluster
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 
@@ -117,18 +118,23 @@ func deriveArrivals(spec *GenSpec) []workload.ArrivalProcess {
 	if spec.Sites <= 0 {
 		panic(fmt.Sprintf("cluster: GenSpec.Sites=%d invalid", spec.Sites))
 	}
-	if spec.Duration <= 0 {
-		panic("cluster: GenSpec.Duration must be positive")
+	// NaN/Inf checked explicitly: ordered comparisons are false for NaN,
+	// so "x <= 0" alone would accept a NaN duration and generate forever.
+	if spec.Duration <= 0 || math.IsNaN(spec.Duration) || math.IsInf(spec.Duration, 0) {
+		panic(fmt.Sprintf("cluster: GenSpec.Duration must be positive and finite, got %v", spec.Duration))
 	}
 	if spec.Model.D == nil {
 		spec.Model = app.NewInferenceModel()
 	}
 	procs := spec.Arrivals
 	if procs == nil {
-		if spec.PerSiteRate <= 0 {
-			panic("cluster: GenSpec needs PerSiteRate or Arrivals")
+		if spec.PerSiteRate <= 0 || math.IsNaN(spec.PerSiteRate) || math.IsInf(spec.PerSiteRate, 0) {
+			panic(fmt.Sprintf("cluster: GenSpec needs a positive finite PerSiteRate or Arrivals, got rate %v", spec.PerSiteRate))
 		}
 		scv := spec.ArrivalSCV
+		if scv < 0 || math.IsNaN(scv) || math.IsInf(scv, 0) {
+			panic(fmt.Sprintf("cluster: GenSpec.ArrivalSCV must be finite and >= 0, got %v", scv))
+		}
 		if scv == 0 {
 			scv = DefaultArrivalSCV
 		}

@@ -19,21 +19,43 @@ import (
 	"repro/internal/theory"
 )
 
-// Pricing holds per-server-hour prices in arbitrary currency units.
+// Pricing holds per-server-hour prices in arbitrary currency units,
+// plus the per-request penalty charged for traffic an admission policy
+// turns away (lost revenue / SLA credit; 0 means rejections are free).
 type Pricing struct {
 	CloudPerServerHour float64
 	EdgePerServerHour  float64
+	RejectPenalty      float64
 }
 
 // DefaultPricing uses the paper-era c5a.xlarge on-demand price
-// (~$0.154/h) and a 1.5× edge premium.
+// (~$0.154/h) and a 1.5× edge premium. Rejections carry no penalty by
+// default.
 func DefaultPricing() Pricing {
 	return Pricing{CloudPerServerHour: 0.154, EdgePerServerHour: 0.154 * 1.5}
 }
 
+// Check reports whether the pricing is usable: positive finite
+// server-hour rates and a non-negative finite reject penalty. NaN and
+// ±Inf are rejected explicitly — every ordered comparison against NaN
+// is false, so "x <= 0" alone would let a NaN price poison TotalCost.
+func (p Pricing) Check() error {
+	bad := func(x float64) bool { return math.IsNaN(x) || math.IsInf(x, 0) || x <= 0 }
+	if bad(p.CloudPerServerHour) {
+		return fmt.Errorf("econ: CloudPerServerHour must be positive and finite, got %v", p.CloudPerServerHour)
+	}
+	if bad(p.EdgePerServerHour) {
+		return fmt.Errorf("econ: EdgePerServerHour must be positive and finite, got %v", p.EdgePerServerHour)
+	}
+	if math.IsNaN(p.RejectPenalty) || math.IsInf(p.RejectPenalty, 0) || p.RejectPenalty < 0 {
+		return fmt.Errorf("econ: RejectPenalty must be finite and >= 0, got %v", p.RejectPenalty)
+	}
+	return nil
+}
+
 func (p Pricing) validate() {
-	if p.CloudPerServerHour <= 0 || p.EdgePerServerHour <= 0 {
-		panic(fmt.Sprintf("econ: invalid pricing %+v", p))
+	if err := p.Check(); err != nil {
+		panic(err.Error())
 	}
 }
 

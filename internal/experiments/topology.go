@@ -64,6 +64,7 @@ type TierPoint struct {
 	Served      uint64
 	Spilled     uint64
 	Dropped     uint64
+	Rejected    uint64  // admission refusals at this tier (warmup included)
 	Mean        float64 // seconds, requests served at this tier
 	P95         float64
 	Utilization float64
@@ -81,6 +82,7 @@ type TopologyPoint struct {
 	P95           float64
 	N             int
 	Dropped       uint64
+	Rejected      uint64
 	Tiers         []TierPoint
 }
 
@@ -263,6 +265,7 @@ func topologyPoint(rate float64, run *cluster.TopologyResult) TopologyPoint {
 		P95:           run.EndToEnd.P95(),
 		N:             run.EndToEnd.N(),
 		Dropped:       run.Dropped,
+		Rejected:      run.Rejected,
 	}
 	for _, tier := range run.Tiers {
 		p.Tiers = append(p.Tiers, TierPoint{
@@ -270,6 +273,7 @@ func topologyPoint(rate float64, run *cluster.TopologyResult) TopologyPoint {
 			Served:      tier.Served,
 			Spilled:     tier.Spilled,
 			Dropped:     tier.Dropped,
+			Rejected:    tier.Rejected,
 			Mean:        tier.EndToEnd.Mean(),
 			P95:         tier.EndToEnd.P95(),
 			Utilization: tier.Utilization,

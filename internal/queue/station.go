@@ -59,10 +59,21 @@ type Request struct {
 	// deployment), so routing decisions need no per-request closure.
 	AuxRTT float64
 
+	// Class is the request's SLO class rank, assigned by the deployment
+	// model when its topology declares class rules: the matched rule's
+	// index, or the rule count for unclassified traffic (earlier rules
+	// outrank later ones; unclassified ranks last). The free list
+	// clears it on recycle.
+	Class int
+
 	// Dropped is true when the station rejected the request (bounded
 	// queue overflow); Departure is the rejection time and no service
 	// was given.
 	Dropped bool
+	// Rejected is true when a tier's admission policy refused the
+	// request at entry; Departure is the rejection time and the request
+	// never reached a station.
+	Rejected bool
 
 	// Done is consumed on completion or drop; nil is allowed. A replay
 	// shares one Sink across all its requests (see Sink); ad-hoc

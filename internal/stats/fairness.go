@@ -1,0 +1,37 @@
+package stats
+
+import "math"
+
+// Jain computes Jain's fairness index over a set of non-negative
+// allocations (throughputs, admission rates, mean latencies inverted —
+// anything "share-like"):
+//
+//	J(x) = (Σ xᵢ)² / (n · Σ xᵢ²)
+//
+// The index is 1 when every share is equal and 1/n when a single
+// participant holds everything, independent of scale. Used to score
+// how evenly an admission policy treats SLO classes: feed it each
+// class's served fraction or admission rate.
+//
+// Entries that are NaN or infinite poison ratio arithmetic, so the
+// index is NaN if any entry is; an empty or all-zero input returns 0
+// (no allocation to be fair about). Negative entries are accepted but
+// make the index meaningless — callers feed rates and counts, which
+// cannot go negative.
+func Jain(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sq float64
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return math.NaN()
+		}
+		sum += x
+		sq += x * x
+	}
+	if sq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sq)
+}

@@ -1,0 +1,38 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestJain(t *testing.T) {
+	approx := func(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+	if got := Jain(nil); got != 0 {
+		t.Errorf("Jain(nil) = %v, want 0", got)
+	}
+	if got := Jain([]float64{0, 0, 0}); got != 0 {
+		t.Errorf("Jain(zeros) = %v, want 0", got)
+	}
+	if got := Jain([]float64{5, 5, 5, 5}); !approx(got, 1) {
+		t.Errorf("Jain(equal) = %v, want 1", got)
+	}
+	// Scale invariance: J(cx) == J(x).
+	if a, b := Jain([]float64{1, 2, 3}), Jain([]float64{10, 20, 30}); !approx(a, b) {
+		t.Errorf("Jain not scale-invariant: %v vs %v", a, b)
+	}
+	// One participant holds everything: J = 1/n.
+	if got := Jain([]float64{7, 0, 0, 0}); !approx(got, 0.25) {
+		t.Errorf("Jain(single) = %v, want 0.25", got)
+	}
+	// Known value: (1+3)^2 / (2 * (1+9)) = 16/20.
+	if got := Jain([]float64{1, 3}); !approx(got, 0.8) {
+		t.Errorf("Jain(1,3) = %v, want 0.8", got)
+	}
+	if got := Jain([]float64{1, math.NaN()}); !math.IsNaN(got) {
+		t.Errorf("Jain with NaN entry = %v, want NaN", got)
+	}
+	if got := Jain([]float64{1, math.Inf(1)}); !math.IsNaN(got) {
+		t.Errorf("Jain with Inf entry = %v, want NaN", got)
+	}
+}
